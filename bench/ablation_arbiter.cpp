@@ -1,0 +1,86 @@
+// ABL-ARB: arbiter-policy ablation.
+//
+// The paper's MEB contains "an arbiter"; this ablation quantifies how
+// the policy choice (round-robin, fixed priority, matrix/least-recently-
+// granted) affects fairness and aggregate throughput on a saturated
+// 8-thread channel, and under asymmetric per-thread backpressure.
+#include <cstdio>
+#include <memory>
+
+#include "mt/arbiter.hpp"
+#include "mt/full_meb.hpp"
+#include "mt/mt_channel.hpp"
+#include "mt/mt_sink.hpp"
+#include "mt/mt_source.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace mte;
+using Token = std::uint64_t;
+
+std::unique_ptr<mt::Arbiter> make_arbiter(const std::string& kind, std::size_t n) {
+  if (kind == "round-robin") return std::make_unique<mt::RoundRobinArbiter>(n);
+  if (kind == "fixed") return std::make_unique<mt::FixedPriorityArbiter>(n);
+  return std::make_unique<mt::MatrixArbiter>(n);
+}
+
+struct Result {
+  double total_rate = 0;
+  double min_share = 0;  ///< worst thread's share of the channel
+  double max_share = 0;
+};
+
+Result measure(const std::string& kind, bool asymmetric) {
+  const std::size_t threads = 8;
+  sim::Simulator s;
+  mt::MtChannel<Token> c0(s, "c0", threads), c1(s, "c1", threads);
+  mt::MtSource<Token> src(s, "src", c0);
+  mt::FullMeb<Token> meb(s, "meb", c0, c1, make_arbiter(kind, threads));
+  mt::MtSink<Token> sink(s, "sink", c1);
+  for (std::size_t t = 0; t < threads; ++t) {
+    src.set_generator(t, [t](std::uint64_t i) { return t * 100000 + i; });
+    if (asymmetric) sink.set_rate(t, t < 4 ? 1.0 : 0.25, 777 + t);
+  }
+  const int cycles = 8000;
+  s.reset();
+  s.run(cycles);
+  Result r;
+  r.total_rate = static_cast<double>(sink.total_count()) / cycles;
+  r.min_share = 1.0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const double share =
+        static_cast<double>(sink.count(t)) / static_cast<double>(sink.total_count());
+    r.min_share = std::min(r.min_share, share);
+    r.max_share = std::max(r.max_share, share);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABL-ARB: arbiter policy ablation, 8 threads\n\n");
+  std::printf("| policy      | load       | total rate | min share | max share |\n");
+  std::printf("|-------------|------------|------------|-----------|-----------|\n");
+  double rr_min_sym = 0, rr_min_asym = 0, fixed_min_asym = 0, matrix_min_asym = 0;
+  for (const char* kind : {"round-robin", "fixed", "matrix"}) {
+    for (bool asym : {false, true}) {
+      const Result r = measure(kind, asym);
+      std::printf("| %-11s | %-10s | %10.3f | %9.3f | %9.3f |\n", kind,
+                  asym ? "asymmetric" : "uniform", r.total_rate, r.min_share,
+                  r.max_share);
+      if (std::string(kind) == "round-robin") (asym ? rr_min_asym : rr_min_sym) = r.min_share;
+      if (asym && std::string(kind) == "fixed") fixed_min_asym = r.min_share;
+      if (asym && std::string(kind) == "matrix") matrix_min_asym = r.min_share;
+    }
+  }
+  std::printf("\nexpected: all policies share evenly under uniform load (a fair\n");
+  std::printf("source bounds per-thread pending); under asymmetric backpressure\n");
+  std::printf("fixed priority starves the slow threads completely while RR and\n");
+  std::printf("matrix keep serving them.\n");
+  const bool ok = rr_min_sym > 0.11 && fixed_min_asym < 0.005 &&
+                  rr_min_asym > 0.02 && matrix_min_asym > 0.02;
+  std::printf("shape check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

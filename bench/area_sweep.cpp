@@ -1,0 +1,35 @@
+// AREA-SWEEP: Sec. V-C scaling claim — reduced-MEB area savings as a
+// function of thread count for both Table I designs (15 % average at 8
+// threads growing above 22 % at 16 threads, approaching the (S-1)/2S
+// storage asymptote).
+#include <cstdio>
+
+#include "area/designs.hpp"
+
+int main() {
+  using namespace mte::area;
+  CostModel model;
+  std::printf("AREA-SWEEP: reduced-MEB savings vs thread count\n\n");
+  std::printf("| S  | md5 full | md5 red | md5 save%% | proc full | proc red | proc save%% | avg%% |\n");
+  std::printf("|----|----------|---------|-----------|-----------|----------|------------|------|\n");
+  double prev_avg = 0;
+  bool monotone = true;
+  double avg8 = 0, avg16 = 0;
+  for (unsigned threads : {2u, 4u, 8u, 16u, 32u}) {
+    const TableRow md5 = md5_row(model, threads);
+    const TableRow proc = processor_row(model, threads);
+    const double avg = (md5.savings_percent() + proc.savings_percent()) / 2;
+    std::printf("| %2u | %8.0f | %7.0f | %9.1f | %9.0f | %8.0f | %10.1f | %4.1f |\n",
+                threads, md5.full_les, md5.reduced_les, md5.savings_percent(),
+                proc.full_les, proc.reduced_les, proc.savings_percent(), avg);
+    if (avg < prev_avg) monotone = false;
+    prev_avg = avg;
+    if (threads == 8) avg8 = avg;
+    if (threads == 16) avg16 = avg;
+  }
+  std::printf("\n8T avg %.1f%% (paper ~15%%), 16T avg %.1f%% (paper >22%%)\n", avg8,
+              avg16);
+  const bool ok = monotone && avg16 > 22.0 && avg8 > 8.0 && avg8 < 30.0;
+  std::printf("shape check (monotone growth, 16T > 22%%): %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

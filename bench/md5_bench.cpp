@@ -1,0 +1,64 @@
+// MD5-PERF: Sec. V-A — the multithreaded elastic MD5 engine.
+//
+// Verifies digests against the RFC 1321 reference and reports cycles per
+// block and blocks/kilocycle as thread count grows, for both MEB
+// flavours. Expected shape: bit-exact digests everywhere; throughput per
+// channel rises with thread count (multithreading hides the round-loop
+// latency); full and reduced complete in nearly identical cycles.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "md5/md5_circuit.hpp"
+
+int main() {
+  using namespace mte;
+  std::printf("MD5-PERF: elastic MD5 engine, digests + throughput\n\n");
+  std::printf("| S | kind    | cycles | blocks | cyc/blk | digests |\n");
+  std::printf("|---|---------|--------|--------|---------|---------|\n");
+  bool all_ok = true;
+  double cyc_per_block_1t = 0, cyc_per_block_8t = 0;
+  sim::Cycle cycles_full_8 = 0, cycles_red_8 = 0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+      md5::Md5Circuit circuit(threads, kind);
+      std::vector<std::string> msgs;
+      std::size_t total_blocks = 0;
+      for (std::size_t t = 0; t < threads; ++t) {
+        msgs.push_back(std::string(180, static_cast<char>('a' + t)) +
+                       " thread payload " + std::to_string(t));
+        circuit.set_message(t, msgs.back());
+      }
+      const sim::Cycle cycles = circuit.run();
+      bool ok = cycles > 0;
+      for (std::size_t t = 0; ok && t < threads; ++t) {
+        ok = circuit.digest_hex(t) == md5::hex_digest(msgs[t]);
+      }
+      all_ok = all_ok && ok;
+      total_blocks = circuit.feeder().rounds_of_blocks() * threads;
+      const double cpb = static_cast<double>(cycles) / total_blocks;
+      std::printf("| %zu | %-7s | %6llu | %6zu | %7.1f | %s |\n", threads,
+                  mt::to_string(kind), static_cast<unsigned long long>(cycles),
+                  total_blocks, cpb, ok ? "exact" : "WRONG");
+      if (threads == 1 && kind == mt::MebKind::kReduced) cyc_per_block_1t = cpb;
+      if (threads == 8 && kind == mt::MebKind::kReduced) {
+        cyc_per_block_8t = cpb;
+        cycles_red_8 = cycles;
+      }
+      if (threads == 8 && kind == mt::MebKind::kFull) cycles_full_8 = cycles;
+    }
+  }
+  const double speedup = cyc_per_block_1t / cyc_per_block_8t;
+  const double kind_ratio =
+      static_cast<double>(cycles_red_8) / static_cast<double>(cycles_full_8);
+  std::printf("\nper-block cost 1T -> 8T: %.1f -> %.1f cycles (%.2fx utilization gain;\n",
+              cyc_per_block_1t, cyc_per_block_8t, speedup);
+  std::printf("the floor is 4 cycles/block — one channel slot per round — and the\n");
+  std::printf("barrier adds a fixed ~3-cycle sync per round that 8 threads amortize)\n");
+  std::printf("8T reduced/full cycle ratio: %.3f (paper: no performance loss)\n",
+              kind_ratio);
+  const bool shape = all_ok && speedup > 1.3 && cyc_per_block_8t < 10.0 &&
+                     kind_ratio < 1.05;
+  std::printf("shape check: %s\n", shape ? "PASS" : "FAIL");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+// CPU-PERF: Sec. V-B — the multithreaded pipelined elastic processor.
+//
+// Runs a mixed kernel workload and reports IPC vs thread count for both
+// MEB flavours, with variable-latency fetch, multiply and data memory.
+// Expected shape: IPC grows towards ~1 with more threads (multithreading
+// hides latency and fills idle slots, the paper's Fig. 1 argument), and
+// full vs reduced MEBs complete in near-identical cycles.
+#include <cstdio>
+
+#include "cpu/kernels.hpp"
+#include "cpu/processor.hpp"
+
+namespace {
+
+using namespace mte;
+
+cpu::Program kernel_for(std::size_t t) {
+  switch (t % 4) {
+    case 0: return cpu::kernels::dot_product(24, 0, 100);
+    case 1: return cpu::kernels::sieve(60);
+    case 2: return cpu::kernels::fibonacci(40);
+    default: return cpu::kernels::memcpy_words(24, 0, 200);
+  }
+}
+
+void preload(cpu::Processor& proc, std::size_t t) {
+  for (int i = 0; i < 24; ++i) {
+    proc.set_dmem(t, i, i + 1);
+    proc.set_dmem(t, 100 + i, 2 * i + 1);
+  }
+}
+
+struct Run {
+  double ipc = 0;
+  sim::Cycle cycles = 0;
+  std::uint64_t retired = 0;
+};
+
+Run measure(std::size_t threads, mt::MebKind kind) {
+  cpu::ProcessorConfig cfg;
+  cfg.threads = threads;
+  cfg.meb_kind = kind;
+  cfg.mul_latency = 3;
+  cfg.imem_latency_lo = 1;
+  cfg.imem_latency_hi = 2;
+  cfg.dmem_miss_latency = 6;
+  cpu::Processor proc(cfg);
+  for (std::size_t t = 0; t < threads; ++t) {
+    proc.load_program(t, kernel_for(t));
+    preload(proc, t);
+  }
+  Run r;
+  r.cycles = proc.run();
+  r.ipc = proc.ipc();
+  r.retired = proc.total_retired();
+  return r;
+}
+
+}  // namespace
+
+Run measure_alu_only(std::size_t threads, mt::MebKind kind) {
+  cpu::ProcessorConfig cfg;
+  cfg.threads = threads;
+  cfg.meb_kind = kind;
+  cpu::Processor proc(cfg);
+  for (std::size_t t = 0; t < threads; ++t) {
+    proc.load_program(t, cpu::kernels::fibonacci(200));
+  }
+  Run r;
+  r.cycles = proc.run();
+  r.ipc = proc.ipc();
+  r.retired = proc.total_retired();
+  return r;
+}
+
+int main() {
+  std::printf("CPU-PERF: multithreaded elastic processor IPC\n\n");
+  std::printf("mixed kernels (loads, stores, multiplies, branches):\n");
+  std::printf("| S | kind    | cycles | retired |  IPC  |\n");
+  std::printf("|---|---------|--------|---------|-------|\n");
+  double ipc1 = 0, ipc8 = 0;
+  sim::Cycle full8 = 0, red8 = 0;
+  bool ok = true;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+      const Run r = measure(threads, kind);
+      ok = ok && r.cycles > 0;
+      std::printf("| %zu | %-7s | %6llu | %7llu | %5.3f |\n", threads,
+                  mt::to_string(kind), static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(r.retired), r.ipc);
+      if (threads == 1 && kind == mt::MebKind::kReduced) ipc1 = r.ipc;
+      if (threads == 8 && kind == mt::MebKind::kReduced) {
+        ipc8 = r.ipc;
+        red8 = r.cycles;
+      }
+      if (threads == 8 && kind == mt::MebKind::kFull) full8 = r.cycles;
+    }
+  }
+
+  std::printf("\nALU-only kernel (fibonacci; no shared-unit contention):\n");
+  std::printf("| S | kind    |  IPC  |\n");
+  std::printf("|---|---------|-------|\n");
+  double alu_ipc8 = 0;
+  for (std::size_t threads : {1u, 8u}) {
+    for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+      const Run r = measure_alu_only(threads, kind);
+      ok = ok && r.cycles > 0;
+      std::printf("| %zu | %-7s | %5.3f |\n", threads, mt::to_string(kind), r.ipc);
+      if (threads == 8 && kind == mt::MebKind::kReduced) alu_ipc8 = r.ipc;
+    }
+  }
+
+  const double ratio = static_cast<double>(red8) / static_cast<double>(full8);
+  std::printf("\nmixed IPC 1T -> 8T: %.3f -> %.3f (%.1fx; capped by the shared\n",
+              ipc1, ipc8, ipc8 / ipc1);
+  std::printf("single-ported memory stage and multiplier, which mixed kernels\n");
+  std::printf("keep busy ~2 cycles per access)\n");
+  std::printf("ALU-only IPC at 8T: %.3f (pipeline fills almost every slot)\n",
+              alu_ipc8);
+  std::printf("8T reduced/full cycle ratio: %.3f (paper: no performance loss)\n", ratio);
+  const bool shape =
+      ok && ipc8 > 2.5 * ipc1 && ipc8 > 0.4 && alu_ipc8 > 0.8 && ratio < 1.05;
+  std::printf("shape check: %s\n", shape ? "PASS" : "FAIL");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Simulation-kernel performance (google-benchmark): cycles/second of the
+// delta-cycle simulator on representative elastic structures. Not a paper
+// figure; used to size experiment budgets and catch kernel regressions.
+#include <benchmark/benchmark.h>
+
+#include "md5/md5_circuit.hpp"
+#include "mt/meb_variant.hpp"
+#include "mt/mt_channel.hpp"
+#include "mt/mt_sink.hpp"
+#include "mt/mt_source.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace mte;
+using Token = std::uint64_t;
+
+void BM_MebPipeline(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto kind = state.range(1) == 0 ? mt::MebKind::kFull : mt::MebKind::kReduced;
+  sim::Simulator s;
+  std::vector<mt::MtChannel<Token>*> chans;
+  for (int i = 0; i <= 4; ++i) {
+    chans.push_back(&s.make<mt::MtChannel<Token>>(s, "c" + std::to_string(i), threads));
+  }
+  std::vector<mt::AnyMeb<Token>> mebs;
+  for (int i = 0; i < 4; ++i) {
+    mebs.push_back(mt::AnyMeb<Token>::create(s, "m" + std::to_string(i), *chans[i],
+                                             *chans[i + 1], kind));
+  }
+  mt::MtSource<Token> src(s, "src", *chans.front());
+  mt::MtSink<Token> sink(s, "sink", *chans.back());
+  for (std::size_t t = 0; t < threads; ++t) {
+    src.set_generator(t, [](std::uint64_t i) { return i; });
+  }
+  s.reset();
+  for (auto _ : state) {
+    s.step();
+    benchmark::DoNotOptimize(sink.total_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(s.now()));
+  state.counters["tokens/cycle"] =
+      static_cast<double>(sink.total_count()) / static_cast<double>(s.now());
+}
+BENCHMARK(BM_MebPipeline)
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({16, 0})->Args({16, 1});
+
+void BM_Md5Block(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    md5::Md5Circuit c(threads, mt::MebKind::kReduced);
+    for (std::size_t t = 0; t < threads; ++t) c.set_message(t, "benchmark payload");
+    benchmark::DoNotOptimize(c.run());
+  }
+}
+BENCHMARK(BM_Md5Block)->Arg(1)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

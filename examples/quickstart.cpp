@@ -1,0 +1,60 @@
+// Quickstart: build a multithreaded elastic pipeline from the public
+// API, drive it with per-thread token streams, and observe throughput.
+//
+//   $ ./quickstart
+//
+// Walks through the core objects: Simulator, MtChannel, ReducedMeb,
+// MtSource/MtSink — and demonstrates the reduced MEB's behaviour under a
+// per-thread stall.
+#include <cstdio>
+
+#include "mt/mt_channel.hpp"
+#include "mt/mt_sink.hpp"
+#include "mt/mt_source.hpp"
+#include "mt/reduced_meb.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace mte;
+  constexpr std::size_t kThreads = 4;
+
+  // 1. A simulator owns the clock and the settle/commit loop.
+  sim::Simulator s;
+
+  // 2. Multithreaded elastic channels: one valid/ready pair per thread,
+  //    one shared data bus.
+  mt::MtChannel<std::uint64_t> in(s, "in", kThreads);
+  mt::MtChannel<std::uint64_t> mid(s, "mid", kThreads);
+  mt::MtChannel<std::uint64_t> out(s, "out", kThreads);
+
+  // 3. Two pipeline stages built from the paper's reduced MEB: one main
+  //    slot per thread plus a single dynamically shared slot.
+  mt::ReducedMeb<std::uint64_t> stage0(s, "stage0", in, mid);
+  mt::ReducedMeb<std::uint64_t> stage1(s, "stage1", mid, out);
+
+  // 4. Per-thread workloads: thread t produces t*1000, t*1000+1, ...
+  mt::MtSource<std::uint64_t> src(s, "src", in);
+  mt::MtSink<std::uint64_t> sink(s, "sink", out);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    src.set_generator(t, [t](std::uint64_t i) { return t * 1000 + i; });
+  }
+  // Thread 3 refuses tokens for a while: elastic backpressure in action.
+  sink.add_stall_window(3, 0, 60);
+
+  // 5. Run and inspect.
+  s.reset();
+  s.run(200);
+
+  std::printf("after 200 cycles:\n");
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    std::printf("  thread %zu received %llu tokens (first: %llu)\n", t,
+                static_cast<unsigned long long>(sink.count(t)),
+                sink.count(t) > 0 ? static_cast<unsigned long long>(sink.received(t)[0])
+                                  : 0ULL);
+  }
+  std::printf("stage0 shared slot in use: %s (owner: thread %zu)\n",
+              stage0.shared_full() ? "yes" : "no", stage0.shared_owner());
+  std::printf("aggregate channel throughput: %.2f tokens/cycle\n",
+              static_cast<double>(sink.total_count()) / 200.0);
+  return 0;
+}

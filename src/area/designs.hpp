@@ -1,0 +1,104 @@
+// Structural area estimates for the paper's two design examples
+// (Table I). Block RAM and DSP contents are excluded, as in the paper.
+#pragma once
+
+#include <string>
+
+#include "area/cost_model.hpp"
+#include "mt/meb_variant.hpp"
+
+namespace mte::area {
+
+/// Widths of the MD5 engine's buffered token. The message block and the
+/// round constants live in block RAM (excluded, as in the paper); the
+/// MEB carries the 128-bit working state plus per-block bookkeeping.
+struct Md5Widths {
+  unsigned state_bits = 128;
+  unsigned chaining_bits = 128;
+  unsigned tag_bits = 8;
+
+  [[nodiscard]] unsigned token_bits() const {
+    return state_bits + chaining_bits + tag_bits;
+  }
+};
+
+/// Per-stage pipeline-register widths of the processor.
+struct ProcessorWidths {
+  unsigned ifid_bits = 64;    // pc + raw instruction
+  unsigned idex_bits = 150;   // decoded fields + two operands
+  unsigned exmem_bits = 100;  // result + mem op + next pc
+  unsigned memwb_bits = 70;   // writeback value + rd + next pc
+};
+
+/// The MD5 engine: the fully unrolled 16-step round datapath plus one
+/// output MEB, merge, router and barrier (paper Sec. V-A).
+[[nodiscard]] inline DesignEstimate md5_design(const CostModel& model,
+                                               unsigned threads, mt::MebKind kind,
+                                               Md5Widths w = {}) {
+  DesignEstimate d;
+  d.name = "md5-" + std::string(mt::to_string(kind)) + "-" + std::to_string(threads) + "t";
+  // 16 unrolled steps: each is 4 chained 32-bit additions plus the boolean
+  // round function and the message-schedule mux; depth ~5 LUT levels/step.
+  d.items.push_back(model.comb("round16", /*adder_bits=*/16 * 4 * 32,
+                               /*lut_bits=*/16 * (32 * 3), /*levels=*/16 * 5.0));
+  d.items.push_back(model.comb("finalize_add", 4 * 32, 0, 2));
+  d.items.push_back(model.meb("output_meb", w.token_bits(), threads, kind));
+  d.items.push_back(model.m_operator("m_merge", threads));
+  d.items.push_back(model.m_operator("router", threads));
+  d.items.push_back(model.barrier("barrier", threads));
+  return d;
+}
+
+/// The multithreaded elastic processor: every pipeline register is an
+/// MEB; ALU/decode/branch logic is shared (paper Sec. V-B). Register
+/// file, instruction and data memories map to block RAM (excluded).
+[[nodiscard]] inline DesignEstimate processor_design(const CostModel& model,
+                                                     unsigned threads, mt::MebKind kind,
+                                                     ProcessorWidths w = {}) {
+  DesignEstimate d;
+  d.name = "proc-" + std::string(mt::to_string(kind)) + "-" + std::to_string(threads) +
+           "t";
+  d.items.push_back(model.meb("meb_ifid", w.ifid_bits, threads, kind));
+  d.items.push_back(model.meb("meb_idex", w.idex_bits, threads, kind));
+  d.items.push_back(model.meb("meb_exmem", w.exmem_bits, threads, kind));
+  d.items.push_back(model.meb("meb_memwb", w.memwb_bits, threads, kind));
+  d.items.push_back(model.comb("decode", 0, 250, 3));
+  // 32-bit ripple add/sub plus logic unit and barrel shifter; the carry
+  // chain and shifter mux tree dominate the processor's logic depth.
+  d.items.push_back(model.comb("alu", 2 * 32, 4 * 32, 14));
+  d.items.push_back(model.comb("branch_resolve", 32, 64, 4));
+  d.items.push_back(model.comb("agu", 32, 0, 2));
+  d.items.push_back(model.comb("fetch_engines", 0, 12.0 * threads, 2));
+  d.items.push_back(model.m_operator("wb_commit", threads, 4.0));
+  return d;
+}
+
+/// One Table I style row.
+struct TableRow {
+  std::string design;
+  unsigned threads = 0;
+  double full_les = 0;
+  double full_mhz = 0;
+  double reduced_les = 0;
+  double reduced_mhz = 0;
+
+  [[nodiscard]] double savings_percent() const {
+    return 100.0 * (full_les - reduced_les) / full_les;
+  }
+};
+
+[[nodiscard]] inline TableRow md5_row(const CostModel& model, unsigned threads) {
+  const auto full = md5_design(model, threads, mt::MebKind::kFull);
+  const auto reduced = md5_design(model, threads, mt::MebKind::kReduced);
+  return TableRow{"MD5 hash", threads, full.total_les(), model.frequency_mhz(full),
+                  reduced.total_les(), model.frequency_mhz(reduced)};
+}
+
+[[nodiscard]] inline TableRow processor_row(const CostModel& model, unsigned threads) {
+  const auto full = processor_design(model, threads, mt::MebKind::kFull);
+  const auto reduced = processor_design(model, threads, mt::MebKind::kReduced);
+  return TableRow{"Processor", threads, full.total_les(), model.frequency_mhz(full),
+                  reduced.total_les(), model.frequency_mhz(reduced)};
+}
+
+}  // namespace mte::area

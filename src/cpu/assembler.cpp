@@ -1,0 +1,306 @@
+#include "cpu/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+namespace mte::cpu {
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string strip_comment(const std::string& line) {
+  const auto pos = line.find_first_of(";#");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == ',') {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  const std::string last = strip(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& message) {
+  throw AssemblerError("line " + std::to_string(line_no) + ": " + message);
+}
+
+std::uint8_t parse_reg(const std::string& tok, int line_no) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    fail(line_no, "expected register, got '" + tok + "'");
+  }
+  int n = 0;
+  for (std::size_t i = 1; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) {
+      fail(line_no, "bad register '" + tok + "'");
+    }
+    n = n * 10 + (tok[i] - '0');
+  }
+  if (n < 0 || n >= static_cast<int>(kNumRegs)) {
+    fail(line_no, "register out of range '" + tok + "'");
+  }
+  return static_cast<std::uint8_t>(n);
+}
+
+bool parse_number(const std::string& tok, std::int64_t& out) {
+  if (tok.empty()) return false;
+  std::size_t i = 0;
+  bool negative = false;
+  if (tok[0] == '-' || tok[0] == '+') {
+    negative = tok[0] == '-';
+    i = 1;
+  }
+  if (i >= tok.size()) return false;
+  std::int64_t value = 0;
+  if (tok.size() > i + 1 && tok[i] == '0' && (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+    for (std::size_t k = i + 2; k < tok.size(); ++k) {
+      const char ch = static_cast<char>(std::tolower(static_cast<unsigned char>(tok[k])));
+      if (ch >= '0' && ch <= '9') value = value * 16 + (ch - '0');
+      else if (ch >= 'a' && ch <= 'f') value = value * 16 + (ch - 'a' + 10);
+      else return false;
+    }
+    if (tok.size() == i + 2) return false;
+  } else {
+    for (std::size_t k = i; k < tok.size(); ++k) {
+      if (!std::isdigit(static_cast<unsigned char>(tok[k]))) return false;
+      value = value * 10 + (tok[k] - '0');
+    }
+  }
+  out = negative ? -value : value;
+  return true;
+}
+
+struct Statement {
+  int line_no;
+  Opcode op;
+  std::vector<std::string> operands;
+};
+
+void check_range(std::int64_t value, std::int64_t lo, std::int64_t hi, int line_no,
+                 const char* what) {
+  if (value < lo || value > hi) {
+    fail(line_no, std::string(what) + " out of range: " + std::to_string(value));
+  }
+}
+
+}  // namespace
+
+std::uint32_t Program::label(const std::string& name) const {
+  for (const auto& [n, addr] : labels) {
+    if (n == name) return addr;
+  }
+  throw AssemblerError("unknown label '" + name + "'");
+}
+
+Program assemble(const std::string& source) {
+  // Pass 1: collect labels and statements.
+  std::vector<Statement> statements;
+  std::unordered_map<std::string, std::uint32_t> labels;
+  std::istringstream in(source);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = strip(strip_comment(raw));
+    // Leading labels (possibly several on one line).
+    for (auto colon = line.find(':'); colon != std::string::npos;
+         colon = line.find(':')) {
+      const std::string label = strip(line.substr(0, colon));
+      if (label.empty() || label.find(' ') != std::string::npos) {
+        fail(line_no, "bad label '" + label + "'");
+      }
+      if (labels.count(label) != 0) fail(line_no, "duplicate label '" + label + "'");
+      labels[label] = static_cast<std::uint32_t>(statements.size());
+      line = strip(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+    const auto space = line.find_first_of(" \t");
+    const std::string mn = line.substr(0, space);
+    const auto op = opcode_from(mn);
+    if (!op) fail(line_no, "unknown mnemonic '" + mn + "'");
+    Statement st{line_no, *op, {}};
+    if (space != std::string::npos) {
+      st.operands = split_operands(strip(line.substr(space)));
+    }
+    statements.push_back(std::move(st));
+  }
+
+  // Pass 2: encode.
+  auto resolve = [&labels](const std::string& tok, int ln) -> std::int64_t {
+    std::int64_t value = 0;
+    if (parse_number(tok, value)) return value;
+    const auto it = labels.find(tok);
+    if (it == labels.end()) fail(ln, "unknown label or immediate '" + tok + "'");
+    return it->second;
+  };
+
+  Program prog;
+  for (std::size_t pc = 0; pc < statements.size(); ++pc) {
+    const auto& st = statements[pc];
+    const int ln = st.line_no;
+    Instr i;
+    i.op = st.op;
+    auto want = [&](std::size_t n) {
+      if (st.operands.size() != n) {
+        fail(ln, std::string(mnemonic(st.op)) + ": expected " + std::to_string(n) +
+                     " operands, got " + std::to_string(st.operands.size()));
+      }
+    };
+    switch (st.op) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+        want(0);
+        break;
+      case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd: case Opcode::kOr:
+      case Opcode::kXor: case Opcode::kSlt: case Opcode::kSll: case Opcode::kSrl:
+      case Opcode::kMul:
+        want(3);
+        i.rd = parse_reg(st.operands[0], ln);
+        i.rs1 = parse_reg(st.operands[1], ln);
+        i.rs2 = parse_reg(st.operands[2], ln);
+        break;
+      case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri: case Opcode::kXori:
+      case Opcode::kSlti: {
+        want(3);
+        i.rd = parse_reg(st.operands[0], ln);
+        i.rs1 = parse_reg(st.operands[1], ln);
+        const std::int64_t imm = resolve(st.operands[2], ln);
+        check_range(imm, -1024, 1023, ln, "imm11");
+        i.imm = static_cast<std::int32_t>(imm);
+        break;
+      }
+      case Opcode::kLui: {
+        want(2);
+        i.rd = parse_reg(st.operands[0], ln);
+        const std::int64_t imm = resolve(st.operands[1], ln);
+        check_range(imm, 0, 0xFFFF, ln, "imm16");
+        i.imm = static_cast<std::int32_t>(imm);
+        break;
+      }
+      case Opcode::kLw: case Opcode::kSw: {
+        want(2);
+        // rd/rs2 then "imm(base)".
+        const std::uint8_t data_reg = parse_reg(st.operands[0], ln);
+        const std::string& mem = st.operands[1];
+        const auto open = mem.find('(');
+        const auto close = mem.find(')');
+        if (open == std::string::npos || close == std::string::npos || close < open) {
+          fail(ln, "expected imm(base), got '" + mem + "'");
+        }
+        const std::string off = strip(mem.substr(0, open));
+        std::int64_t imm = 0;
+        if (!off.empty() && !parse_number(off, imm)) fail(ln, "bad offset '" + off + "'");
+        check_range(imm, -1024, 1023, ln, "imm11");
+        i.rs1 = parse_reg(strip(mem.substr(open + 1, close - open - 1)), ln);
+        i.imm = static_cast<std::int32_t>(imm);
+        if (st.op == Opcode::kLw) {
+          i.rd = data_reg;
+        } else {
+          i.rs2 = data_reg;
+        }
+        break;
+      }
+      case Opcode::kBeq: case Opcode::kBne: {
+        want(3);
+        i.rs1 = parse_reg(st.operands[0], ln);
+        i.rs2 = parse_reg(st.operands[1], ln);
+        // Branches encode a PC-relative offset: target - (pc + 1).
+        const std::int64_t target = resolve(st.operands[2], ln);
+        const std::int64_t offset = target - static_cast<std::int64_t>(pc) - 1;
+        check_range(offset, -1024, 1023, ln, "branch offset");
+        i.imm = static_cast<std::int32_t>(offset);
+        break;
+      }
+      case Opcode::kJal: {
+        want(2);
+        i.rd = parse_reg(st.operands[0], ln);
+        const std::int64_t target = resolve(st.operands[1], ln);
+        check_range(target, 0, (1 << 21) - 1, ln, "jump target");
+        i.imm = static_cast<std::int32_t>(target);
+        break;
+      }
+      case Opcode::kJr:
+        want(1);
+        i.rs1 = parse_reg(st.operands[0], ln);
+        break;
+      default:
+        fail(ln, "unsupported opcode");
+    }
+    prog.words.push_back(encode(i));
+  }
+  prog.labels.assign(labels.begin(), labels.end());
+  std::sort(prog.labels.begin(), prog.labels.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return prog;
+}
+
+std::string disassemble(std::uint32_t word) {
+  const Instr i = decode(word);
+  std::ostringstream os;
+  os << mnemonic(i.op);
+  switch (i.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      break;
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kSlt: case Opcode::kSll: case Opcode::kSrl:
+    case Opcode::kMul:
+      os << " r" << +i.rd << ", r" << +i.rs1 << ", r" << +i.rs2;
+      break;
+    case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri: case Opcode::kXori:
+    case Opcode::kSlti:
+      os << " r" << +i.rd << ", r" << +i.rs1 << ", " << i.imm;
+      break;
+    case Opcode::kLui:
+      os << " r" << +i.rd << ", " << i.imm;
+      break;
+    case Opcode::kLw:
+      os << " r" << +i.rd << ", " << i.imm << "(r" << +i.rs1 << ")";
+      break;
+    case Opcode::kSw:
+      os << " r" << +i.rs2 << ", " << i.imm << "(r" << +i.rs1 << ")";
+      break;
+    case Opcode::kBeq: case Opcode::kBne:
+      os << " r" << +i.rs1 << ", r" << +i.rs2 << ", " << i.imm;
+      break;
+    case Opcode::kJal:
+      os << " r" << +i.rd << ", " << i.imm;
+      break;
+    case Opcode::kJr:
+      os << " r" << +i.rs1;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Program& program) {
+  std::ostringstream os;
+  for (std::size_t pc = 0; pc < program.words.size(); ++pc) {
+    for (const auto& [name, addr] : program.labels) {
+      if (addr == pc) os << name << ":\n";
+    }
+    os << "  " << pc << ": " << disassemble(program.words[pc]) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mte::cpu

@@ -1,0 +1,51 @@
+// Two-pass assembler for the processor's ISA.
+//
+// Syntax (one statement per line; ';' or '#' start a comment):
+//   loop:                       ; label definition
+//     addi r1, r0, 10           ; I-type
+//     add  r3, r1, r2           ; R-type
+//     lw   r4, 8(r2)            ; load with base+offset
+//     sw   r4, -4(r2)           ; store
+//     beq  r1, r0, done         ; branch to label (relative encoding)
+//     jal  r31, subroutine      ; jump and link (absolute encoding)
+//     jr   r31
+//     halt
+//
+// Immediates: decimal (possibly negative) or 0x hex. Branch/JAL targets
+// may be labels or numeric immediates.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cpu/isa.hpp"
+
+namespace mte::cpu {
+
+class AssemblerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An assembled program: instruction words plus the label map.
+struct Program {
+  std::vector<std::uint32_t> words;
+  std::vector<std::pair<std::string, std::uint32_t>> labels;
+
+  [[nodiscard]] std::uint32_t label(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return words.size(); }
+};
+
+/// Assembles source text; throws AssemblerError with a line number on
+/// any syntax or range problem.
+[[nodiscard]] Program assemble(const std::string& source);
+
+/// Renders one instruction word as assembly text.
+[[nodiscard]] std::string disassemble(std::uint32_t word);
+
+/// Renders a whole program with addresses.
+[[nodiscard]] std::string disassemble(const Program& program);
+
+}  // namespace mte::cpu

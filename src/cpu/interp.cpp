@@ -1,0 +1,78 @@
+#include "cpu/interp.hpp"
+
+namespace mte::cpu {
+
+ExecResult execute(const Instr& i, std::uint32_t pc, std::uint32_t a, std::uint32_t b) {
+  ExecResult r;
+  r.next_pc = pc + 1;
+  const auto imm = static_cast<std::uint32_t>(i.imm);
+  switch (i.op) {
+    case Opcode::kNop: break;
+    case Opcode::kAdd: r.value = a + b; break;
+    case Opcode::kSub: r.value = a - b; break;
+    case Opcode::kAnd: r.value = a & b; break;
+    case Opcode::kOr: r.value = a | b; break;
+    case Opcode::kXor: r.value = a ^ b; break;
+    case Opcode::kSlt:
+      r.value = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) ? 1 : 0;
+      break;
+    case Opcode::kSll: r.value = a << (b & 31u); break;
+    case Opcode::kSrl: r.value = a >> (b & 31u); break;
+    case Opcode::kMul: r.value = a * b; break;
+    case Opcode::kAddi: r.value = a + imm; break;
+    case Opcode::kAndi: r.value = a & imm; break;
+    case Opcode::kOri: r.value = a | imm; break;
+    case Opcode::kXori: r.value = a ^ imm; break;
+    case Opcode::kSlti:
+      r.value = static_cast<std::int32_t>(a) < i.imm ? 1 : 0;
+      break;
+    case Opcode::kLui: r.value = imm << 16; break;
+    case Opcode::kLw: r.mem_addr = a + imm; break;
+    case Opcode::kSw: r.mem_addr = a + imm; break;
+    case Opcode::kBeq:
+      if (a == b) r.next_pc = pc + 1 + static_cast<std::uint32_t>(i.imm);
+      break;
+    case Opcode::kBne:
+      if (a != b) r.next_pc = pc + 1 + static_cast<std::uint32_t>(i.imm);
+      break;
+    case Opcode::kJal:
+      r.value = pc + 1;
+      r.next_pc = imm;
+      break;
+    case Opcode::kJr: r.next_pc = a; break;
+    case Opcode::kHalt: r.halt = true; break;
+    case Opcode::kCount_: break;
+  }
+  return r;
+}
+
+bool Interpreter::step() {
+  if (halted_) return false;
+  if (pc_ >= program_.words.size()) {
+    throw sim::SimulationError("interpreter: pc out of range: " + std::to_string(pc_));
+  }
+  const Instr i = decode(program_.words[pc_]);
+  const std::uint32_t a = regs_[i.rs1];
+  const std::uint32_t b = regs_[i.rs2];
+  const ExecResult r = execute(i, pc_, a, b);
+  if (i.op == Opcode::kLw) {
+    set_reg(i.rd, mem_.read(r.mem_addr));
+  } else if (i.op == Opcode::kSw) {
+    mem_.write(r.mem_addr, b);
+  } else if (writes_rd(i.op)) {
+    set_reg(i.rd, r.value);
+  }
+  pc_ = r.next_pc;
+  halted_ = r.halt;
+  ++retired_;
+  return !halted_;
+}
+
+std::uint64_t Interpreter::run(std::uint64_t max_steps) {
+  for (std::uint64_t n = 0; n < max_steps; ++n) {
+    if (!step()) break;
+  }
+  return retired_;
+}
+
+}  // namespace mte::cpu

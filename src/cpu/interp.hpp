@@ -1,0 +1,64 @@
+// Golden-model instruction set simulator: executes programs functionally,
+// one instruction per step, with the exact architectural semantics the
+// elastic pipeline must reproduce. Pipeline tests compare final
+// register/memory state and retired counts against this model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "cpu/assembler.hpp"
+#include "cpu/isa.hpp"
+#include "cpu/memory.hpp"
+
+namespace mte::cpu {
+
+/// Pure ALU/branch semantics shared by the interpreter and the pipeline's
+/// EX stage, so both sides are the same code by construction.
+struct ExecResult {
+  std::uint32_t value = 0;     ///< rd write value (ALU result / link)
+  std::uint32_t next_pc = 0;
+  std::uint32_t mem_addr = 0;  ///< effective address for LW/SW
+  bool halt = false;
+
+  friend bool operator==(const ExecResult&, const ExecResult&) = default;
+};
+
+[[nodiscard]] ExecResult execute(const Instr& i, std::uint32_t pc, std::uint32_t a,
+                                 std::uint32_t b);
+
+class Interpreter {
+ public:
+  Interpreter(Program program, std::size_t dmem_words)
+      : program_(std::move(program)), mem_(dmem_words) {}
+
+  /// Executes one instruction. Returns false once halted.
+  bool step();
+
+  /// Runs until HALT or the step budget is exhausted; returns retired count.
+  std::uint64_t run(std::uint64_t max_steps = 1u << 20);
+
+  [[nodiscard]] std::uint32_t reg(unsigned r) const { return regs_.at(r); }
+  void set_reg(unsigned r, std::uint32_t v) {
+    if (r != 0) regs_.at(r) = v;
+  }
+  [[nodiscard]] DataMemory& mem() noexcept { return mem_; }
+  [[nodiscard]] const DataMemory& mem() const noexcept { return mem_; }
+  [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] std::uint64_t retired() const noexcept { return retired_; }
+  [[nodiscard]] const std::array<std::uint32_t, kNumRegs>& regs() const noexcept {
+    return regs_;
+  }
+
+ private:
+  Program program_;  // by value: callers may pass temporaries
+  DataMemory mem_;
+  std::array<std::uint32_t, kNumRegs> regs_{};
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace mte::cpu

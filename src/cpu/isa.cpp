@@ -1,0 +1,121 @@
+#include "cpu/isa.hpp"
+
+#include <array>
+
+namespace mte::cpu {
+
+namespace {
+
+constexpr std::uint32_t kOpShift = 26;
+constexpr std::uint32_t kRdShift = 21;
+constexpr std::uint32_t kRs1Shift = 16;
+constexpr std::uint32_t kRs2Shift = 11;
+constexpr std::uint32_t kRegMask = 0x1F;
+constexpr std::uint32_t kImm11Mask = 0x7FF;
+constexpr std::uint32_t kImm16Mask = 0xFFFF;
+constexpr std::uint32_t kImm21Mask = 0x1FFFFF;
+
+constexpr std::int32_t sign_extend(std::uint32_t value, unsigned bits) {
+  const std::uint32_t sign = 1u << (bits - 1);
+  return static_cast<std::int32_t>((value ^ sign)) - static_cast<std::int32_t>(sign);
+}
+
+struct Mnemonic {
+  Opcode op;
+  const char* name;
+};
+
+constexpr std::array<Mnemonic, static_cast<std::size_t>(Opcode::kCount_)> kMnemonics = {{
+    {Opcode::kNop, "nop"},   {Opcode::kAdd, "add"},   {Opcode::kSub, "sub"},
+    {Opcode::kAnd, "and"},   {Opcode::kOr, "or"},     {Opcode::kXor, "xor"},
+    {Opcode::kSlt, "slt"},   {Opcode::kSll, "sll"},   {Opcode::kSrl, "srl"},
+    {Opcode::kMul, "mul"},   {Opcode::kAddi, "addi"}, {Opcode::kAndi, "andi"},
+    {Opcode::kOri, "ori"},   {Opcode::kXori, "xori"}, {Opcode::kSlti, "slti"},
+    {Opcode::kLui, "lui"},   {Opcode::kLw, "lw"},     {Opcode::kSw, "sw"},
+    {Opcode::kBeq, "beq"},   {Opcode::kBne, "bne"},   {Opcode::kJal, "jal"},
+    {Opcode::kJr, "jr"},     {Opcode::kHalt, "halt"},
+}};
+
+}  // namespace
+
+std::uint32_t encode(const Instr& i) {
+  std::uint32_t w = static_cast<std::uint32_t>(i.op) << kOpShift;
+  switch (format_of(i.op)) {
+    case Format::kR:
+      w |= (i.rd & kRegMask) << kRdShift;
+      w |= (i.rs1 & kRegMask) << kRs1Shift;
+      w |= (i.rs2 & kRegMask) << kRs2Shift;
+      break;
+    case Format::kI:
+      w |= (i.rd & kRegMask) << kRdShift;
+      w |= (i.rs1 & kRegMask) << kRs1Shift;
+      w |= static_cast<std::uint32_t>(i.imm) & kImm11Mask;
+      break;
+    case Format::kS:
+      w |= (i.rs1 & kRegMask) << kRs1Shift;
+      w |= (i.rs2 & kRegMask) << kRs2Shift;
+      w |= static_cast<std::uint32_t>(i.imm) & kImm11Mask;
+      break;
+    case Format::kU:
+      w |= (i.rd & kRegMask) << kRdShift;
+      w |= static_cast<std::uint32_t>(i.imm) & kImm16Mask;
+      break;
+    case Format::kJ:
+      w |= (i.rd & kRegMask) << kRdShift;
+      w |= static_cast<std::uint32_t>(i.imm) & kImm21Mask;
+      break;
+  }
+  return w;
+}
+
+Instr decode(std::uint32_t word) {
+  Instr i;
+  const auto op_bits = word >> kOpShift;
+  if (op_bits >= static_cast<std::uint32_t>(Opcode::kCount_)) {
+    i.op = Opcode::kNop;  // unknown encodings decode as NOP
+    return i;
+  }
+  i.op = static_cast<Opcode>(op_bits);
+  switch (format_of(i.op)) {
+    case Format::kR:
+      i.rd = (word >> kRdShift) & kRegMask;
+      i.rs1 = (word >> kRs1Shift) & kRegMask;
+      i.rs2 = (word >> kRs2Shift) & kRegMask;
+      break;
+    case Format::kI:
+      i.rd = (word >> kRdShift) & kRegMask;
+      i.rs1 = (word >> kRs1Shift) & kRegMask;
+      i.imm = sign_extend(word & kImm11Mask, 11);
+      break;
+    case Format::kS:
+      i.rs1 = (word >> kRs1Shift) & kRegMask;
+      i.rs2 = (word >> kRs2Shift) & kRegMask;
+      i.imm = sign_extend(word & kImm11Mask, 11);
+      break;
+    case Format::kU:
+      i.rd = (word >> kRdShift) & kRegMask;
+      i.imm = static_cast<std::int32_t>(word & kImm16Mask);
+      break;
+    case Format::kJ:
+      i.rd = (word >> kRdShift) & kRegMask;
+      i.imm = static_cast<std::int32_t>(word & kImm21Mask);
+      break;
+  }
+  return i;
+}
+
+const char* mnemonic(Opcode op) {
+  for (const auto& m : kMnemonics) {
+    if (m.op == op) return m.name;
+  }
+  return "?";
+}
+
+std::optional<Opcode> opcode_from(const std::string& name) {
+  for (const auto& m : kMnemonics) {
+    if (name == m.name) return m.op;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mte::cpu

@@ -1,0 +1,113 @@
+// ISA of the multithreaded elastic processor (paper Sec. V-B).
+//
+// The paper builds on the iDEA soft-processor ISA [10]; as documented in
+// DESIGN.md we substitute a small word-addressed RISC ISA with the same
+// structural properties: simple ALU ops, a multi-cycle multiply, loads
+// and stores against variable-latency memory, and conditional branches.
+//
+// Encoding (32-bit fixed width):
+//   [31:26] opcode
+//   R-type : [25:21] rd  [20:16] rs1 [15:11] rs2
+//   I-type : [25:21] rd  [20:16] rs1 [10:0]  imm11  (sign-extended)
+//   S-type : [20:16] rs1 [15:11] rs2 [10:0]  imm11  (SW, BEQ, BNE)
+//   U-type : [25:21] rd  [15:0]  imm16               (LUI)
+//   J-type : [25:21] rd  [20:0]  imm21               (JAL, absolute)
+//
+// The machine is word addressed: PCs index instructions, load/store
+// addresses index 32-bit data words. Register r0 reads as zero.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mte::cpu {
+
+inline constexpr unsigned kNumRegs = 32;
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  // R-type ALU
+  kAdd, kSub, kAnd, kOr, kXor, kSlt, kSll, kSrl, kMul,
+  // I-type ALU
+  kAddi, kAndi, kOri, kXori, kSlti,
+  // U-type
+  kLui,
+  // Memory
+  kLw,  // I-type: rd <- mem[rs1 + imm]
+  kSw,  // S-type: mem[rs1 + imm] <- rs2
+  // Control
+  kBeq,  // S-type: if rs1 == rs2 goto pc + 1 + imm
+  kBne,  // S-type: if rs1 != rs2 goto pc + 1 + imm
+  kJal,  // J-type: rd <- pc + 1; goto imm
+  kJr,   // I-type (rs1 only): goto rs1
+  kHalt,
+  kCount_,
+};
+
+enum class Format { kR, kI, kS, kU, kJ };
+
+[[nodiscard]] constexpr Format format_of(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kSlt: case Opcode::kSll: case Opcode::kSrl:
+    case Opcode::kMul:
+      return Format::kR;
+    case Opcode::kSw: case Opcode::kBeq: case Opcode::kBne:
+      return Format::kS;
+    case Opcode::kLui:
+      return Format::kU;
+    case Opcode::kJal:
+      return Format::kJ;
+    default:
+      return Format::kI;  // ALU-I, LW, JR, NOP, HALT
+  }
+}
+
+[[nodiscard]] constexpr bool is_branch(Opcode op) {
+  return op == Opcode::kBeq || op == Opcode::kBne;
+}
+[[nodiscard]] constexpr bool is_jump(Opcode op) {
+  return op == Opcode::kJal || op == Opcode::kJr;
+}
+[[nodiscard]] constexpr bool writes_rd(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: case Opcode::kSw: case Opcode::kBeq: case Opcode::kBne:
+    case Opcode::kJr: case Opcode::kHalt:
+      return false;
+    default:
+      return true;
+  }
+}
+[[nodiscard]] constexpr bool reads_rs1(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: case Opcode::kLui: case Opcode::kJal: case Opcode::kHalt:
+      return false;
+    default:
+      return true;
+  }
+}
+[[nodiscard]] constexpr bool reads_rs2(Opcode op) {
+  return format_of(op) == Format::kR || format_of(op) == Format::kS;
+}
+
+/// Decoded instruction.
+struct Instr {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+[[nodiscard]] std::uint32_t encode(const Instr& i);
+[[nodiscard]] Instr decode(std::uint32_t word);
+
+/// Mnemonic for an opcode ("add", "beq", ...).
+[[nodiscard]] const char* mnemonic(Opcode op);
+/// Opcode for a mnemonic; nullopt when unknown.
+[[nodiscard]] std::optional<Opcode> opcode_from(const std::string& mnemonic);
+
+}  // namespace mte::cpu

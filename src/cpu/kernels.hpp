@@ -1,0 +1,164 @@
+// Assembly kernels used by tests, examples and benchmarks: the kind of
+// small loops the paper's multithreaded processor time-multiplexes.
+#pragma once
+
+#include <string>
+
+#include "cpu/assembler.hpp"
+
+namespace mte::cpu::kernels {
+
+/// r1 <- fib(n) iteratively; n preloaded into r10 by the caller via addi.
+[[nodiscard]] inline Program fibonacci(int n) {
+  return assemble(
+      "  addi r10, r0, " + std::to_string(n) + "\n" +
+      R"(  addi r1, r0, 0      ; fib(0)
+  addi r2, r0, 1      ; fib(1)
+  addi r3, r0, 0      ; i
+loop:
+  beq r3, r10, done
+  add r4, r1, r2
+  add r1, r0, r2
+  add r2, r0, r4
+  addi r3, r3, 1
+  beq r0, r0, loop
+done:
+  halt
+)");
+}
+
+/// r1 <- sum of dmem[0..n-1]; also stores the sum to dmem[n].
+[[nodiscard]] inline Program array_sum(int n) {
+  return assemble(
+      "  addi r10, r0, " + std::to_string(n) + "\n" +
+      R"(  addi r1, r0, 0      ; sum
+  addi r2, r0, 0      ; i / address
+loop:
+  beq r2, r10, done
+  lw r3, 0(r2)
+  add r1, r1, r3
+  addi r2, r2, 1
+  beq r0, r0, loop
+done:
+  sw r1, 0(r2)
+  halt
+)");
+}
+
+/// Copies n words from dmem[src..] to dmem[dst..].
+[[nodiscard]] inline Program memcpy_words(int n, int src, int dst) {
+  return assemble(
+      "  addi r10, r0, " + std::to_string(n) + "\n" +
+      "  addi r2, r0, " + std::to_string(src) + "\n" +
+      "  addi r3, r0, " + std::to_string(dst) + "\n" +
+      R"(  addi r4, r0, 0      ; i
+loop:
+  beq r4, r10, done
+  lw r5, 0(r2)
+  sw r5, 0(r3)
+  addi r2, r2, 1
+  addi r3, r3, 1
+  addi r4, r4, 1
+  beq r0, r0, loop
+done:
+  halt
+)");
+}
+
+/// r1 <- dot product of dmem[a..a+n) and dmem[b..b+n) (uses MUL).
+[[nodiscard]] inline Program dot_product(int n, int a, int b) {
+  return assemble(
+      "  addi r10, r0, " + std::to_string(n) + "\n" +
+      "  addi r2, r0, " + std::to_string(a) + "\n" +
+      "  addi r3, r0, " + std::to_string(b) + "\n" +
+      R"(  addi r1, r0, 0      ; acc
+  addi r4, r0, 0      ; i
+loop:
+  beq r4, r10, done
+  lw r5, 0(r2)
+  lw r6, 0(r3)
+  mul r7, r5, r6
+  add r1, r1, r7
+  addi r2, r2, 1
+  addi r3, r3, 1
+  addi r4, r4, 1
+  beq r0, r0, loop
+done:
+  halt
+)");
+}
+
+/// Sieve of Eratosthenes over dmem[0..n): dmem[i] = 1 iff i is composite.
+/// r1 <- count of primes in [2, n).
+[[nodiscard]] inline Program sieve(int n) {
+  return assemble(
+      "  addi r10, r0, " + std::to_string(n) + "\n" +
+      R"(  addi r2, r0, 2      ; p
+outer:
+  slt r3, r2, r10     ; p < n ?
+  beq r3, r0, count
+  lw r4, 0(r2)
+  bne r4, r0, next    ; composite: skip
+  add r5, r2, r2      ; first multiple: 2p
+mark:
+  slt r3, r5, r10
+  beq r3, r0, next
+  addi r6, r0, 1
+  sw r6, 0(r5)
+  add r5, r5, r2
+  beq r0, r0, mark
+next:
+  addi r2, r2, 1
+  beq r0, r0, outer
+count:
+  addi r1, r0, 0
+  addi r2, r0, 2
+cloop:
+  slt r3, r2, r10
+  beq r3, r0, done
+  lw r4, 0(r2)
+  bne r4, r0, cnext
+  addi r1, r1, 1
+cnext:
+  addi r2, r2, 1
+  beq r0, r0, cloop
+done:
+  halt
+)");
+}
+
+/// r1 <- gcd(a, b) by subtraction; exercises data-dependent branching.
+[[nodiscard]] inline Program gcd(int a, int b) {
+  return assemble(
+      "  addi r1, r0, " + std::to_string(a) + "\n" +
+      "  addi r2, r0, " + std::to_string(b) + "\n" +
+      R"(loop:
+  beq r1, r2, done
+  slt r3, r1, r2
+  bne r3, r0, swapless
+  sub r1, r1, r2
+  beq r0, r0, loop
+swapless:
+  sub r2, r2, r1
+  beq r0, r0, loop
+done:
+  halt
+)");
+}
+
+/// Calls a leaf function via jal/jr: r1 <- (a + b) * 2.
+[[nodiscard]] inline Program call_leaf(int a, int b) {
+  return assemble(
+      "  addi r2, r0, " + std::to_string(a) + "\n" +
+      "  addi r3, r0, " + std::to_string(b) + "\n" +
+      R"(  jal r31, leaf
+  add r1, r0, r4
+  halt
+leaf:
+  add r4, r2, r3
+  add r4, r4, r4
+  jr r31
+)");
+}
+
+}  // namespace mte::cpu::kernels

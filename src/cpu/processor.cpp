@@ -1,0 +1,411 @@
+#include "cpu/processor.hpp"
+
+#include "mt/arbiter.hpp"
+
+namespace mte::cpu {
+
+namespace {
+
+[[nodiscard]] bool is_mem_op(Opcode op) {
+  return op == Opcode::kLw || op == Opcode::kSw;
+}
+
+/// Runs decode + execute on a fetched uop (the combinational ID/EX work).
+[[nodiscard]] Uop decode_uop(const Uop& in, const ThreadArch& arch) {
+  Uop u = in;
+  u.instr = decode(u.raw);
+  u.a = arch.regs[u.instr.rs1];
+  u.b = arch.regs[u.instr.rs2];
+  return u;
+}
+
+[[nodiscard]] Uop exec_uop(const Uop& in) {
+  Uop u = in;
+  u.ex = execute(u.instr, u.pc, u.a, u.b);
+  u.value = u.ex.value;
+  return u;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FetchStage: per-thread fetch engines + output arbitration.
+// ---------------------------------------------------------------------------
+class FetchStage : public sim::Component {
+ public:
+  FetchStage(sim::Simulator& s, std::vector<ThreadArch>& arch,
+             mt::MtChannel<Uop>& out, const ProcessorConfig& cfg)
+      : Component(s, "fetch"), arch_(arch), out_(out), cfg_(cfg),
+        arb_(out.threads()), engines_(out.threads()), rng_(cfg.seed) {}
+
+  void reset() override {
+    rng_.reseed(cfg_.seed);
+    for (std::size_t t = 0; t < arch_.size(); ++t) {
+      auto& a = arch_[t];
+      a.regs.fill(0);
+      a.pc = 0;
+      a.halted = a.program.words.empty();
+      a.in_flight = false;
+      a.retired = 0;
+      a.dcache.reset();
+      engines_[t] = Engine{};
+    }
+    arb_.reset();
+    grant_ = arch_.size();
+  }
+
+  void eval() override {
+    const std::size_t n = out_.threads();
+    std::vector<bool> pending(n);
+    std::vector<bool> ready_down(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pending[i] = engines_[i].state == Engine::kReady;
+      ready_down[i] = out_.ready(i).get();
+    }
+    grant_ = arb_.grant(pending, ready_down);
+    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
+    Uop u;
+    if (grant_ < n) {
+      u.pc = engines_[grant_].pc;
+      u.raw = engines_[grant_].raw;
+    }
+    out_.data.set(u);
+  }
+
+  void tick() override {
+    const std::size_t n = out_.threads();
+    // 1. Output fire: the instruction enters the pipeline.
+    const bool fired = grant_ < n && out_.ready(grant_).get();
+    if (fired) {
+      arch_[grant_].in_flight = true;
+      engines_[grant_] = Engine{};
+    }
+    arb_.update(grant_, fired);
+
+    // 2. Advance in-flight fetches; issue new ones.
+    for (std::size_t t = 0; t < n; ++t) {
+      auto& e = engines_[t];
+      auto& a = arch_[t];
+      switch (e.state) {
+        case Engine::kBusy:
+          if (e.countdown == 0 || --e.countdown == 0) e.state = Engine::kReady;
+          break;
+        case Engine::kIdle:
+          if (!a.halted && !a.in_flight) {
+            if (a.pc >= a.program.words.size()) {
+              throw sim::SimulationError("fetch: thread " + std::to_string(t) +
+                                         " pc out of range (missing halt?)");
+            }
+            e.pc = a.pc;
+            e.raw = a.program.words[a.pc];
+            const unsigned latency =
+                cfg_.imem_latency_hi <= cfg_.imem_latency_lo
+                    ? cfg_.imem_latency_lo
+                    : static_cast<unsigned>(
+                          rng_.next_in(cfg_.imem_latency_lo, cfg_.imem_latency_hi));
+            e.countdown = latency > 0 ? latency - 1 : 0;
+            e.state = e.countdown == 0 ? Engine::kReady : Engine::kBusy;
+          }
+          break;
+        case Engine::kReady:
+          break;
+      }
+    }
+  }
+
+ private:
+  struct Engine {
+    enum State { kIdle, kBusy, kReady };
+    State state = kIdle;
+    unsigned countdown = 0;
+    std::uint32_t pc = 0;
+    std::uint32_t raw = 0;
+  };
+
+  std::vector<ThreadArch>& arch_;
+  mt::MtChannel<Uop>& out_;
+  const ProcessorConfig& cfg_;
+  mt::RoundRobinArbiter arb_;
+  std::vector<Engine> engines_;
+  sim::Rng rng_;
+  std::size_t grant_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// DecodeStage: combinational decode + register-file read.
+// ---------------------------------------------------------------------------
+class DecodeStage : public sim::Component {
+ public:
+  DecodeStage(sim::Simulator& s, std::vector<ThreadArch>& arch,
+              mt::MtChannel<Uop>& in, mt::MtChannel<Uop>& out)
+      : Component(s, "decode"), arch_(arch), in_(in), out_(out) {}
+
+  void eval() override {
+    const std::size_t n = in_.threads();
+    std::size_t active = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool v = in_.valid(i).get();
+      out_.valid(i).set(v);
+      in_.ready(i).set(out_.ready(i).get());
+      if (v && active == n) active = i;
+    }
+    // Register reads are safe in eval: the register file only changes at
+    // WB's clock edge and each thread has one instruction in flight.
+    out_.data.set(active < n ? decode_uop(in_.data.get(), arch_[active]) : Uop{});
+  }
+
+  void tick() override { (void)in_.active_thread(); }
+
+ private:
+  std::vector<ThreadArch>& arch_;
+  mt::MtChannel<Uop>& in_;
+  mt::MtChannel<Uop>& out_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared single-occupancy server stage (EX and MEM reuse this shape):
+// latency-1 work passes through combinationally; longer work occupies the
+// unit and is presented when done.
+// ---------------------------------------------------------------------------
+class ServerStage : public sim::Component {
+ public:
+  ServerStage(sim::Simulator& s, std::string name, mt::MtChannel<Uop>& in,
+              mt::MtChannel<Uop>& out)
+      : Component(s, std::move(name)), in_(in), out_(out) {}
+
+  void reset() override {
+    state_ = kIdle;
+    remaining_ = 0;
+    owner_ = in_.threads();
+    token_ = Uop{};
+  }
+
+  void eval() override {
+    const std::size_t n = in_.threads();
+    const Uop u = in_.data.get();
+    const bool slow = state_ == kIdle && !pass_through(u);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool vin = in_.valid(i).get();
+      switch (state_) {
+        case kIdle:
+          out_.valid(i).set(vin && !slow);
+          in_.ready(i).set(slow ? true : out_.ready(i).get());
+          break;
+        case kBusy:
+          out_.valid(i).set(false);
+          in_.ready(i).set(false);
+          break;
+        case kDone:
+          out_.valid(i).set(i == owner_);
+          in_.ready(i).set(false);
+          break;
+      }
+    }
+    out_.data.set(state_ == kDone ? token_
+                                  : (state_ == kIdle ? transform(u) : Uop{}));
+  }
+
+  void tick() override {
+    const std::size_t n = in_.threads();
+    const std::size_t active = in_.active_thread();  // checks the invariant
+    switch (state_) {
+      case kIdle:
+        if (active < n && in_.ready(active).get() && !pass_through(in_.data.get())) {
+          const Uop u = in_.data.get();
+          token_ = transform(u);
+          owner_ = active;
+          const unsigned latency = latency_of(u, active);
+          remaining_ = latency > 0 ? latency - 1 : 0;
+          state_ = remaining_ == 0 ? kDone : kBusy;
+          on_accept(u, active);
+        }
+        break;
+      case kBusy:
+        if (--remaining_ == 0) state_ = kDone;
+        break;
+      case kDone:
+        if (out_.ready(owner_).get()) state_ = kIdle;
+        break;
+    }
+  }
+
+ protected:
+  /// True when the uop needs no service and can pass combinationally.
+  [[nodiscard]] virtual bool pass_through(const Uop& u) const = 0;
+  /// Service latency for a uop that does not pass through (>= 1).
+  [[nodiscard]] virtual unsigned latency_of(const Uop& u, std::size_t thread) = 0;
+  /// Data transformation applied to every uop (pass-through or served).
+  [[nodiscard]] virtual Uop transform(const Uop& u) const = 0;
+  /// Side effects when a served uop is accepted; runs after token_ has
+  /// been set, so implementations may patch it (e.g. load data).
+  virtual void on_accept(const Uop&, std::size_t) {}
+
+  Uop token_;  ///< the uop held by the server while busy/done
+
+ private:
+  enum State { kIdle, kBusy, kDone };
+
+  mt::MtChannel<Uop>& in_;
+  mt::MtChannel<Uop>& out_;
+  State state_ = kIdle;
+  unsigned remaining_ = 0;
+  std::size_t owner_ = 0;
+};
+
+/// EX: combinational ALU and branch resolution; the multiplier is a
+/// multi-cycle shared unit.
+class ExStage : public ServerStage {
+ public:
+  ExStage(sim::Simulator& s, mt::MtChannel<Uop>& in, mt::MtChannel<Uop>& out,
+          unsigned mul_latency)
+      : ServerStage(s, "ex", in, out), mul_latency_(mul_latency) {}
+
+ protected:
+  bool pass_through(const Uop& u) const override {
+    return u.instr.op != Opcode::kMul || mul_latency_ <= 1;
+  }
+  unsigned latency_of(const Uop&, std::size_t) override { return mul_latency_; }
+  Uop transform(const Uop& u) const override { return exec_uop(u); }
+
+ private:
+  unsigned mul_latency_;
+};
+
+/// MEM: loads and stores access the thread's private data memory with a
+/// cache-modelled latency; other uops pass through.
+class MemStage : public ServerStage {
+ public:
+  MemStage(sim::Simulator& s, std::vector<ThreadArch>& arch, mt::MtChannel<Uop>& in,
+           mt::MtChannel<Uop>& out)
+      : ServerStage(s, "mem", in, out), arch_(arch) {}
+
+ protected:
+  bool pass_through(const Uop& u) const override { return !is_mem_op(u.instr.op); }
+
+  unsigned latency_of(const Uop& u, std::size_t thread) override {
+    return arch_[thread].dcache.access(u.ex.mem_addr);
+  }
+
+  Uop transform(const Uop& u) const override { return u; }
+
+  void on_accept(const Uop& u, std::size_t thread) override {
+    auto& a = arch_[thread];
+    if (u.instr.op == Opcode::kLw) {
+      token_.value = a.dmem.read(u.ex.mem_addr);  // deliver the loaded word
+    } else {
+      a.dmem.write(u.ex.mem_addr, u.b);
+    }
+  }
+
+ private:
+  std::vector<ThreadArch>& arch_;
+};
+
+/// WB: always ready; commits architectural state.
+class WbStage : public sim::Component {
+ public:
+  WbStage(sim::Simulator& s, std::vector<ThreadArch>& arch, mt::MtChannel<Uop>& in)
+      : Component(s, "wb"), arch_(arch), in_(in) {}
+
+  void eval() override {
+    for (std::size_t i = 0; i < in_.threads(); ++i) in_.ready(i).set(true);
+  }
+
+  void tick() override {
+    const std::size_t n = in_.threads();
+    const std::size_t active = in_.active_thread();  // checks the invariant
+    if (active >= n) return;
+    auto& a = arch_[active];
+    const Uop u = in_.data.get();
+    if (writes_rd(u.instr.op) && u.instr.rd != 0) a.regs[u.instr.rd] = u.value;
+    a.pc = u.ex.next_pc;
+    a.halted = a.halted || u.ex.halt;
+    a.in_flight = false;
+    ++a.retired;
+  }
+
+ private:
+  std::vector<ThreadArch>& arch_;
+  mt::MtChannel<Uop>& in_;
+};
+
+// ---------------------------------------------------------------------------
+// Processor wrapper.
+// ---------------------------------------------------------------------------
+Processor::Processor(const ProcessorConfig& cfg) : cfg_(cfg) {
+  arch_.reserve(cfg.threads);
+  for (std::size_t t = 0; t < cfg.threads; ++t) arch_.emplace_back(cfg);
+
+  for (int i = 0; i < 8; ++i) {
+    channels_.push_back(
+        &sim_.make<mt::MtChannel<Uop>>(sim_, "c" + std::to_string(i), cfg.threads));
+  }
+  // Note: FetchStage is constructed before WbStage, so a retire becomes
+  // visible to the fetch engines one cycle later (deterministic refetch
+  // latency regardless of evaluation details).
+  fetch_ = &sim_.make<FetchStage>(sim_, arch_, *channels_[0], cfg_);
+  mebs_.push_back(mt::AnyMeb<Uop>::create(sim_, "meb_ifid", *channels_[0],
+                                          *channels_[1], cfg.meb_kind));
+  decode_ = &sim_.make<DecodeStage>(sim_, arch_, *channels_[1], *channels_[2]);
+  mebs_.push_back(mt::AnyMeb<Uop>::create(sim_, "meb_idex", *channels_[2],
+                                          *channels_[3], cfg.meb_kind));
+  ex_ = &sim_.make<ExStage>(sim_, *channels_[3], *channels_[4], cfg.mul_latency);
+  mebs_.push_back(mt::AnyMeb<Uop>::create(sim_, "meb_exmem", *channels_[4],
+                                          *channels_[5], cfg.meb_kind));
+  mem_ = &sim_.make<MemStage>(sim_, arch_, *channels_[5], *channels_[6]);
+  mebs_.push_back(mt::AnyMeb<Uop>::create(sim_, "meb_memwb", *channels_[6],
+                                          *channels_[7], cfg.meb_kind));
+  wb_ = &sim_.make<WbStage>(sim_, arch_, *channels_[7]);
+}
+
+Processor::~Processor() = default;
+
+void Processor::load_program(std::size_t t, Program program) {
+  arch_.at(t).program = std::move(program);
+}
+
+void Processor::set_dmem(std::size_t t, std::uint32_t addr, std::uint32_t value) {
+  arch_.at(t).dmem.write(addr, value);
+}
+
+bool Processor::all_halted() const {
+  for (const auto& a : arch_) {
+    if (!a.halted || a.in_flight) return false;
+  }
+  return true;
+}
+
+sim::Cycle Processor::run(sim::Cycle max_cycles) {
+  sim_.reset();
+  while (!all_halted()) {
+    if (sim_.now() >= max_cycles) return 0;
+    sim_.step();
+  }
+  return sim_.now();
+}
+
+std::uint32_t Processor::reg(std::size_t t, unsigned r) const {
+  return arch_.at(t).regs.at(r);
+}
+
+std::uint32_t Processor::dmem_read(std::size_t t, std::uint32_t addr) const {
+  return arch_.at(t).dmem.read(addr);
+}
+
+std::uint64_t Processor::retired(std::size_t t) const { return arch_.at(t).retired; }
+
+std::uint64_t Processor::total_retired() const {
+  std::uint64_t total = 0;
+  for (const auto& a : arch_) total += a.retired;
+  return total;
+}
+
+double Processor::ipc() const {
+  const auto cycles = sim_.now();
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(total_retired()) / static_cast<double>(cycles);
+}
+
+const CacheModel& Processor::dcache(std::size_t t) const { return arch_.at(t).dcache; }
+
+}  // namespace mte::cpu

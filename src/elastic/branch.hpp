@@ -1,0 +1,71 @@
+// Elastic branch (paper Fig. 3): program control-flow split.
+//
+// A data token and a condition token are joined; the data token is then
+// steered to the "true" or "false" output according to the condition. The
+// transfer fires only when data and condition are both valid and the
+// selected output is ready.
+#pragma once
+
+#include <string>
+
+#include "elastic/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::elastic {
+
+/// Handshake-only branch logic (stateless).
+class BranchControl {
+ public:
+  struct Outputs {
+    bool valid_true = false;
+    bool valid_false = false;
+    bool ready_data = false;
+    bool ready_cond = false;
+  };
+
+  [[nodiscard]] static Outputs compute(bool valid_data, bool valid_cond, bool cond,
+                                       bool ready_true, bool ready_false) {
+    Outputs o;
+    const bool both = valid_data && valid_cond;
+    o.valid_true = both && cond;
+    o.valid_false = both && !cond;
+    const bool sel_ready = cond ? ready_true : ready_false;
+    // Each input's ack additionally requires the other input to be valid
+    // (join semantics) and the selected output to be ready.
+    o.ready_data = valid_cond && sel_ready;
+    o.ready_cond = valid_data && sel_ready;
+    return o;
+  }
+};
+
+template <typename T>
+class Branch : public sim::Component {
+ public:
+  Branch(sim::Simulator& s, std::string name, Channel<T>& data, Channel<bool>& cond,
+         Channel<T>& out_true, Channel<T>& out_false)
+      : Component(s, std::move(name)), data_(data), cond_(cond),
+        out_true_(out_true), out_false_(out_false) {}
+
+  void eval() override {
+    const auto o = BranchControl::compute(data_.valid.get(), cond_.valid.get(),
+                                          cond_.data.get(), out_true_.ready.get(),
+                                          out_false_.ready.get());
+    out_true_.valid.set(o.valid_true);
+    out_false_.valid.set(o.valid_false);
+    data_.ready.set(o.ready_data);
+    cond_.ready.set(o.ready_cond);
+    out_true_.data.set(data_.data.get());
+    out_false_.data.set(data_.data.get());
+  }
+
+  void tick() override {}
+
+ private:
+  Channel<T>& data_;
+  Channel<bool>& cond_;
+  Channel<T>& out_true_;
+  Channel<T>& out_false_;
+};
+
+}  // namespace mte::elastic

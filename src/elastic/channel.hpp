@@ -1,0 +1,39 @@
+// Elastic channel: data + valid/ready handshake (paper Fig. 2a).
+//
+// A transfer occurs on a channel in every cycle where both valid and ready
+// are asserted at the clock edge. The producer drives valid and data; the
+// consumer drives ready.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/wire.hpp"
+
+namespace mte::elastic {
+
+template <typename T>
+class Channel {
+ public:
+  Channel(sim::Simulator& s, std::string name)
+      : name_(std::move(name)),
+        valid(s.tracker(), false),
+        ready(s.tracker(), false),
+        data(s.tracker(), T{}) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// True when a transfer completes in the current (settled) cycle.
+  [[nodiscard]] bool fired() const noexcept { return valid.get() && ready.get(); }
+
+  std::string name_;
+  sim::Wire<bool> valid;
+  sim::Wire<bool> ready;
+  sim::Wire<T> data;
+};
+
+}  // namespace mte::elastic

@@ -1,0 +1,72 @@
+// Control FSM of the single-thread 2-slot elastic buffer (paper Sec. II).
+//
+// The buffer has a minimum storage of two items (Carloni et al. [8]) and is
+// in one of three states: EMPTY, HALF, FULL. This class holds only the
+// handshake state machine; data movement lives in ElasticBuffer<T>, which
+// mirrors the paper's split between elastic control and datapath.
+#pragma once
+
+namespace mte::elastic {
+
+enum class EbState { kEmpty, kHalf, kFull };
+
+/// The data-movement actions implied by one cycle's settled handshake.
+struct EbDecision {
+  bool in_fire = false;           ///< upstream transfer completes
+  bool out_fire = false;          ///< downstream transfer completes
+  bool load_head_from_in = false; ///< incoming word goes to the head slot
+  bool load_aux_from_in = false;  ///< incoming word goes to the auxiliary slot
+  bool shift_aux_to_head = false; ///< auxiliary word moves up to the head slot
+};
+
+class EbControl {
+ public:
+  [[nodiscard]] EbState state() const noexcept { return state_; }
+
+  /// ready to upstream: asserted unless the buffer is FULL.
+  [[nodiscard]] bool can_accept() const noexcept { return state_ != EbState::kFull; }
+
+  /// valid to downstream: asserted unless the buffer is EMPTY.
+  [[nodiscard]] bool has_data() const noexcept { return state_ != EbState::kEmpty; }
+
+  /// Items currently stored (0, 1 or 2).
+  [[nodiscard]] int occupancy() const noexcept {
+    switch (state_) {
+      case EbState::kEmpty: return 0;
+      case EbState::kHalf: return 1;
+      case EbState::kFull: return 2;
+    }
+    return 0;
+  }
+
+  /// Computes the cycle's actions from the settled handshake inputs.
+  /// Pure: does not modify the FSM.
+  [[nodiscard]] EbDecision decide(bool valid_in, bool ready_in) const noexcept {
+    EbDecision d;
+    d.in_fire = valid_in && can_accept();
+    d.out_fire = has_data() && ready_in;
+    const int after_out = occupancy() - (d.out_fire ? 1 : 0);
+    d.shift_aux_to_head = d.out_fire && occupancy() == 2;
+    if (d.in_fire) {
+      if (after_out == 0) {
+        d.load_head_from_in = true;
+      } else {
+        d.load_aux_from_in = true;  // after_out == 1; 2 is impossible when accepting
+      }
+    }
+    return d;
+  }
+
+  /// Advances the FSM at the clock edge.
+  void commit(const EbDecision& d) noexcept {
+    const int next = occupancy() + (d.in_fire ? 1 : 0) - (d.out_fire ? 1 : 0);
+    state_ = next == 0 ? EbState::kEmpty : next == 1 ? EbState::kHalf : EbState::kFull;
+  }
+
+  void reset() noexcept { state_ = EbState::kEmpty; }
+
+ private:
+  EbState state_ = EbState::kEmpty;
+};
+
+}  // namespace mte::elastic

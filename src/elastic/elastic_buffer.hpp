@@ -1,0 +1,90 @@
+// ElasticBuffer<T>: the 2-slot elastic buffer (EB) of the baseline elastic
+// protocol (paper Sec. II, Fig. 2). Sustains 100 % throughput; forward and
+// backward handshake latency of one cycle.
+#pragma once
+
+#include <string>
+
+#include "elastic/channel.hpp"
+#include "elastic/eb_control.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::elastic {
+
+template <typename T>
+class ElasticBuffer : public sim::Component {
+ public:
+  ElasticBuffer(sim::Simulator& s, std::string name, Channel<T>& in, Channel<T>& out)
+      : Component(s, std::move(name)), in_(in), out_(out) {}
+
+  void reset() override {
+    ctrl_.reset();
+    head_ = T{};
+    aux_ = T{};
+  }
+
+  void eval() override {
+    in_.ready.set(ctrl_.can_accept());
+    out_.valid.set(ctrl_.has_data());
+    out_.data.set(head_);
+  }
+
+  void tick() override {
+    const EbDecision d = ctrl_.decide(in_.valid.get(), out_.ready.get());
+    if (d.shift_aux_to_head) head_ = aux_;
+    if (d.load_head_from_in) head_ = in_.data.get();
+    if (d.load_aux_from_in) aux_ = in_.data.get();
+    ctrl_.commit(d);
+  }
+
+  [[nodiscard]] EbState state() const noexcept { return ctrl_.state(); }
+  [[nodiscard]] int occupancy() const noexcept { return ctrl_.occupancy(); }
+  [[nodiscard]] const T& head() const noexcept { return head_; }
+  [[nodiscard]] const T& aux() const noexcept { return aux_; }
+
+ private:
+  Channel<T>& in_;
+  Channel<T>& out_;
+  EbControl ctrl_;
+  T head_{};
+  T aux_{};
+};
+
+/// HalfBuffer<T>: a capacity-1 elastic buffer. Cheaper than the 2-slot EB
+/// but cannot sustain 100 % throughput (it alternates accept/emit under
+/// continuous flow). Provided for capacity-ablation experiments.
+template <typename T>
+class HalfBuffer : public sim::Component {
+ public:
+  HalfBuffer(sim::Simulator& s, std::string name, Channel<T>& in, Channel<T>& out)
+      : Component(s, std::move(name)), in_(in), out_(out) {}
+
+  void reset() override {
+    full_ = false;
+    slot_ = T{};
+  }
+
+  void eval() override {
+    in_.ready.set(!full_);
+    out_.valid.set(full_);
+    out_.data.set(slot_);
+  }
+
+  void tick() override {
+    const bool in_fire = in_.valid.get() && !full_;
+    const bool out_fire = full_ && out_.ready.get();
+    if (in_fire) slot_ = in_.data.get();
+    full_ = (full_ && !out_fire) || in_fire;
+  }
+
+  [[nodiscard]] bool full() const noexcept { return full_; }
+
+ private:
+  Channel<T>& in_;
+  Channel<T>& out_;
+  bool full_ = false;
+  T slot_{};
+};
+
+}  // namespace mte::elastic

@@ -1,0 +1,90 @@
+// Eager elastic fork (paper Fig. 3): replicates one input channel onto N
+// output channels. "Eager": each output receives the token as soon as that
+// output is ready; the input is consumed once every output has received it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elastic/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::elastic {
+
+/// Handshake-only eager-fork state machine, shared by the single-thread
+/// Fork<T> and the multithreaded M-Fork. pending(i) means output i has not
+/// yet received the current token.
+class ForkControl {
+ public:
+  explicit ForkControl(std::size_t outputs) : pending_(outputs, true) {}
+
+  [[nodiscard]] std::size_t outputs() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool pending(std::size_t i) const { return pending_.at(i); }
+
+  /// valid to output i this cycle.
+  [[nodiscard]] bool valid_out(bool valid_in, std::size_t i) const {
+    return valid_in && pending_[i];
+  }
+
+  /// ready to upstream: all outputs have taken (now or previously) the token.
+  [[nodiscard]] bool ready_out(const std::vector<bool>& ready_in) const {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i] && !ready_in[i]) return false;
+    }
+    return true;
+  }
+
+  /// Clock-edge update from the settled handshake values.
+  void commit(bool valid_in, const std::vector<bool>& ready_in) {
+    if (!valid_in) return;
+    if (ready_out(ready_in)) {
+      // Token fully delivered: re-arm for the next one.
+      pending_.assign(pending_.size(), true);
+    } else {
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i] && ready_in[i]) pending_[i] = false;
+      }
+    }
+  }
+
+  void reset() { pending_.assign(pending_.size(), true); }
+
+ private:
+  std::vector<bool> pending_;
+};
+
+template <typename T>
+class Fork : public sim::Component {
+ public:
+  Fork(sim::Simulator& s, std::string name, Channel<T>& in,
+       std::vector<Channel<T>*> outs)
+      : Component(s, std::move(name)), in_(in), outs_(std::move(outs)),
+        ctrl_(outs_.size()) {}
+
+  void reset() override { ctrl_.reset(); }
+
+  void eval() override {
+    const bool vin = in_.valid.get();
+    std::vector<bool> rin(outs_.size());
+    for (std::size_t i = 0; i < outs_.size(); ++i) {
+      rin[i] = outs_[i]->ready.get();
+      outs_[i]->valid.set(ctrl_.valid_out(vin, i));
+      outs_[i]->data.set(in_.data.get());
+    }
+    in_.ready.set(ctrl_.ready_out(rin));
+  }
+
+  void tick() override {
+    std::vector<bool> rin(outs_.size());
+    for (std::size_t i = 0; i < outs_.size(); ++i) rin[i] = outs_[i]->ready.get();
+    ctrl_.commit(in_.valid.get(), rin);
+  }
+
+ private:
+  Channel<T>& in_;
+  std::vector<Channel<T>*> outs_;
+  ForkControl ctrl_;
+};
+
+}  // namespace mte::elastic

@@ -1,0 +1,39 @@
+// FunctionUnit: a zero-latency combinational computation between two
+// elastic channels. Handshake passes straight through; in real designs a
+// function unit is followed by an elastic buffer that cuts the path.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "elastic/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::elastic {
+
+template <typename In, typename Out>
+class FunctionUnit : public sim::Component {
+ public:
+  using Fn = std::function<Out(const In&)>;
+
+  FunctionUnit(sim::Simulator& s, std::string name, Channel<In>& in,
+               Channel<Out>& out, Fn fn)
+      : Component(s, std::move(name)), in_(in), out_(out), fn_(std::move(fn)) {}
+
+  void eval() override {
+    out_.valid.set(in_.valid.get());
+    in_.ready.set(out_.ready.get());
+    out_.data.set(fn_(in_.data.get()));
+  }
+
+  void tick() override {}
+
+ private:
+  Channel<In>& in_;
+  Channel<Out>& out_;
+  Fn fn_;
+};
+
+}  // namespace mte::elastic

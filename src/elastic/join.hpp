@@ -1,0 +1,97 @@
+// Lazy elastic join (paper Fig. 3): synchronizes N input channels into one
+// output. The output is valid only when every input is valid; an input is
+// acknowledged only in the cycle the whole join fires, so no input token is
+// consumed ahead of its peers.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "elastic/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::elastic {
+
+/// Handshake-only lazy-join logic (stateless).
+class JoinControl {
+ public:
+  [[nodiscard]] static bool valid_out(const std::vector<bool>& valid_in) {
+    for (bool v : valid_in) {
+      if (!v) return false;
+    }
+    return true;
+  }
+
+  /// ready to input i: the output is ready and every *other* input is valid.
+  [[nodiscard]] static bool ready_out(const std::vector<bool>& valid_in,
+                                      bool ready_in, std::size_t i) {
+    if (!ready_in) return false;
+    for (std::size_t j = 0; j < valid_in.size(); ++j) {
+      if (j != i && !valid_in[j]) return false;
+    }
+    return true;
+  }
+};
+
+/// Two-input join with heterogeneous payload types and a user combiner.
+template <typename A, typename B, typename Out>
+class Join2 : public sim::Component {
+ public:
+  using Combiner = std::function<Out(const A&, const B&)>;
+
+  Join2(sim::Simulator& s, std::string name, Channel<A>& a, Channel<B>& b,
+        Channel<Out>& out, Combiner combine)
+      : Component(s, std::move(name)), a_(a), b_(b), out_(out),
+        combine_(std::move(combine)) {}
+
+  void eval() override {
+    const std::vector<bool> v{a_.valid.get(), b_.valid.get()};
+    out_.valid.set(JoinControl::valid_out(v));
+    a_.ready.set(JoinControl::ready_out(v, out_.ready.get(), 0));
+    b_.ready.set(JoinControl::ready_out(v, out_.ready.get(), 1));
+    out_.data.set(combine_(a_.data.get(), b_.data.get()));
+  }
+
+  void tick() override {}
+
+ private:
+  Channel<A>& a_;
+  Channel<B>& b_;
+  Channel<Out>& out_;
+  Combiner combine_;
+};
+
+/// N-input join over a homogeneous payload type.
+template <typename T>
+class JoinN : public sim::Component {
+ public:
+  using Combiner = std::function<T(const std::vector<T>&)>;
+
+  JoinN(sim::Simulator& s, std::string name, std::vector<Channel<T>*> ins,
+        Channel<T>& out, Combiner combine)
+      : Component(s, std::move(name)), ins_(std::move(ins)), out_(out),
+        combine_(std::move(combine)) {}
+
+  void eval() override {
+    std::vector<bool> v(ins_.size());
+    for (std::size_t i = 0; i < ins_.size(); ++i) v[i] = ins_[i]->valid.get();
+    out_.valid.set(JoinControl::valid_out(v));
+    for (std::size_t i = 0; i < ins_.size(); ++i) {
+      ins_[i]->ready.set(JoinControl::ready_out(v, out_.ready.get(), i));
+    }
+    std::vector<T> data(ins_.size());
+    for (std::size_t i = 0; i < ins_.size(); ++i) data[i] = ins_[i]->data.get();
+    out_.data.set(combine_(data));
+  }
+
+  void tick() override {}
+
+ private:
+  std::vector<Channel<T>*> ins_;
+  Channel<T>& out_;
+  Combiner combine_;
+};
+
+}  // namespace mte::elastic

@@ -1,0 +1,105 @@
+// Elastic merge (paper Fig. 3): control-flow reconvergence.
+//
+// The paper's merge assumes its inputs are mutually exclusive — produced by
+// a branch, at most one input carries a valid token per cycle — so it needs
+// no arbitration: it forwards whichever input is valid. Simultaneously
+// valid inputs are a protocol violation and raise ProtocolError.
+//
+// An arbitrating variant (ArbMerge) is provided as an extension for graphs
+// whose merged paths are not mutually exclusive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elastic/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mte::elastic {
+
+template <typename T>
+class Merge : public sim::Component {
+ public:
+  Merge(sim::Simulator& s, std::string name, std::vector<Channel<T>*> ins,
+        Channel<T>& out)
+      : Component(s, std::move(name)), ins_(std::move(ins)), out_(out) {}
+
+  void eval() override {
+    bool any_valid = false;
+    T data{};
+    for (const auto* in : ins_) {
+      if (in->valid.get() && !any_valid) {
+        any_valid = true;
+        data = in->data.get();
+      }
+    }
+    out_.valid.set(any_valid);
+    out_.data.set(data);
+    for (auto* in : ins_) in->ready.set(out_.ready.get());
+  }
+
+  void tick() override {
+    // Protocol checks run on settled values only (transient multi-valid
+    // states can occur mid-settle and are not violations).
+    int valid_count = 0;
+    for (const auto* in : ins_) valid_count += in->valid.get() ? 1 : 0;
+    if (valid_count > 1) {
+      throw sim::ProtocolError("Merge '" + name() +
+                               "': more than one input valid in the same cycle");
+    }
+  }
+
+ private:
+  std::vector<Channel<T>*> ins_;
+  Channel<T>& out_;
+};
+
+/// Arbitrating merge: when several inputs are valid, a rotating-priority
+/// choice forwards exactly one per cycle and backpressures the rest.
+template <typename T>
+class ArbMerge : public sim::Component {
+ public:
+  ArbMerge(sim::Simulator& s, std::string name, std::vector<Channel<T>*> ins,
+           Channel<T>& out)
+      : Component(s, std::move(name)), ins_(std::move(ins)), out_(out) {}
+
+  void reset() override { priority_ = 0; }
+
+  void eval() override {
+    const std::size_t n = ins_.size();
+    std::size_t grant = n;  // n == none
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (priority_ + k) % n;
+      if (ins_[i]->valid.get()) {
+        grant = i;
+        break;
+      }
+    }
+    out_.valid.set(grant != n);
+    out_.data.set(grant != n ? ins_[grant]->data.get() : T{});
+    for (std::size_t i = 0; i < n; ++i) {
+      ins_[i]->ready.set(grant == i && out_.ready.get());
+    }
+  }
+
+  void tick() override {
+    const std::size_t n = ins_.size();
+    if (!out_.ready.get()) return;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (priority_ + k) % n;
+      if (ins_[i]->valid.get()) {
+        priority_ = (i + 1) % n;  // rotate past the winner
+        return;
+      }
+    }
+  }
+
+ private:
+  std::vector<Channel<T>*> ins_;
+  Channel<T>& out_;
+  std::size_t priority_ = 0;
+};
+
+}  // namespace mte::elastic

@@ -1,0 +1,37 @@
+// Probe: records every completed transfer on a channel into a
+// TraceRecorder, tagging each token via a user-supplied extractor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "elastic/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace mte::elastic {
+
+template <typename T>
+class Probe : public sim::Component {
+ public:
+  using TagFn = std::function<std::uint64_t(const T&)>;
+
+  Probe(sim::Simulator& s, Channel<T>& ch, sim::TraceRecorder& rec, TagFn tag)
+      : Component(s, "probe:" + ch.name()), ch_(ch), rec_(rec), tag_(std::move(tag)) {}
+
+  void eval() override {}
+
+  void tick() override {
+    if (ch_.fired()) rec_.record(sim().now(), ch_.name(), 0, tag_(ch_.data.get()));
+  }
+
+ private:
+  Channel<T>& ch_;
+  sim::TraceRecorder& rec_;
+  TagFn tag_;
+};
+
+}  // namespace mte::elastic

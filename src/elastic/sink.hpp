@@ -1,0 +1,68 @@
+// Elastic token sinks: consume the downstream end of a channel, with
+// configurable backpressure (always ready, Bernoulli readiness, or explicit
+// stall windows) for stress-testing elastic control.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "elastic/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mte::elastic {
+
+template <typename T>
+class Sink : public sim::Component {
+ public:
+  Sink(sim::Simulator& s, std::string name, Channel<T>& in)
+      : Component(s, std::move(name)), in_(in) {}
+
+  /// Ready with probability `rate` each cycle (deterministic from seed).
+  void set_rate(double rate, std::uint64_t seed = 2) {
+    rate_ = rate;
+    rng_.reseed(seed);
+  }
+
+  /// Not ready during any cycle c with start <= c < end.
+  void add_stall_window(sim::Cycle start, sim::Cycle end) {
+    stalls_.emplace_back(start, end);
+  }
+
+  void reset() override {
+    received_.clear();
+    gate_ = rate_ >= 1.0 || rng_.next_bool(rate_);
+  }
+
+  void eval() override { in_.ready.set(gate_ && !stalled_now()); }
+
+  void tick() override {
+    if (in_.valid.get() && in_.ready.get()) received_.push_back(in_.data.get());
+    gate_ = rate_ >= 1.0 || rng_.next_bool(rate_);
+  }
+
+  [[nodiscard]] const std::vector<T>& received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return received_.size(); }
+
+ private:
+  [[nodiscard]] bool stalled_now() const {
+    const sim::Cycle now = sim().now();
+    for (const auto& [start, end] : stalls_) {
+      if (now >= start && now < end) return true;
+    }
+    return false;
+  }
+
+  Channel<T>& in_;
+  std::vector<T> received_;
+  std::vector<std::pair<sim::Cycle, sim::Cycle>> stalls_;
+  double rate_ = 1.0;
+  sim::Rng rng_{2};
+  bool gate_ = true;
+};
+
+}  // namespace mte::elastic

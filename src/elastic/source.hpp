@@ -1,0 +1,84 @@
+// Elastic token sources: drive the upstream end of a channel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "elastic/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::elastic {
+
+/// Produces tokens on an elastic channel.
+///
+/// Token supply: either a finite list (set_tokens) or an endless generator
+/// (set_generator). Injection gating: every cycle by default, or a
+/// Bernoulli process with rate p (set_rate). The gate decision for a cycle
+/// is drawn at the preceding clock edge so that eval() stays idempotent.
+template <typename T>
+class Source : public sim::Component {
+ public:
+  Source(sim::Simulator& s, std::string name, Channel<T>& out)
+      : Component(s, std::move(name)), out_(out) {}
+
+  void set_tokens(std::vector<T> tokens) { tokens_ = std::move(tokens); }
+
+  void set_generator(std::function<T(std::uint64_t)> gen) { generator_ = std::move(gen); }
+
+  /// Offers a token with probability `rate` each cycle (deterministic from seed).
+  void set_rate(double rate, std::uint64_t seed = 1) {
+    rate_ = rate;
+    rng_.reseed(seed);
+  }
+
+  void reset() override {
+    index_ = 0;
+    sent_ = 0;
+    gate_ = rate_ >= 1.0 || rng_.next_bool(rate_);
+  }
+
+  void eval() override {
+    const std::optional<T> tok = current();
+    out_.valid.set(tok.has_value() && gate_);
+    out_.data.set(tok.value_or(T{}));
+  }
+
+  void tick() override {
+    if (out_.valid.get() && out_.ready.get()) {
+      ++index_;
+      ++sent_;
+    }
+    gate_ = rate_ >= 1.0 || rng_.next_bool(rate_);
+  }
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+
+  /// True when a finite token list has been fully delivered.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return !generator_ && index_ >= tokens_.size();
+  }
+
+ private:
+  [[nodiscard]] std::optional<T> current() const {
+    if (index_ < tokens_.size()) return tokens_[index_];
+    if (generator_) return generator_(index_);
+    return std::nullopt;
+  }
+
+  Channel<T>& out_;
+  std::vector<T> tokens_;
+  std::function<T(std::uint64_t)> generator_;
+  double rate_ = 1.0;
+  sim::Rng rng_{1};
+  std::uint64_t index_ = 0;
+  std::uint64_t sent_ = 0;
+  bool gate_ = true;
+};
+
+}  // namespace mte::elastic

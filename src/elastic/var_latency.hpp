@@ -1,0 +1,98 @@
+// VariableLatencyUnit: a computation whose latency varies per token
+// (paper Sec. I: elastic systems tolerate variable-latency computations).
+//
+// The unit holds one token at a time: it accepts a token, is busy for
+// L >= 1 cycles (L drawn per token from a user hook or a uniform range),
+// then presents the transformed result until the consumer takes it.
+// A token accepted at edge t is first valid downstream in cycle t + L.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "elastic/channel.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::elastic {
+
+template <typename T>
+class VariableLatencyUnit : public sim::Component {
+ public:
+  /// Transform applied to the token while it is processed.
+  using Fn = std::function<T(const T&)>;
+  /// Latency chosen per accepted token; must return >= 1.
+  using LatencyFn = std::function<unsigned(const T&)>;
+
+  VariableLatencyUnit(sim::Simulator& s, std::string name, Channel<T>& in,
+                      Channel<T>& out)
+      : Component(s, std::move(name)), in_(in), out_(out) {}
+
+  void set_function(Fn fn) { fn_ = std::move(fn); }
+  void set_latency_fn(LatencyFn fn) { latency_fn_ = std::move(fn); }
+
+  /// Uniform latency in [lo, hi] cycles, deterministic from seed.
+  void set_latency_range(unsigned lo, unsigned hi, std::uint64_t seed = 3) {
+    rng_.reseed(seed);
+    latency_fn_ = [this, lo, hi](const T&) {
+      return static_cast<unsigned>(rng_.next_in(lo, hi));
+    };
+  }
+
+  void set_fixed_latency(unsigned latency) {
+    latency_fn_ = [latency](const T&) { return latency; };
+  }
+
+  void reset() override {
+    state_ = State::kIdle;
+    remaining_ = 0;
+    token_ = T{};
+  }
+
+  void eval() override {
+    in_.ready.set(state_ == State::kIdle);
+    out_.valid.set(state_ == State::kDone);
+    out_.data.set(token_);
+  }
+
+  void tick() override {
+    switch (state_) {
+      case State::kIdle:
+        if (in_.valid.get()) {
+          token_ = fn_ ? fn_(in_.data.get()) : in_.data.get();
+          const unsigned latency = latency_fn_ ? latency_fn_(in_.data.get()) : 1u;
+          remaining_ = latency > 0 ? latency - 1 : 0;
+          state_ = remaining_ == 0 ? State::kDone : State::kBusy;
+          ++accepted_;
+        }
+        break;
+      case State::kBusy:
+        if (--remaining_ == 0) state_ = State::kDone;
+        break;
+      case State::kDone:
+        if (out_.ready.get()) state_ = State::kIdle;
+        break;
+    }
+  }
+
+  [[nodiscard]] bool busy() const noexcept { return state_ != State::kIdle; }
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+
+ private:
+  enum class State { kIdle, kBusy, kDone };
+
+  Channel<T>& in_;
+  Channel<T>& out_;
+  Fn fn_;
+  LatencyFn latency_fn_;
+  sim::Rng rng_{3};
+  State state_ = State::kIdle;
+  unsigned remaining_ = 0;
+  T token_{};
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace mte::elastic

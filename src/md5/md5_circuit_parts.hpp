@@ -1,0 +1,107 @@
+// Sub-components of the elastic MD5 circuit (paper Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "md5/md5_token.hpp"
+#include "mt/barrier.hpp"
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::md5 {
+
+/// Global round configuration register. The paper: "When all threads have
+/// been processed and reached the barrier, the data flow is released,
+/// allowing the round counter to be incremented." The counter watches the
+/// barrier's release strobe and increments (mod 4) on the same edge the
+/// go flag flips, so looped-back tokens always see the next round's
+/// configuration.
+class RoundCounter : public sim::Component {
+ public:
+  RoundCounter(sim::Simulator& s, std::string name,
+               const mt::Barrier<Md5Token>& barrier)
+      : Component(s, std::move(name)), barrier_(barrier),
+        round_wire_(s.tracker(), 0u) {}
+
+  void reset() override { round_ = 0; }
+
+  void eval() override { round_wire_.set(round_); }
+
+  void tick() override {
+    if (barrier_.release_now().get()) round_ = (round_ + 1) % 4;
+  }
+
+  [[nodiscard]] const sim::Wire<std::uint32_t>& round() const noexcept {
+    return round_wire_;
+  }
+  [[nodiscard]] std::uint32_t value() const noexcept { return round_; }
+
+ private:
+  const mt::Barrier<Md5Token>& barrier_;
+  std::uint32_t round_ = 0;
+  sim::Wire<std::uint32_t> round_wire_;
+};
+
+/// The fully-unrolled 16-step round datapath: one round per cycle,
+/// configured by the global round counter.
+class Md5RoundUnit : public sim::Component {
+ public:
+  Md5RoundUnit(sim::Simulator& s, std::string name, mt::MtChannel<Md5Token>& in,
+               mt::MtChannel<Md5Token>& out, const RoundCounter& counter)
+      : Component(s, std::move(name)), in_(in), out_(out), counter_(counter) {}
+
+  void eval() override {
+    for (std::size_t i = 0; i < in_.threads(); ++i) {
+      out_.valid(i).set(in_.valid(i).get());
+      in_.ready(i).set(out_.ready(i).get());
+    }
+    Md5Token t = in_.data.get();
+    t.working = apply_round(t.working, t.m, counter_.round().get());
+    out_.data.set(t);
+  }
+
+  void tick() override {}
+
+ private:
+  mt::MtChannel<Md5Token>& in_;
+  mt::MtChannel<Md5Token>& out_;
+  const RoundCounter& counter_;
+};
+
+/// Post-barrier router: while the (already incremented) round counter is
+/// non-zero the token needs more rounds and loops back; when it wrapped
+/// to zero the token has finished round 3 and exits. This realizes the
+/// paper's M-Branch with a globally-generated condition.
+class Md5Router : public sim::Component {
+ public:
+  Md5Router(sim::Simulator& s, std::string name, mt::MtChannel<Md5Token>& in,
+            mt::MtChannel<Md5Token>& loop, mt::MtChannel<Md5Token>& exit,
+            const RoundCounter& counter)
+      : Component(s, std::move(name)), in_(in), loop_(loop), exit_(exit),
+        counter_(counter) {}
+
+  void eval() override {
+    const bool exiting = counter_.round().get() == 0;
+    for (std::size_t i = 0; i < in_.threads(); ++i) {
+      const bool v = in_.valid(i).get();
+      exit_.valid(i).set(v && exiting);
+      loop_.valid(i).set(v && !exiting);
+      in_.ready(i).set(exiting ? exit_.ready(i).get() : loop_.ready(i).get());
+    }
+    exit_.data.set(in_.data.get());
+    loop_.data.set(in_.data.get());
+  }
+
+  void tick() override { (void)in_.active_thread(); }
+
+ private:
+  mt::MtChannel<Md5Token>& in_;
+  mt::MtChannel<Md5Token>& loop_;
+  mt::MtChannel<Md5Token>& exit_;
+  const RoundCounter& counter_;
+};
+
+}  // namespace mte::md5

@@ -1,0 +1,131 @@
+#include "md5/md5_ref.hpp"
+
+#include <cstring>
+
+namespace mte::md5 {
+
+namespace {
+
+// K[i] = floor(2^32 * |sin(i + 1)|), hardcoded per RFC 1321.
+constexpr std::array<std::uint32_t, 64> kTable = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu, 0xf57c0fafu, 0x4787c62au,
+    0xa8304613u, 0xfd469501u, 0x698098d8u, 0x8b44f7afu, 0xffff5bb1u, 0x895cd7beu,
+    0x6b901122u, 0xfd987193u, 0xa679438eu, 0x49b40821u, 0xf61e2562u, 0xc040b340u,
+    0x265e5a51u, 0xe9b6c7aau, 0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u,
+    0x21e1cde6u, 0xc33707d6u, 0xf4d50d87u, 0x455a14edu, 0xa9e3e905u, 0xfcefa3f8u,
+    0x676f02d9u, 0x8d2a4c8au, 0xfffa3942u, 0x8771f681u, 0x6d9d6122u, 0xfde5380cu,
+    0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u, 0x289b7ec6u, 0xeaa127fau,
+    0xd4ef3085u, 0x04881d05u, 0xd9d4d039u, 0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u,
+    0xf4292244u, 0x432aff97u, 0xab9423a7u, 0xfc93a039u, 0x655b59c3u, 0x8f0ccc92u,
+    0xffeff47du, 0x85845dd1u, 0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u};
+
+constexpr std::array<unsigned, 16> kShifts = {7, 12, 17, 22, 5, 9,  14, 20,
+                                              4, 11, 16, 23, 6, 10, 15, 21};
+
+constexpr std::uint32_t rotl32(std::uint32_t x, unsigned n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+std::uint32_t k_constant(unsigned step64) { return kTable.at(step64); }
+
+unsigned rotation(unsigned step64) {
+  const unsigned round = step64 / 16;
+  return kShifts.at(round * 4 + step64 % 4);
+}
+
+unsigned message_index(unsigned step64) {
+  const unsigned round = step64 / 16;
+  const unsigned i = step64 % 16;
+  switch (round) {
+    case 0: return i;
+    case 1: return (5 * i + 1) % 16;
+    case 2: return (3 * i + 5) % 16;
+    default: return (7 * i) % 16;
+  }
+}
+
+State apply_step(const State& s, const Block& m, unsigned step64) {
+  const unsigned round = step64 / 16;
+  std::uint32_t f = 0;
+  switch (round) {
+    case 0: f = (s.b & s.c) | (~s.b & s.d); break;
+    case 1: f = (s.d & s.b) | (~s.d & s.c); break;
+    case 2: f = s.b ^ s.c ^ s.d; break;
+    default: f = s.c ^ (s.b | ~s.d); break;
+  }
+  const std::uint32_t rotated =
+      s.b + rotl32(s.a + f + kTable[step64] + m[message_index(step64)],
+                   rotation(step64));
+  return State{s.d, rotated, s.b, s.c};
+}
+
+State apply_round(const State& s, const Block& m, unsigned round) {
+  State w = s;
+  for (unsigned i = 0; i < 16; ++i) w = apply_step(w, m, round * 16 + i);
+  return w;
+}
+
+State compress(const State& chaining, const Block& m) {
+  State w = chaining;
+  for (unsigned round = 0; round < 4; ++round) w = apply_round(w, m, round);
+  return State{chaining.a + w.a, chaining.b + w.b, chaining.c + w.c,
+               chaining.d + w.d};
+}
+
+std::vector<Block> pad_message(const std::uint8_t* data, std::size_t len) {
+  // Message + 0x80 + zeros + 64-bit little-endian bit length.
+  std::vector<std::uint8_t> bytes(data, data + len);
+  bytes.push_back(0x80u);
+  while (bytes.size() % 64 != 56) bytes.push_back(0x00u);
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(len) * 8;
+  for (unsigned i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(bit_len >> (8 * i)));
+  }
+
+  std::vector<Block> blocks(bytes.size() / 64);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (unsigned w = 0; w < 16; ++w) {
+      std::uint32_t word = 0;
+      for (unsigned k = 0; k < 4; ++k) {
+        word |= static_cast<std::uint32_t>(bytes[b * 64 + w * 4 + k]) << (8 * k);
+      }
+      blocks[b][w] = word;
+    }
+  }
+  return blocks;
+}
+
+std::vector<Block> pad_message(const std::string& text) {
+  return pad_message(reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+}
+
+State hash(const std::uint8_t* data, std::size_t len) {
+  State s;
+  for (const Block& b : pad_message(data, len)) s = compress(s, b);
+  return s;
+}
+
+State hash(const std::string& text) {
+  return hash(reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+}
+
+std::string to_hex(const State& digest) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint32_t word : {digest.a, digest.b, digest.c, digest.d}) {
+    for (unsigned byte = 0; byte < 4; ++byte) {
+      const std::uint8_t v = static_cast<std::uint8_t>(word >> (8 * byte));
+      out.push_back(hex[v >> 4]);
+      out.push_back(hex[v & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string hex_digest(const std::string& text) { return to_hex(hash(text)); }
+
+}  // namespace mte::md5

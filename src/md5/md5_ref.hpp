@@ -1,0 +1,56 @@
+// Reference MD5 (RFC 1321), used as the golden model for the elastic MD5
+// circuit and exposed at block granularity so the circuit's combinational
+// round datapath can reuse the exact same step logic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mte::md5 {
+
+/// One padded 512-bit message block as sixteen little-endian words.
+using Block = std::array<std::uint32_t, 16>;
+
+/// The 128-bit MD5 state / digest as four chaining words.
+struct State {
+  std::uint32_t a = 0x67452301u;
+  std::uint32_t b = 0xefcdab89u;
+  std::uint32_t c = 0x98badcfeu;
+  std::uint32_t d = 0x10325476u;
+
+  friend bool operator==(const State&, const State&) = default;
+};
+
+/// Per-round sine constants K[16*round + step] and rotation amounts.
+[[nodiscard]] std::uint32_t k_constant(unsigned step64);
+[[nodiscard]] unsigned rotation(unsigned step64);
+/// Message-word schedule: which block word step `step64` consumes.
+[[nodiscard]] unsigned message_index(unsigned step64);
+
+/// Applies one of the 64 MD5 steps to a working state.
+[[nodiscard]] State apply_step(const State& s, const Block& m, unsigned step64);
+
+/// Applies all 16 steps of `round` (0..3): the combinational function the
+/// elastic circuit evaluates in a single cycle.
+[[nodiscard]] State apply_round(const State& s, const Block& m, unsigned round);
+
+/// Compresses one block into the chaining state (4 rounds + final add).
+[[nodiscard]] State compress(const State& chaining, const Block& m);
+
+/// RFC 1321 padding: length extension to a whole number of blocks.
+[[nodiscard]] std::vector<Block> pad_message(const std::uint8_t* data, std::size_t len);
+[[nodiscard]] std::vector<Block> pad_message(const std::string& text);
+
+/// Full hash over a byte string.
+[[nodiscard]] State hash(const std::uint8_t* data, std::size_t len);
+[[nodiscard]] State hash(const std::string& text);
+
+/// Canonical lowercase hex rendering of a digest state.
+[[nodiscard]] std::string to_hex(const State& digest);
+
+/// Convenience: md5 hex digest of a text string.
+[[nodiscard]] std::string hex_digest(const std::string& text);
+
+}  // namespace mte::md5

@@ -1,0 +1,18 @@
+// The token circulating through the elastic MD5 circuit: one message
+// block plus the working and chaining halves of the MD5 state.
+#pragma once
+
+#include "md5/md5_ref.hpp"
+
+namespace mte::md5 {
+
+struct Md5Token {
+  State working;   ///< a,b,c,d being transformed by the rounds
+  State chaining;  ///< the block's input chaining value (for the final add)
+  Block m{};       ///< the 512-bit message block
+  bool dummy = false;  ///< padding block issued to keep the barrier balanced
+
+  friend bool operator==(const Md5Token&, const Md5Token&) = default;
+};
+
+}  // namespace mte::md5

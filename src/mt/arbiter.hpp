@@ -1,0 +1,182 @@
+// Thread-selection arbiters for multithreaded elastic channels
+// (paper Sec. III: "An arbiter is responsible for selecting the active
+// thread after taking into account which threads are ready downstream").
+//
+// Design note (refinement over the paper). A purely ready-aware arbiter
+// can deadlock the system when downstream readiness itself depends on
+// upstream valids — which happens at M-Join inputs (lazy join: ready(i)
+// requires the peer input's valid(i)) and at barriers (a thread's arrival
+// is observed through its valid while the barrier is closed and not
+// ready). The arbiters here therefore add a *speculative fallback*: when
+// no thread is both pending and ready downstream, they still offer one
+// pending thread, and rotate the offer each non-firing cycle so every
+// blocked thread is eventually made visible downstream. Data safety is
+// unaffected: a token leaves its buffer only on a completed handshake.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mte::mt {
+
+/// Abstract thread arbiter. grant() must be a pure function of the
+/// arguments and registered state so that it is stable within a settle
+/// phase; state advances only in update() at the clock edge.
+class Arbiter {
+ public:
+  explicit Arbiter(std::size_t threads) : n_(threads) {}
+  virtual ~Arbiter() = default;
+
+  Arbiter(const Arbiter&) = delete;
+  Arbiter& operator=(const Arbiter&) = delete;
+
+  [[nodiscard]] std::size_t threads() const noexcept { return n_; }
+
+  /// Selects the thread to occupy the channel this cycle, or threads()
+  /// for none. `pending[i]`: thread i has data to send. `ready[i]`:
+  /// downstream can accept thread i this cycle.
+  [[nodiscard]] virtual std::size_t grant(const std::vector<bool>& pending,
+                                          const std::vector<bool>& ready) const = 0;
+
+  /// Clock-edge update. `granted` is the last grant() result (threads()
+  /// for none); `fired` tells whether that grant completed a transfer.
+  virtual void update(std::size_t granted, bool fired) = 0;
+
+  virtual void reset() {}
+
+ protected:
+  /// First index i >= from (cyclically) with pending[i] && ready[i];
+  /// n if none.
+  [[nodiscard]] std::size_t first_ready(const std::vector<bool>& pending,
+                                        const std::vector<bool>& ready,
+                                        std::size_t from) const {
+    for (std::size_t k = 0; k < n_; ++k) {
+      const std::size_t i = (from + k) % n_;
+      if (pending[i] && ready[i]) return i;
+    }
+    return n_;
+  }
+
+  /// First index i >= from (cyclically) with pending[i]; n if none.
+  [[nodiscard]] std::size_t first_pending(const std::vector<bool>& pending,
+                                          std::size_t from) const {
+    for (std::size_t k = 0; k < n_; ++k) {
+      const std::size_t i = (from + k) % n_;
+      if (pending[i]) return i;
+    }
+    return n_;
+  }
+
+  std::size_t n_;
+};
+
+/// Round-robin with speculative fallback: the reference arbiter for MEBs.
+class RoundRobinArbiter : public Arbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t threads) : Arbiter(threads) {}
+
+  [[nodiscard]] std::size_t grant(const std::vector<bool>& pending,
+                                  const std::vector<bool>& ready) const override {
+    const std::size_t g = first_ready(pending, ready, ptr_);
+    if (g != n_) return g;
+    return first_pending(pending, ptr_);  // speculative offer
+  }
+
+  void update(std::size_t granted, bool fired) override {
+    if (granted == n_) return;
+    // Rotate past the winner on a fire; rotate by one on a speculative
+    // (non-firing) offer so every blocked thread is eventually offered.
+    ptr_ = fired ? (granted + 1) % n_ : (ptr_ + 1) % n_;
+  }
+
+  void reset() override { ptr_ = 0; }
+
+  [[nodiscard]] std::size_t pointer() const noexcept { return ptr_; }
+
+ private:
+  std::size_t ptr_ = 0;
+};
+
+/// Fixed priority (lowest index wins). Starves high indices under load;
+/// provided for the arbiter-policy ablation.
+class FixedPriorityArbiter : public Arbiter {
+ public:
+  explicit FixedPriorityArbiter(std::size_t threads) : Arbiter(threads) {}
+
+  [[nodiscard]] std::size_t grant(const std::vector<bool>& pending,
+                                  const std::vector<bool>& ready) const override {
+    const std::size_t g = first_ready(pending, ready, 0);
+    if (g != n_) return g;
+    // Even a fixed-priority design needs a rotating speculative offer to
+    // avoid wedging barriers; the rotation state is invisible when some
+    // thread is ready.
+    return first_pending(pending, spec_ptr_);
+  }
+
+  void update(std::size_t granted, bool fired) override {
+    if (granted != n_ && !fired) spec_ptr_ = (spec_ptr_ + 1) % n_;
+  }
+
+  void reset() override { spec_ptr_ = 0; }
+
+ private:
+  std::size_t spec_ptr_ = 0;
+};
+
+/// Matrix (least-recently-granted) arbiter: older[i][j] means i has
+/// priority over j. The classic fair arbiter used in NoC switch
+/// allocators; provided for the arbiter-policy ablation.
+class MatrixArbiter : public Arbiter {
+ public:
+  explicit MatrixArbiter(std::size_t threads)
+      : Arbiter(threads), older_(threads, std::vector<bool>(threads)) {
+    reset();
+  }
+
+  [[nodiscard]] std::size_t grant(const std::vector<bool>& pending,
+                                  const std::vector<bool>& ready) const override {
+    const std::size_t g = pick(pending, ready);
+    if (g != n_) return g;
+    return first_pending(pending, spec_ptr_);  // rotating speculative offer
+  }
+
+  void update(std::size_t granted, bool fired) override {
+    if (granted == n_) return;
+    if (!fired) {
+      spec_ptr_ = (spec_ptr_ + 1) % n_;
+      return;
+    }
+    // The winner becomes the least-recently-granted: younger than all.
+    for (std::size_t j = 0; j < n_; ++j) {
+      older_[granted][j] = false;
+      older_[j][granted] = true;
+    }
+  }
+
+  void reset() override {
+    spec_ptr_ = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) older_[i][j] = i < j;
+    }
+  }
+
+ private:
+  /// Requester that is older than every other competing requester.
+  [[nodiscard]] std::size_t pick(const std::vector<bool>& pending,
+                                 const std::vector<bool>& ready) const {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!pending[i] || !ready[i]) continue;
+      bool wins = true;
+      for (std::size_t j = 0; j < n_ && wins; ++j) {
+        if (j != i && pending[j] && ready[j] && older_[j][i]) wins = false;
+      }
+      if (wins) return i;
+    }
+    return n_;
+  }
+
+  std::vector<std::vector<bool>> older_;
+  std::size_t spec_ptr_ = 0;
+};
+
+}  // namespace mte::mt

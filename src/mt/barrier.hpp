@@ -1,0 +1,149 @@
+// Barrier (paper Sec. IV-C, Fig. 8): multithreaded elastic thread
+// synchronization.
+//
+// Participating threads that reach the barrier with valid data wait until
+// every participant has arrived; then all are released. Implementation
+// follows the paper: an arrival counter, a global `go` flag that flips
+// when the counter reaches the participant count, and a per-thread
+// IDLE/WAIT/FREE FSM with a local-go (lgo) bit loaded at arrival.
+//
+//   IDLE  --valid(i)-->               WAIT   (lgo(i) <- go, counter++)
+//   WAIT  --lgo(i) != go-->           FREE
+//   FREE  --selected by arbiter-->    IDLE   (the token passes downstream)
+//
+// While a thread is IDLE or WAIT the barrier keeps its data upstream by
+// deasserting ready(i); the arrival is observed through the upstream
+// buffer's (possibly speculative) valid(i). Non-participating threads
+// pass through unaffected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mte::mt {
+
+enum class BarrierState { kIdle, kWait, kFree };
+
+template <typename T>
+class Barrier : public sim::Component {
+ public:
+  Barrier(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out)
+      : Component(s, std::move(name)), in_(in), out_(out),
+        state_(in.threads(), BarrierState::kIdle), lgo_(in.threads(), false),
+        participating_(in.threads(), true), release_now_(s.tracker(), false) {
+    if (in.threads() != out.threads()) {
+      throw sim::SimulationError("Barrier '" + this->name() +
+                                 "': input/output thread counts differ");
+    }
+  }
+
+  /// Changes the set of threads the barrier waits for. Must not be called
+  /// while participants are waiting (counter != 0).
+  void set_participating(std::size_t i, bool on) {
+    if (counter_ != 0) {
+      throw sim::SimulationError("Barrier '" + name() +
+                                 "': participation changed while threads wait");
+    }
+    participating_.at(i) = on;
+    if (!on && state_.at(i) != BarrierState::kIdle) state_.at(i) = BarrierState::kIdle;
+  }
+
+  void reset() override {
+    for (auto& st : state_) st = BarrierState::kIdle;
+    lgo_.assign(lgo_.size(), false);
+    go_ = false;
+    counter_ = 0;
+    releases_ = 0;
+  }
+
+  void eval() override {
+    const std::size_t n = in_.threads();
+    std::size_t first_valid = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool open = !participating_[i] || state_[i] == BarrierState::kFree;
+      out_.valid(i).set(in_.valid(i).get() && open);
+      in_.ready(i).set(out_.ready(i).get() && open);
+      if (first_valid == n && in_.valid(i).get()) first_valid = i;
+    }
+    out_.data.set(in_.data.get());
+    // Combinational "last participant arrives this cycle" strobe, so that
+    // sibling sequential logic (e.g. the MD5 round counter) can update on
+    // the same clock edge as the go-flag flip.
+    const bool arrival = first_valid < n && participating_[first_valid] &&
+                         state_[first_valid] == BarrierState::kIdle;
+    release_now_.set(arrival && counter_ + 1 == participant_count());
+  }
+
+  void tick() override {
+    const std::size_t n = in_.threads();
+    const std::size_t active = in_.active_thread();  // checks the invariant
+
+    // Decisions are taken on the settled, pre-edge state (registered FSM
+    // semantics): whether a transfer completed this cycle, and whether
+    // the active thread's valid constitutes a new arrival.
+    const bool fired = active < n && out_.valid(active).get() && out_.ready(active).get();
+    const bool arrival = active < n && participating_[active] && !fired &&
+                         state_[active] == BarrierState::kIdle;
+
+    // 1. WAIT -> FREE: compare lgo against the current go register, one
+    //    cycle after the flip.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state_[i] == BarrierState::kWait && lgo_[i] != go_) {
+        state_[i] = BarrierState::kFree;
+      }
+    }
+
+    // 2. A FREE participating thread whose token passed returns to IDLE.
+    if (fired && participating_[active]) state_[active] = BarrierState::kIdle;
+
+    // 3. Arrival: a participating IDLE thread presenting valid data.
+    if (arrival) {
+      state_[active] = BarrierState::kWait;
+      lgo_[active] = go_;
+      ++counter_;
+      if (counter_ == participant_count()) {
+        counter_ = 0;
+        go_ = !go_;
+        ++releases_;
+      }
+    }
+  }
+
+  [[nodiscard]] BarrierState state(std::size_t i) const { return state_.at(i); }
+  [[nodiscard]] unsigned counter() const noexcept { return counter_; }
+  [[nodiscard]] bool go_flag() const noexcept { return go_; }
+  /// Number of times the barrier has released all participants.
+  [[nodiscard]] std::uint64_t releases() const noexcept { return releases_; }
+
+  /// Settled-state strobe: true in exactly the cycle the last participant
+  /// arrives (the go flag flips at this cycle's clock edge).
+  [[nodiscard]] const sim::Wire<bool>& release_now() const noexcept {
+    return release_now_;
+  }
+
+  [[nodiscard]] unsigned participant_count() const {
+    unsigned c = 0;
+    for (bool p : participating_) c += p ? 1 : 0;
+    return c;
+  }
+
+ private:
+  MtChannel<T>& in_;
+  MtChannel<T>& out_;
+  std::vector<BarrierState> state_;
+  std::vector<bool> lgo_;
+  std::vector<bool> participating_;
+  bool go_ = false;
+  unsigned counter_ = 0;
+  std::uint64_t releases_ = 0;
+  sim::Wire<bool> release_now_;
+};
+
+}  // namespace mte::mt

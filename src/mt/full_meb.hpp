@@ -1,0 +1,109 @@
+// FullMeb<T>: the baseline multithreaded elastic buffer (paper Fig. 4).
+//
+// One private 2-slot elastic buffer per thread, an output arbiter and a
+// data multiplexer: 2*S storage slots for S threads. Every thread always
+// sees two private slots, so a stalled thread never affects the others.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "elastic/eb_control.hpp"
+#include "mt/arbiter.hpp"
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class FullMeb : public sim::Component {
+ public:
+  FullMeb(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out,
+          std::unique_ptr<Arbiter> arbiter = nullptr)
+      : Component(s, std::move(name)), in_(in), out_(out),
+        arb_(arbiter ? std::move(arbiter)
+                     : std::make_unique<RoundRobinArbiter>(in.threads())),
+        ctrl_(in.threads()), head_(in.threads()), aux_(in.threads()),
+        in_count_(in.threads(), 0), out_count_(in.threads(), 0) {
+    if (in.threads() != out.threads()) {
+      throw sim::SimulationError("FullMeb '" + this->name() +
+                                 "': input/output thread counts differ");
+    }
+  }
+
+  void reset() override {
+    for (auto& c : ctrl_) c.reset();
+    for (auto& h : head_) h = T{};
+    for (auto& a : aux_) a = T{};
+    arb_->reset();
+    grant_ = threads();
+    std::fill(in_count_.begin(), in_count_.end(), 0);
+    std::fill(out_count_.begin(), out_count_.end(), 0);
+  }
+
+  void eval() override {
+    const std::size_t n = threads();
+    std::vector<bool> pending(n);
+    std::vector<bool> ready_down(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in_.ready(i).set(ctrl_[i].can_accept());
+      pending[i] = ctrl_[i].has_data();
+      ready_down[i] = out_.ready(i).get();
+    }
+    grant_ = arb_->grant(pending, ready_down);
+    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
+    out_.data.set(grant_ < n ? head_[grant_] : T{});
+  }
+
+  void tick() override {
+    const std::size_t n = threads();
+    const std::size_t in_thread = in_.active_thread();  // checks the invariant
+    const bool out_fired = grant_ < n && out_.ready(grant_).get();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool vin = (i == in_thread) && in_.valid(i).get();
+      const bool rin = (i == grant_) && out_fired;
+      const elastic::EbDecision d = ctrl_[i].decide(vin, rin);
+      if (d.shift_aux_to_head) head_[i] = aux_[i];
+      if (d.load_head_from_in) head_[i] = in_.data.get();
+      if (d.load_aux_from_in) aux_[i] = in_.data.get();
+      ctrl_[i].commit(d);
+      if (d.in_fire) ++in_count_[i];
+      if (d.out_fire) ++out_count_[i];
+    }
+    arb_->update(grant_, out_fired);
+  }
+
+  [[nodiscard]] std::size_t threads() const noexcept { return ctrl_.size(); }
+  [[nodiscard]] elastic::EbState state(std::size_t i) const { return ctrl_.at(i).state(); }
+  [[nodiscard]] int occupancy(std::size_t i) const { return ctrl_.at(i).occupancy(); }
+  [[nodiscard]] int total_occupancy() const {
+    int total = 0;
+    for (const auto& c : ctrl_) total += c.occupancy();
+    return total;
+  }
+  [[nodiscard]] const T& head(std::size_t i) const { return head_.at(i); }
+  [[nodiscard]] const T& aux(std::size_t i) const { return aux_.at(i); }
+  [[nodiscard]] std::uint64_t in_count(std::size_t i) const { return in_count_.at(i); }
+  [[nodiscard]] std::uint64_t out_count(std::size_t i) const { return out_count_.at(i); }
+  /// Storage slots instantiated by this buffer (2 per thread).
+  [[nodiscard]] std::size_t capacity() const noexcept { return 2 * threads(); }
+
+ private:
+  MtChannel<T>& in_;
+  MtChannel<T>& out_;
+  std::unique_ptr<Arbiter> arb_;
+  std::vector<elastic::EbControl> ctrl_;
+  std::vector<T> head_;
+  std::vector<T> aux_;
+  std::size_t grant_ = 0;
+  std::vector<std::uint64_t> in_count_;
+  std::vector<std::uint64_t> out_count_;
+};
+
+}  // namespace mte::mt

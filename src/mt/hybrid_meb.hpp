@@ -1,0 +1,159 @@
+// HybridMeb<T>: a generalization of the paper's reduced MEB for the
+// capacity ablation (ABL-SLOTS): one main register per thread plus a
+// pool of K dynamically shared auxiliary slots, each claimable by at
+// most one thread at a time.
+//
+//   K = 0  -> S slots:    every thread is capped at 50 % even alone
+//   K = 1  -> S+1 slots:  exactly the paper's reduced MEB
+//   K = S  -> 2S slots:   full-MEB behaviour (every thread can hold two
+//                         words), still with a cheaper shared-pool wiring
+//
+// This quantifies the buffer-sharing design space the paper's Sec. III-A
+// analysis opens up.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "elastic/eb_control.hpp"
+#include "mt/arbiter.hpp"
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class HybridMeb : public sim::Component {
+ public:
+  HybridMeb(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out,
+            std::size_t shared_slots, std::unique_ptr<Arbiter> arbiter = nullptr)
+      : Component(s, std::move(name)), in_(in), out_(out),
+        arb_(arbiter ? std::move(arbiter)
+                     : std::make_unique<RoundRobinArbiter>(in.threads())),
+        state_(in.threads(), elastic::EbState::kEmpty), main_(in.threads()),
+        shared_(shared_slots), shared_owner_(shared_slots, in.threads()),
+        claimed_slot_(in.threads(), shared_slots),
+        out_count_(in.threads(), 0) {
+    if (in.threads() != out.threads()) {
+      throw sim::SimulationError("HybridMeb '" + this->name() +
+                                 "': input/output thread counts differ");
+    }
+  }
+
+  void reset() override {
+    for (auto& st : state_) st = elastic::EbState::kEmpty;
+    for (auto& m : main_) m = T{};
+    for (auto& sl : shared_) sl = T{};
+    shared_used_ = 0;
+    std::fill(shared_owner_.begin(), shared_owner_.end(), threads());
+    std::fill(claimed_slot_.begin(), claimed_slot_.end(), shared_.size());
+    std::fill(out_count_.begin(), out_count_.end(), 0);
+    arb_->reset();
+    grant_ = threads();
+  }
+
+  void eval() override {
+    const std::size_t n = threads();
+    std::vector<bool> pending(n);
+    std::vector<bool> ready_down(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in_.ready(i).set(ready_out(i));
+      pending[i] = state_[i] != elastic::EbState::kEmpty;
+      ready_down[i] = out_.ready(i).get();
+    }
+    grant_ = arb_->grant(pending, ready_down);
+    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
+    out_.data.set(grant_ < n ? main_[grant_] : T{});
+  }
+
+  void tick() override {
+    const std::size_t n = threads();
+    const std::size_t active = in_.active_thread();  // checks the invariant
+    const bool in_fired = active < n && in_.ready(active).get();
+    const bool out_fired = grant_ < n && out_.ready(grant_).get();
+
+    if (out_fired) {
+      auto& st = state_[grant_];
+      if (st == elastic::EbState::kFull) {
+        // Refill main from this thread's claimed shared slot and free it.
+        const std::size_t slot = claimed_slot_[grant_];
+        main_[grant_] = shared_[slot];
+        shared_owner_[slot] = n;
+        claimed_slot_[grant_] = shared_.size();
+        --shared_used_;
+        st = elastic::EbState::kHalf;
+      } else {
+        st = elastic::EbState::kEmpty;
+      }
+      ++out_count_[grant_];
+    }
+
+    if (in_fired) {
+      auto& st = state_[active];
+      if (st == elastic::EbState::kEmpty) {
+        main_[active] = in_.data.get();
+        st = elastic::EbState::kHalf;
+      } else if (st == elastic::EbState::kHalf) {
+        // Claim a free shared slot (ready_out guaranteed one exists).
+        std::size_t slot = shared_.size();
+        for (std::size_t k = 0; k < shared_.size(); ++k) {
+          if (shared_owner_[k] == n) {
+            slot = k;
+            break;
+          }
+        }
+        if (slot == shared_.size()) {
+          throw sim::ProtocolError("HybridMeb '" + name() +
+                                   "': accepted without a free shared slot");
+        }
+        shared_[slot] = in_.data.get();
+        shared_owner_[slot] = active;
+        claimed_slot_[active] = slot;
+        ++shared_used_;
+        st = elastic::EbState::kFull;
+      } else {
+        throw sim::ProtocolError("HybridMeb '" + name() + "': FULL thread accepted");
+      }
+    }
+    arb_->update(grant_, out_fired);
+  }
+
+  [[nodiscard]] std::size_t threads() const noexcept { return state_.size(); }
+  [[nodiscard]] std::size_t shared_capacity() const noexcept { return shared_.size(); }
+  [[nodiscard]] std::size_t shared_used() const noexcept { return shared_used_; }
+  [[nodiscard]] elastic::EbState state(std::size_t i) const { return state_.at(i); }
+  [[nodiscard]] std::uint64_t out_count(std::size_t i) const { return out_count_.at(i); }
+  /// Total storage slots (S main + K shared).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return threads() + shared_.size();
+  }
+
+ private:
+  [[nodiscard]] bool ready_out(std::size_t i) const {
+    switch (state_[i]) {
+      case elastic::EbState::kEmpty: return true;
+      case elastic::EbState::kHalf: return shared_used_ < shared_.size();
+      case elastic::EbState::kFull: return false;
+    }
+    return false;
+  }
+
+  MtChannel<T>& in_;
+  MtChannel<T>& out_;
+  std::unique_ptr<Arbiter> arb_;
+  std::vector<elastic::EbState> state_;
+  std::vector<T> main_;
+  std::vector<T> shared_;
+  std::vector<std::size_t> shared_owner_;  ///< per slot: owner or threads()
+  std::vector<std::size_t> claimed_slot_;  ///< per thread: slot or K
+  std::size_t shared_used_ = 0;
+  std::size_t grant_ = 0;
+  std::vector<std::uint64_t> out_count_;
+};
+
+}  // namespace mte::mt

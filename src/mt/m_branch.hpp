@@ -1,0 +1,56 @@
+// M-Branch (paper Fig. 7c): multithreaded control-flow split.
+//
+// The data channel and the condition channel are joined per thread; the
+// active valid bit of the input identifies which thread the condition on
+// the bus belongs to, and the token is steered to the true or false
+// output for that thread.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "elastic/branch.hpp"
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class MBranch : public sim::Component {
+ public:
+  MBranch(sim::Simulator& s, std::string name, MtChannel<T>& data,
+          MtChannel<bool>& cond, MtChannel<T>& out_true, MtChannel<T>& out_false)
+      : Component(s, std::move(name)), data_(data), cond_(cond),
+        out_true_(out_true), out_false_(out_false) {}
+
+  void eval() override {
+    const std::size_t n = data_.threads();
+    const bool cond_bit = cond_.data.get();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto o = elastic::BranchControl::compute(
+          data_.valid(i).get(), cond_.valid(i).get(), cond_bit,
+          out_true_.ready(i).get(), out_false_.ready(i).get());
+      out_true_.valid(i).set(o.valid_true);
+      out_false_.valid(i).set(o.valid_false);
+      data_.ready(i).set(o.ready_data);
+      cond_.ready(i).set(o.ready_cond);
+    }
+    out_true_.data.set(data_.data.get());
+    out_false_.data.set(data_.data.get());
+  }
+
+  void tick() override {
+    // Validate the channel invariants on settled state.
+    (void)data_.active_thread();
+    (void)cond_.active_thread();
+  }
+
+ private:
+  MtChannel<T>& data_;
+  MtChannel<bool>& cond_;
+  MtChannel<T>& out_true_;
+  MtChannel<T>& out_false_;
+};
+
+}  // namespace mte::mt

@@ -1,0 +1,64 @@
+// M-Fork (paper Fig. 7b): replicates a multithreaded elastic channel onto
+// several outputs using one eager fork per thread. Each per-thread fork
+// keeps its own pending bits, so a token can be delivered to fast outputs
+// immediately and to slow outputs cycles later, even if the channel serves
+// other threads in between.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "elastic/fork.hpp"
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class MFork : public sim::Component {
+ public:
+  MFork(sim::Simulator& s, std::string name, MtChannel<T>& in,
+        std::vector<MtChannel<T>*> outs)
+      : Component(s, std::move(name)), in_(in), outs_(std::move(outs)) {
+    for (std::size_t i = 0; i < in_.threads(); ++i) {
+      ctrl_.emplace_back(outs_.size());
+    }
+  }
+
+  void reset() override {
+    for (auto& c : ctrl_) c.reset();
+  }
+
+  void eval() override {
+    const std::size_t n = in_.threads();
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool vin = in_.valid(i).get();
+      std::vector<bool> rin(outs_.size());
+      for (std::size_t k = 0; k < outs_.size(); ++k) {
+        rin[k] = outs_[k]->ready(i).get();
+        outs_[k]->valid(i).set(ctrl_[i].valid_out(vin, k));
+      }
+      in_.ready(i).set(ctrl_[i].ready_out(rin));
+    }
+    for (auto* out : outs_) out->data.set(in_.data.get());
+  }
+
+  void tick() override {
+    const std::size_t active = in_.active_thread();  // checks the invariant
+    if (active >= in_.threads()) return;
+    std::vector<bool> rin(outs_.size());
+    for (std::size_t k = 0; k < outs_.size(); ++k) {
+      rin[k] = outs_[k]->ready(active).get();
+    }
+    ctrl_[active].commit(true, rin);
+  }
+
+ private:
+  MtChannel<T>& in_;
+  std::vector<MtChannel<T>*> outs_;
+  std::vector<elastic::ForkControl> ctrl_;
+};
+
+}  // namespace mte::mt

@@ -1,0 +1,117 @@
+// M-Merge (paper Fig. 7d): multithreaded control-flow reconvergence.
+//
+// Merges the paths created by an M-Branch back into one multithreaded
+// channel. Per thread the two paths are mutually exclusive (a thread's
+// token travels down exactly one path), so per-thread handshake merging
+// needs no arbitration — two baseline merges suffice, as the paper notes.
+//
+// Refinement over the paper's figure: *across* threads the paths are not
+// exclusive — path A may carry thread 1 in the same cycle path B carries
+// thread 2, and the merged channel has a single data bus. A path selector
+// (rotating, ready-aware, with speculative fallback like the MEB arbiter)
+// therefore picks one path per cycle and backpressures the other; this
+// adds no storage and preserves per-thread ordering.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class MMerge : public sim::Component {
+ public:
+  /// `exclusive` enforces the paper's per-thread path exclusivity (the
+  /// M-Branch guarantee). Pass false for graphs where a thread can be
+  /// present on both paths at once (e.g. loop entry merges): the selector
+  /// then simply backpressures the losing path, at the cost of losing the
+  /// cross-iteration ordering guarantee the exclusive form gives for free.
+  MMerge(sim::Simulator& s, std::string name, std::vector<MtChannel<T>*> ins,
+         MtChannel<T>& out, bool exclusive = true)
+      : Component(s, std::move(name)), ins_(std::move(ins)), out_(out),
+        exclusive_(exclusive) {}
+
+  void reset() override {
+    ptr_ = 0;
+    sel_ = ins_.size();
+  }
+
+  void eval() override {
+    const std::size_t paths = ins_.size();
+    const std::size_t n = out_.threads();
+
+    // Active thread per path (no invariant check here: values may be
+    // transient mid-settle; tick() validates).
+    std::vector<std::size_t> active(paths, n);
+    for (std::size_t p = 0; p < paths; ++p) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ins_[p]->valid(i).get()) {
+          active[p] = i;
+          break;
+        }
+      }
+    }
+
+    // Select a path: prefer, in rotating order, a path whose active
+    // thread is ready downstream; otherwise any path with a valid token
+    // (speculative offer).
+    sel_ = paths;
+    for (std::size_t k = 0; k < paths && sel_ == paths; ++k) {
+      const std::size_t p = (ptr_ + k) % paths;
+      if (active[p] < n && out_.ready(active[p]).get()) sel_ = p;
+    }
+    if (sel_ == paths) {
+      for (std::size_t k = 0; k < paths && sel_ == paths; ++k) {
+        const std::size_t p = (ptr_ + k) % paths;
+        if (active[p] < n) sel_ = p;
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool v = sel_ < paths && ins_[sel_]->valid(i).get();
+      out_.valid(i).set(v);
+    }
+    for (std::size_t p = 0; p < paths; ++p) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ins_[p]->ready(i).set(p == sel_ && out_.ready(i).get());
+      }
+    }
+    out_.data.set(sel_ < paths ? ins_[sel_]->data.get() : T{});
+  }
+
+  void tick() override {
+    const std::size_t paths = ins_.size();
+    const std::size_t n = out_.threads();
+    // Per-thread mutual exclusion across paths (branch semantics).
+    if (exclusive_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        int count = 0;
+        for (std::size_t p = 0; p < paths; ++p) count += ins_[p]->valid(i).get() ? 1 : 0;
+        if (count > 1) {
+          throw sim::ProtocolError("MMerge '" + name() + "': thread " +
+                                   std::to_string(i) + " valid on more than one path");
+        }
+      }
+    }
+    if (sel_ < paths) {
+      const std::size_t t = ins_[sel_]->active_thread();
+      const bool fired = t < n && out_.ready(t).get();
+      ptr_ = fired ? (sel_ + 1) % paths : (ptr_ + 1) % paths;
+    }
+  }
+
+ private:
+  std::vector<MtChannel<T>*> ins_;
+  MtChannel<T>& out_;
+  bool exclusive_ = true;
+  std::size_t ptr_ = 0;
+  std::size_t sel_ = 0;
+};
+
+}  // namespace mte::mt

@@ -1,0 +1,136 @@
+// Control logic of the multithreaded elastic buffers (paper Sec. III/IV-A).
+//
+// FullMebControl  — one independent 2-slot EB control per thread (Fig. 4).
+// ReducedMebControl — one main slot per thread plus ONE shared auxiliary
+// slot (Fig. 6): per-thread 3-state FSMs (EMPTY/HALF/FULL) coupled through
+// a 2-state shared-buffer FSM. The `Empty` signal of the shared buffer
+// gates the HALF->FULL transition so only one thread can ever hold two
+// words; goFull/goHalf events move the shared FSM.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "elastic/eb_control.hpp"
+#include "sim/types.hpp"
+
+namespace mte::mt {
+
+using elastic::EbState;
+
+/// Data-movement commands for one ReducedMeb clock edge. At most one
+/// input transfer and one output transfer happen per cycle (MT channel
+/// invariant), so single fields suffice.
+struct ReducedMebOps {
+  bool store_main = false;        ///< data_in -> main[in_thread]
+  bool store_shared = false;      ///< data_in -> shared slot
+  bool refill_main = false;       ///< shared slot -> main[out_thread]
+  std::size_t in_thread = 0;
+  std::size_t out_thread = 0;
+};
+
+class ReducedMebControl {
+ public:
+  explicit ReducedMebControl(std::size_t threads)
+      : state_(threads, EbState::kEmpty), shared_owner_(threads) {}
+
+  [[nodiscard]] std::size_t threads() const noexcept { return state_.size(); }
+  [[nodiscard]] EbState state(std::size_t i) const { return state_.at(i); }
+  [[nodiscard]] bool shared_full() const noexcept { return shared_full_; }
+  [[nodiscard]] std::size_t shared_owner() const noexcept { return shared_owner_; }
+
+  /// valid condition towards the arbiter: the thread has at least one word.
+  [[nodiscard]] bool has_data(std::size_t i) const { return state_.at(i) != EbState::kEmpty; }
+
+  /// ready(i) to upstream: EMPTY threads always accept (they own their main
+  /// slot); HALF threads accept only while the shared slot is free; FULL
+  /// never accepts. Depends on registered state only.
+  [[nodiscard]] bool ready_out(std::size_t i) const {
+    switch (state_.at(i)) {
+      case EbState::kEmpty: return true;
+      case EbState::kHalf: return !shared_full_;
+      case EbState::kFull: return false;
+    }
+    return false;
+  }
+
+  [[nodiscard]] int occupancy(std::size_t i) const {
+    switch (state_.at(i)) {
+      case EbState::kEmpty: return 0;
+      case EbState::kHalf: return 1;
+      case EbState::kFull: return 2;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] int total_occupancy() const {
+    int total = 0;
+    for (std::size_t i = 0; i < state_.size(); ++i) total += occupancy(i);
+    return total;
+  }
+
+  /// Clock-edge update. `in_thread` is the thread completing an input
+  /// transfer this cycle (threads() for none) and `out_thread` the thread
+  /// completing an output transfer (threads() for none). Returns the data
+  /// movements the datapath must perform.
+  ReducedMebOps commit(std::size_t in_thread, std::size_t out_thread) {
+    const std::size_t n = threads();
+    ReducedMebOps ops;
+    ops.in_thread = in_thread;
+    ops.out_thread = out_thread;
+
+    if (out_thread < n) {
+      switch (state_[out_thread]) {
+        case EbState::kEmpty:
+          throw sim::ProtocolError("ReducedMebControl: output fired from EMPTY thread");
+        case EbState::kHalf:
+          state_[out_thread] = EbState::kEmpty;  // may be re-filled below
+          break;
+        case EbState::kFull:
+          // Main register is refilled from the shared slot (goHalf(i)).
+          state_[out_thread] = EbState::kHalf;
+          ops.refill_main = true;
+          shared_full_ = false;
+          shared_owner_ = n;
+          break;
+      }
+    }
+
+    if (in_thread < n) {
+      switch (state_[in_thread]) {
+        case EbState::kEmpty:
+          state_[in_thread] = EbState::kHalf;
+          ops.store_main = true;
+          break;
+        case EbState::kHalf:
+          // A second word arrives: it claims the shared slot (goFull(i)).
+          // ready_out() guaranteed the slot was free this cycle.
+          if (shared_full_) {
+            throw sim::ProtocolError(
+                "ReducedMebControl: HALF thread accepted while shared slot full");
+          }
+          state_[in_thread] = EbState::kFull;
+          ops.store_shared = true;
+          shared_full_ = true;
+          shared_owner_ = in_thread;
+          break;
+        case EbState::kFull:
+          throw sim::ProtocolError("ReducedMebControl: FULL thread accepted input");
+      }
+    }
+    return ops;
+  }
+
+  void reset() {
+    for (auto& s : state_) s = EbState::kEmpty;
+    shared_full_ = false;
+    shared_owner_ = threads();
+  }
+
+ private:
+  std::vector<EbState> state_;
+  bool shared_full_ = false;
+  std::size_t shared_owner_;
+};
+
+}  // namespace mte::mt

@@ -1,0 +1,64 @@
+// MebKind / AnyMeb: select between the full and the reduced multithreaded
+// elastic buffer at construction time. Circuits that compare the two
+// designs (MD5, processor, benchmarks) build their pipeline stages
+// through this helper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mt/full_meb.hpp"
+#include "mt/reduced_meb.hpp"
+
+namespace mte::mt {
+
+enum class MebKind { kFull, kReduced };
+
+[[nodiscard]] constexpr const char* to_string(MebKind kind) noexcept {
+  return kind == MebKind::kFull ? "full" : "reduced";
+}
+
+/// Non-owning handle to a full or reduced MEB created inside a Simulator.
+template <typename T>
+class AnyMeb {
+ public:
+  static AnyMeb create(sim::Simulator& s, const std::string& name,
+                       MtChannel<T>& in, MtChannel<T>& out, MebKind kind) {
+    AnyMeb m;
+    if (kind == MebKind::kFull) {
+      m.full_ = &s.make<FullMeb<T>>(s, name, in, out);
+    } else {
+      m.reduced_ = &s.make<ReducedMeb<T>>(s, name, in, out);
+    }
+    return m;
+  }
+
+  [[nodiscard]] MebKind kind() const noexcept {
+    return full_ != nullptr ? MebKind::kFull : MebKind::kReduced;
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    return full_ != nullptr ? full_->capacity() : reduced_->capacity();
+  }
+
+  [[nodiscard]] int occupancy(std::size_t thread) const {
+    return full_ != nullptr ? full_->occupancy(thread) : reduced_->occupancy(thread);
+  }
+
+  [[nodiscard]] int total_occupancy() const {
+    return full_ != nullptr ? full_->total_occupancy() : reduced_->total_occupancy();
+  }
+
+  [[nodiscard]] std::uint64_t out_count(std::size_t thread) const {
+    return full_ != nullptr ? full_->out_count(thread) : reduced_->out_count(thread);
+  }
+
+  [[nodiscard]] FullMeb<T>* full() const noexcept { return full_; }
+  [[nodiscard]] ReducedMeb<T>* reduced() const noexcept { return reduced_; }
+
+ private:
+  FullMeb<T>* full_ = nullptr;
+  ReducedMeb<T>* reduced_ = nullptr;
+};
+
+}  // namespace mte::mt

@@ -1,0 +1,78 @@
+// Multithreaded elastic channel (paper Sec. III).
+//
+// Carries the data of at most one thread per cycle plus one valid/ready
+// handshake pair per thread. The producer asserts at most one valid(i) per
+// cycle (checked by MtChecker / consuming components); the consumer may
+// assert any subset of ready(i), advertising per-thread acceptance.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+#include "sim/wire.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class MtChannel {
+ public:
+  MtChannel(sim::Simulator& s, std::string name, std::size_t threads)
+      : name_(std::move(name)), data(s.tracker(), T{}) {
+    for (std::size_t i = 0; i < threads; ++i) {
+      valid_.emplace_back(s.tracker(), false);
+      ready_.emplace_back(s.tracker(), false);
+    }
+  }
+
+  MtChannel(const MtChannel&) = delete;
+  MtChannel& operator=(const MtChannel&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t threads() const noexcept { return valid_.size(); }
+
+  [[nodiscard]] sim::Wire<bool>& valid(std::size_t i) { return valid_.at(i); }
+  [[nodiscard]] sim::Wire<bool>& ready(std::size_t i) { return ready_.at(i); }
+  [[nodiscard]] const sim::Wire<bool>& valid(std::size_t i) const { return valid_.at(i); }
+  [[nodiscard]] const sim::Wire<bool>& ready(std::size_t i) const { return ready_.at(i); }
+
+  /// Index of the thread whose valid is asserted, or threads() when none.
+  /// Call on settled state only. Throws ProtocolError on multiple valids.
+  [[nodiscard]] std::size_t active_thread() const {
+    std::size_t active = threads();
+    for (std::size_t i = 0; i < threads(); ++i) {
+      if (valid_[i].get()) {
+        if (active != threads()) {
+          throw sim::ProtocolError("MtChannel '" + name_ +
+                                   "': multiple valid(i) asserted in one cycle");
+        }
+        active = i;
+      }
+    }
+    return active;
+  }
+
+  /// True when thread i completes a transfer this (settled) cycle.
+  [[nodiscard]] bool fired(std::size_t i) const {
+    return valid_.at(i).get() && ready_.at(i).get();
+  }
+
+  /// Thread index of the transfer completing this cycle, or threads() if none.
+  [[nodiscard]] std::size_t fired_thread() const {
+    const std::size_t a = active_thread();
+    if (a < threads() && ready_[a].get()) return a;
+    return threads();
+  }
+
+  std::string name_;
+  sim::Wire<T> data;
+
+ private:
+  std::deque<sim::Wire<bool>> valid_;
+  std::deque<sim::Wire<bool>> ready_;
+};
+
+}  // namespace mte::mt

@@ -1,0 +1,42 @@
+// MtFunctionUnit: a zero-latency combinational computation on a
+// multithreaded elastic channel. Per-thread handshakes pass straight
+// through; the data bus is transformed. Follow with an MEB to cut the
+// combinational path, exactly as with the single-thread FunctionUnit.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::mt {
+
+template <typename In, typename Out>
+class MtFunctionUnit : public sim::Component {
+ public:
+  using Fn = std::function<Out(const In&)>;
+
+  MtFunctionUnit(sim::Simulator& s, std::string name, MtChannel<In>& in,
+                 MtChannel<Out>& out, Fn fn)
+      : Component(s, std::move(name)), in_(in), out_(out), fn_(std::move(fn)) {}
+
+  void eval() override {
+    for (std::size_t i = 0; i < in_.threads(); ++i) {
+      out_.valid(i).set(in_.valid(i).get());
+      in_.ready(i).set(out_.ready(i).get());
+    }
+    out_.data.set(fn_(in_.data.get()));
+  }
+
+  void tick() override {}
+
+ private:
+  MtChannel<In>& in_;
+  MtChannel<Out>& out_;
+  Fn fn_;
+};
+
+}  // namespace mte::mt

@@ -1,0 +1,40 @@
+// MtProbe: records completed transfers on a multithreaded channel into a
+// TraceRecorder, and doubles as a runtime checker of the one-valid-per-
+// cycle channel invariant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class MtProbe : public sim::Component {
+ public:
+  using TagFn = std::function<std::uint64_t(const T&)>;
+
+  MtProbe(sim::Simulator& s, MtChannel<T>& ch, sim::TraceRecorder& rec, TagFn tag)
+      : Component(s, "probe:" + ch.name()), ch_(ch), rec_(rec), tag_(std::move(tag)) {}
+
+  void eval() override {}
+
+  void tick() override {
+    const std::size_t t = ch_.fired_thread();  // checks the invariant
+    if (t < ch_.threads()) {
+      rec_.record(sim().now(), ch_.name(), static_cast<int>(t), tag_(ch_.data.get()));
+    }
+  }
+
+ private:
+  MtChannel<T>& ch_;
+  sim::TraceRecorder& rec_;
+  TagFn tag_;
+};
+
+}  // namespace mte::mt

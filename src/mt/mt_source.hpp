@@ -1,0 +1,149 @@
+// MtSource: drives the upstream end of a multithreaded elastic channel.
+//
+// Each thread has its own token list (or endless generator), injection
+// rate and stall windows. Every cycle the source picks one offerable
+// thread with an internal arbiter (same ready-aware + speculative-fallback
+// policy as the MEBs) and asserts that thread's valid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mt/arbiter.hpp"
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class MtSource : public sim::Component {
+ public:
+  MtSource(sim::Simulator& s, std::string name, MtChannel<T>& out,
+           std::unique_ptr<Arbiter> arbiter = nullptr)
+      : Component(s, std::move(name)), out_(out),
+        arb_(arbiter ? std::move(arbiter)
+                     : std::make_unique<RoundRobinArbiter>(out.threads())),
+        per_thread_(out.threads()) {}
+
+  void set_tokens(std::size_t thread, std::vector<T> tokens) {
+    per_thread_.at(thread).tokens = std::move(tokens);
+  }
+
+  void set_generator(std::size_t thread, std::function<T(std::uint64_t)> gen) {
+    per_thread_.at(thread).generator = std::move(gen);
+  }
+
+  void set_rate(std::size_t thread, double rate, std::uint64_t seed = 0) {
+    auto& t = per_thread_.at(thread);
+    t.rate = rate;
+    t.rng.reseed(seed + 0x517cc1b727220a95ULL * (thread + 1));
+  }
+
+  /// Thread `thread` offers nothing during cycles [start, end).
+  void add_stall_window(std::size_t thread, sim::Cycle start, sim::Cycle end) {
+    per_thread_.at(thread).stalls.emplace_back(start, end);
+  }
+
+  void reset() override {
+    for (auto& t : per_thread_) {
+      t.index = 0;
+      t.sent = 0;
+      t.gate = t.rate >= 1.0 || t.rng.next_bool(t.rate);
+    }
+    arb_->reset();
+    grant_ = threads();
+  }
+
+  void eval() override {
+    const std::size_t n = threads();
+    std::vector<bool> pending(n);
+    std::vector<bool> ready_down(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pending[i] = offerable(i);
+      ready_down[i] = out_.ready(i).get();
+    }
+    grant_ = arb_->grant(pending, ready_down);
+    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
+    if (grant_ < n) {
+      out_.data.set(*current(grant_));
+    } else {
+      out_.data.set(T{});
+    }
+  }
+
+  void tick() override {
+    const std::size_t n = threads();
+    const bool fired = grant_ < n && out_.ready(grant_).get();
+    if (fired) {
+      auto& t = per_thread_[grant_];
+      ++t.index;
+      ++t.sent;
+    }
+    arb_->update(grant_, fired);
+    for (auto& t : per_thread_) t.gate = t.rate >= 1.0 || t.rng.next_bool(t.rate);
+  }
+
+  [[nodiscard]] std::size_t threads() const noexcept { return per_thread_.size(); }
+  [[nodiscard]] std::uint64_t sent(std::size_t thread) const {
+    return per_thread_.at(thread).sent;
+  }
+  [[nodiscard]] std::uint64_t total_sent() const {
+    std::uint64_t total = 0;
+    for (const auto& t : per_thread_) total += t.sent;
+    return total;
+  }
+  [[nodiscard]] bool exhausted(std::size_t thread) const {
+    const auto& t = per_thread_.at(thread);
+    return !t.generator && t.index >= t.tokens.size();
+  }
+  [[nodiscard]] bool all_exhausted() const {
+    for (std::size_t i = 0; i < threads(); ++i) {
+      if (!exhausted(i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct PerThread {
+    std::vector<T> tokens;
+    std::function<T(std::uint64_t)> generator;
+    std::vector<std::pair<sim::Cycle, sim::Cycle>> stalls;
+    double rate = 1.0;
+    sim::Rng rng{11};
+    std::uint64_t index = 0;
+    std::uint64_t sent = 0;
+    bool gate = true;
+  };
+
+  [[nodiscard]] std::optional<T> current(std::size_t i) const {
+    const auto& t = per_thread_[i];
+    if (t.index < t.tokens.size()) return t.tokens[t.index];
+    if (t.generator) return t.generator(t.index);
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool offerable(std::size_t i) const {
+    const auto& t = per_thread_[i];
+    if (!current(i).has_value() || !t.gate) return false;
+    const sim::Cycle now = sim().now();
+    for (const auto& [start, end] : t.stalls) {
+      if (now >= start && now < end) return false;
+    }
+    return true;
+  }
+
+  MtChannel<T>& out_;
+  std::unique_ptr<Arbiter> arb_;
+  std::vector<PerThread> per_thread_;
+  std::size_t grant_ = 0;
+};
+
+}  // namespace mte::mt

@@ -1,0 +1,128 @@
+// MtVarLatencyUnit: a shared, single-occupancy variable-latency unit on a
+// multithreaded elastic channel (paper Sec. V: "instruction and data
+// memory as well as the execution units are considered variable latency
+// units"). One token of any thread occupies the unit for L >= 1 cycles;
+// tokens whose latency is 1 can optionally pass through combinationally
+// (pipelined mode), which is how shared ALUs behave in the processor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class MtVarLatencyUnit : public sim::Component {
+ public:
+  using Fn = std::function<T(const T&)>;
+  using LatencyFn = std::function<unsigned(const T&)>;
+
+  MtVarLatencyUnit(sim::Simulator& s, std::string name, MtChannel<T>& in,
+                   MtChannel<T>& out)
+      : Component(s, std::move(name)), in_(in), out_(out) {}
+
+  void set_function(Fn fn) { fn_ = std::move(fn); }
+  void set_latency_fn(LatencyFn fn) { latency_fn_ = std::move(fn); }
+
+  void set_latency_range(unsigned lo, unsigned hi, std::uint64_t seed = 7) {
+    rng_.reseed(seed);
+    latency_fn_ = [this, lo, hi](const T&) {
+      return static_cast<unsigned>(rng_.next_in(lo, hi));
+    };
+  }
+
+  /// Tokens satisfying the predicate bypass the server combinationally
+  /// (latency 1, one per cycle) — how shared ALUs treat simple ops. The
+  /// predicate must be pure: it is evaluated during settling. Served
+  /// (non-fast) tokens draw their latency from latency_fn at accept time,
+  /// which may be stateful (e.g. RNG-based).
+  void set_fast_predicate(std::function<bool(const T&)> pred) {
+    fast_fn_ = std::move(pred);
+  }
+
+  void reset() override {
+    state_ = State::kIdle;
+    remaining_ = 0;
+    owner_ = in_.threads();
+    token_ = T{};
+  }
+
+  void eval() override {
+    const std::size_t n = in_.threads();
+    const T u = in_.data.get();
+    const bool fast = fast_fn_ && fast_fn_(u);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool vin = in_.valid(i).get();
+      switch (state_) {
+        case State::kIdle:
+          out_.valid(i).set(vin && fast);
+          in_.ready(i).set(fast ? out_.ready(i).get() : true);
+          break;
+        case State::kBusy:
+          out_.valid(i).set(false);
+          in_.ready(i).set(false);
+          break;
+        case State::kDone:
+          out_.valid(i).set(i == owner_);
+          in_.ready(i).set(false);
+          break;
+      }
+    }
+    out_.data.set(state_ == State::kDone ? token_
+                                         : (state_ == State::kIdle ? apply(u) : T{}));
+  }
+
+  void tick() override {
+    const std::size_t n = in_.threads();
+    const std::size_t active = in_.active_thread();  // checks the invariant
+    switch (state_) {
+      case State::kIdle: {
+        if (active >= n || !in_.ready(active).get()) break;
+        const T u = in_.data.get();
+        if (fast_fn_ && fast_fn_(u)) break;  // passed through combinationally
+        token_ = apply(u);
+        owner_ = active;
+        const unsigned latency = latency_fn_ ? latency_fn_(u) : 1u;
+        remaining_ = latency > 0 ? latency - 1 : 0;
+        state_ = remaining_ == 0 ? State::kDone : State::kBusy;
+        ++accepted_;
+        break;
+      }
+      case State::kBusy:
+        if (--remaining_ == 0) state_ = State::kDone;
+        break;
+      case State::kDone:
+        if (out_.ready(owner_).get()) state_ = State::kIdle;
+        break;
+    }
+  }
+
+  [[nodiscard]] bool busy() const noexcept { return state_ != State::kIdle; }
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+
+ private:
+  enum class State { kIdle, kBusy, kDone };
+
+  [[nodiscard]] T apply(const T& u) const { return fn_ ? fn_(u) : u; }
+
+  MtChannel<T>& in_;
+  MtChannel<T>& out_;
+  Fn fn_;
+  LatencyFn latency_fn_;
+  std::function<bool(const T&)> fast_fn_;
+  sim::Rng rng_{7};
+  State state_ = State::kIdle;
+  unsigned remaining_ = 0;
+  std::size_t owner_ = 0;
+  T token_{};
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace mte::mt

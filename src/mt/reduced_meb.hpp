@@ -1,0 +1,117 @@
+// ReducedMeb<T>: the paper's proposed low-cost multithreaded elastic
+// buffer (Sec. III-A / IV-A, Fig. 6).
+//
+// S+1 storage slots for S threads: each thread owns one main register and
+// all threads dynamically share a single auxiliary register. Under uniform
+// utilization every thread gets its 1/M share of the channel exactly as
+// with the full MEB; the only divergence is the characterized corner case
+// (Fig. 5b) where all threads but one are blocked all the way back to the
+// source, capping the surviving thread at 50 % throughput.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mt/arbiter.hpp"
+#include "mt/meb_control.hpp"
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mte::mt {
+
+template <typename T>
+class ReducedMeb : public sim::Component {
+ public:
+  ReducedMeb(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out,
+             std::unique_ptr<Arbiter> arbiter = nullptr)
+      : Component(s, std::move(name)), in_(in), out_(out),
+        arb_(arbiter ? std::move(arbiter)
+                     : std::make_unique<RoundRobinArbiter>(in.threads())),
+        ctrl_(in.threads()), main_(in.threads()),
+        in_count_(in.threads(), 0), out_count_(in.threads(), 0) {
+    if (in.threads() != out.threads()) {
+      throw sim::SimulationError("ReducedMeb '" + this->name() +
+                                 "': input/output thread counts differ");
+    }
+  }
+
+  void reset() override {
+    ctrl_.reset();
+    for (auto& m : main_) m = T{};
+    shared_ = T{};
+    arb_->reset();
+    grant_ = threads();
+    std::fill(in_count_.begin(), in_count_.end(), 0);
+    std::fill(out_count_.begin(), out_count_.end(), 0);
+  }
+
+  void eval() override {
+    const std::size_t n = threads();
+    std::vector<bool> pending(n);
+    std::vector<bool> ready_down(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in_.ready(i).set(ctrl_.ready_out(i));
+      pending[i] = ctrl_.has_data(i);
+      ready_down[i] = out_.ready(i).get();
+    }
+    grant_ = arb_->grant(pending, ready_down);
+    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
+    // Output data always comes from the granted thread's main register;
+    // the shared slot only ever refills a main register.
+    out_.data.set(grant_ < n ? main_[grant_] : T{});
+  }
+
+  void tick() override {
+    const std::size_t n = threads();
+    const std::size_t active = in_.active_thread();  // checks the invariant
+    const bool in_fired = active < n && in_.ready(active).get();
+    const std::size_t in_thread = in_fired ? active : n;
+    const bool out_fired = grant_ < n && out_.ready(grant_).get();
+    const std::size_t out_thread = out_fired ? grant_ : n;
+
+    const T data_in = in_.data.get();
+    const ReducedMebOps ops = ctrl_.commit(in_thread, out_thread);
+    // Refill before store: when the shared slot is freed and claimed in
+    // the same cycle the refilled word must be the old one. (ready_out()
+    // actually forbids that overlap, but the ordering keeps the datapath
+    // correct under any control change.)
+    if (ops.refill_main) main_[ops.out_thread] = shared_;
+    if (ops.store_main) main_[ops.in_thread] = data_in;
+    if (ops.store_shared) shared_ = data_in;
+
+    if (in_fired) ++in_count_[in_thread];
+    if (out_fired) ++out_count_[out_thread];
+    arb_->update(grant_, out_fired);
+  }
+
+  [[nodiscard]] std::size_t threads() const noexcept { return ctrl_.threads(); }
+  [[nodiscard]] elastic::EbState state(std::size_t i) const { return ctrl_.state(i); }
+  [[nodiscard]] int occupancy(std::size_t i) const { return ctrl_.occupancy(i); }
+  [[nodiscard]] int total_occupancy() const { return ctrl_.total_occupancy(); }
+  [[nodiscard]] bool shared_full() const noexcept { return ctrl_.shared_full(); }
+  [[nodiscard]] std::size_t shared_owner() const noexcept { return ctrl_.shared_owner(); }
+  [[nodiscard]] const T& main_slot(std::size_t i) const { return main_.at(i); }
+  [[nodiscard]] const T& shared_slot() const noexcept { return shared_; }
+  [[nodiscard]] std::uint64_t in_count(std::size_t i) const { return in_count_.at(i); }
+  [[nodiscard]] std::uint64_t out_count(std::size_t i) const { return out_count_.at(i); }
+  /// Storage slots instantiated by this buffer (S main + 1 shared).
+  [[nodiscard]] std::size_t capacity() const noexcept { return threads() + 1; }
+
+ private:
+  MtChannel<T>& in_;
+  MtChannel<T>& out_;
+  std::unique_ptr<Arbiter> arb_;
+  ReducedMebControl ctrl_;
+  std::vector<T> main_;
+  T shared_{};
+  std::size_t grant_ = 0;
+  std::vector<std::uint64_t> in_count_;
+  std::vector<std::uint64_t> out_count_;
+};
+
+}  // namespace mte::mt

@@ -1,0 +1,253 @@
+#include "netlist/elaborate.hpp"
+
+#include <vector>
+
+#include "elastic/channel.hpp"
+#include "elastic/elastic_buffer.hpp"
+#include "elastic/fork.hpp"
+#include "elastic/function_unit.hpp"
+#include "elastic/join.hpp"
+#include "elastic/merge.hpp"
+#include "elastic/var_latency.hpp"
+#include "mt/m_fork.hpp"
+#include "mt/m_join.hpp"
+#include "mt/m_merge.hpp"
+#include "mt/mt_function_unit.hpp"
+#include "mt/mt_var_latency.hpp"
+#include "netlist/pred_branch.hpp"
+
+namespace mte::netlist {
+
+std::function<Word(Word)> FunctionRegistry::fn(const std::string& name) const {
+  const auto it = fns_.find(name);
+  if (it == fns_.end()) throw ElaborationError("unknown function '" + name + "'");
+  return it->second;
+}
+
+std::function<bool(Word)> FunctionRegistry::pred(const std::string& name) const {
+  const auto it = preds_.find(name);
+  if (it == preds_.end()) throw ElaborationError("unknown predicate '" + name + "'");
+  return it->second;
+}
+
+FunctionRegistry FunctionRegistry::with_defaults() {
+  FunctionRegistry r;
+  r.add_fn("id", [](Word x) { return x; });
+  r.add_fn("inc", [](Word x) { return x + 1; });
+  r.add_fn("dec", [](Word x) { return x - 1; });
+  r.add_fn("double", [](Word x) { return 2 * x; });
+  r.add_fn("square", [](Word x) { return x * x; });
+  r.add_pred("even", [](Word x) { return x % 2 == 0; });
+  r.add_pred("odd", [](Word x) { return x % 2 == 1; });
+  r.add_pred("nonzero", [](Word x) { return x != 0; });
+  return r;
+}
+
+namespace {
+
+/// Channel lookup keyed by (node, port) on each side of an edge.
+template <typename ChannelT>
+struct PortMap {
+  std::map<std::pair<std::size_t, unsigned>, ChannelT*> out;  // driver side
+  std::map<std::pair<std::size_t, unsigned>, ChannelT*> in;   // consumer side
+
+  [[nodiscard]] ChannelT& output_of(const Node& n, unsigned port) const {
+    const auto it = out.find({n.id, port});
+    if (it == out.end()) {
+      throw ElaborationError("node '" + n.name + "' output " + std::to_string(port) +
+                             " unconnected");
+    }
+    return *it->second;
+  }
+
+  [[nodiscard]] ChannelT& input_of(const Node& n, unsigned port) const {
+    const auto it = in.find({n.id, port});
+    if (it == in.end()) {
+      throw ElaborationError("node '" + n.name + "' input " + std::to_string(port) +
+                             " undriven");
+    }
+    return *it->second;
+  }
+};
+
+}  // namespace
+
+Elaboration::Elaboration(const Netlist& netlist, const FunctionRegistry& registry) {
+  const auto problems = netlist.validate();
+  if (!problems.empty()) {
+    throw ElaborationError("netlist invalid: " + problems.front());
+  }
+  threads_ = netlist.threads();
+
+  if (threads_ == 1) {
+    PortMap<elastic::Channel<Word>> ports;
+    for (const auto& e : netlist.edges()) {
+      auto& ch = sim_.make<elastic::Channel<Word>>(
+          sim_, "e" + std::to_string(e.id));
+      ports.out[{e.from, e.from_port}] = &ch;
+      ports.in[{e.to, e.to_port}] = &ch;
+    }
+    for (const auto& n : netlist.nodes()) {
+      switch (n.type) {
+        case NodeType::kSource: {
+          auto& src = sim_.make<elastic::Source<Word>>(sim_, n.name,
+                                                       ports.output_of(n, 0));
+          src.set_rate(n.rate, 17 + n.id);
+          sources_[n.name] = &src;
+          break;
+        }
+        case NodeType::kSink: {
+          auto& snk =
+              sim_.make<elastic::Sink<Word>>(sim_, n.name, ports.input_of(n, 0));
+          snk.set_rate(n.rate, 23 + n.id);
+          sinks_[n.name] = &snk;
+          break;
+        }
+        case NodeType::kBuffer:
+          sim_.make<elastic::ElasticBuffer<Word>>(sim_, n.name, ports.input_of(n, 0),
+                                                  ports.output_of(n, 0));
+          break;
+        case NodeType::kFork: {
+          std::vector<elastic::Channel<Word>*> outs;
+          for (unsigned p = 0; p < n.outputs; ++p) outs.push_back(&ports.output_of(n, p));
+          sim_.make<elastic::Fork<Word>>(sim_, n.name, ports.input_of(n, 0),
+                                         std::move(outs));
+          break;
+        }
+        case NodeType::kJoin: {
+          std::vector<elastic::Channel<Word>*> ins;
+          for (unsigned p = 0; p < n.inputs; ++p) ins.push_back(&ports.input_of(n, p));
+          sim_.make<elastic::JoinN<Word>>(sim_, n.name, std::move(ins),
+                                          ports.output_of(n, 0),
+                                          [](const std::vector<Word>& v) {
+                                            Word sum = 0;
+                                            for (Word x : v) sum += x;
+                                            return sum;
+                                          });
+          break;
+        }
+        case NodeType::kMerge: {
+          // Netlist merges arbitrate: loop-entry merges legitimately see
+          // a new token and a looped-back token in the same cycle.
+          std::vector<elastic::Channel<Word>*> ins;
+          for (unsigned p = 0; p < n.inputs; ++p) ins.push_back(&ports.input_of(n, p));
+          sim_.make<elastic::ArbMerge<Word>>(sim_, n.name, std::move(ins),
+                                             ports.output_of(n, 0));
+          break;
+        }
+        case NodeType::kBranch:
+          sim_.make<PredBranch<Word>>(sim_, n.name, ports.input_of(n, 0),
+                                      ports.output_of(n, 0), ports.output_of(n, 1),
+                                      registry.pred(n.fn));
+          break;
+        case NodeType::kFunction:
+          sim_.make<elastic::FunctionUnit<Word, Word>>(sim_, n.name,
+                                                       ports.input_of(n, 0),
+                                                       ports.output_of(n, 0),
+                                                       registry.fn(n.fn));
+          break;
+        case NodeType::kVarLatency: {
+          auto& vl = sim_.make<elastic::VariableLatencyUnit<Word>>(
+              sim_, n.name, ports.input_of(n, 0), ports.output_of(n, 0));
+          vl.set_latency_range(n.latency_lo, n.latency_hi, 31 + n.id);
+          break;
+        }
+      }
+    }
+    return;
+  }
+
+  // Multithreaded elaboration.
+  PortMap<mt::MtChannel<Word>> ports;
+  for (const auto& e : netlist.edges()) {
+    auto& ch = sim_.make<mt::MtChannel<Word>>(sim_, "e" + std::to_string(e.id),
+                                              threads_);
+    ports.out[{e.from, e.from_port}] = &ch;
+    ports.in[{e.to, e.to_port}] = &ch;
+  }
+  for (const auto& n : netlist.nodes()) {
+    switch (n.type) {
+      case NodeType::kSource: {
+        auto& src = sim_.make<mt::MtSource<Word>>(sim_, n.name, ports.output_of(n, 0));
+        for (std::size_t t = 0; t < threads_; ++t) src.set_rate(t, n.rate, 17 + n.id);
+        mt_sources_[n.name] = &src;
+        break;
+      }
+      case NodeType::kSink: {
+        auto& snk = sim_.make<mt::MtSink<Word>>(sim_, n.name, ports.input_of(n, 0));
+        for (std::size_t t = 0; t < threads_; ++t) snk.set_rate(t, n.rate, 23 + n.id);
+        mt_sinks_[n.name] = &snk;
+        break;
+      }
+      case NodeType::kBuffer:
+        (void)mt::AnyMeb<Word>::create(sim_, n.name, ports.input_of(n, 0),
+                                       ports.output_of(n, 0), netlist.meb_kind());
+        break;
+      case NodeType::kFork: {
+        std::vector<mt::MtChannel<Word>*> outs;
+        for (unsigned p = 0; p < n.outputs; ++p) outs.push_back(&ports.output_of(n, p));
+        sim_.make<mt::MFork<Word>>(sim_, n.name, ports.input_of(n, 0), std::move(outs));
+        break;
+      }
+      case NodeType::kJoin: {
+        if (n.inputs != 2) {
+          throw ElaborationError("multithreaded elaboration supports 2-input joins; '" +
+                                 n.name + "' has " + std::to_string(n.inputs));
+        }
+        sim_.make<mt::MJoin<Word, Word, Word>>(
+            sim_, n.name, ports.input_of(n, 0), ports.input_of(n, 1),
+            ports.output_of(n, 0), [](const Word& a, const Word& b) { return a + b; });
+        break;
+      }
+      case NodeType::kMerge: {
+        std::vector<mt::MtChannel<Word>*> ins;
+        for (unsigned p = 0; p < n.inputs; ++p) ins.push_back(&ports.input_of(n, p));
+        sim_.make<mt::MMerge<Word>>(sim_, n.name, std::move(ins),
+                                    ports.output_of(n, 0), /*exclusive=*/false);
+        break;
+      }
+      case NodeType::kBranch:
+        sim_.make<MtPredBranch<Word>>(sim_, n.name, ports.input_of(n, 0),
+                                      ports.output_of(n, 0), ports.output_of(n, 1),
+                                      registry.pred(n.fn));
+        break;
+      case NodeType::kFunction:
+        sim_.make<mt::MtFunctionUnit<Word, Word>>(sim_, n.name, ports.input_of(n, 0),
+                                                  ports.output_of(n, 0),
+                                                  registry.fn(n.fn));
+        break;
+      case NodeType::kVarLatency: {
+        auto& vl = sim_.make<mt::MtVarLatencyUnit<Word>>(
+            sim_, n.name, ports.input_of(n, 0), ports.output_of(n, 0));
+        vl.set_latency_range(n.latency_lo, n.latency_hi, 31 + n.id);
+        break;
+      }
+    }
+  }
+}
+
+elastic::Source<Word>& Elaboration::source(const std::string& name) {
+  const auto it = sources_.find(name);
+  if (it == sources_.end()) throw ElaborationError("no source '" + name + "'");
+  return *it->second;
+}
+
+elastic::Sink<Word>& Elaboration::sink(const std::string& name) {
+  const auto it = sinks_.find(name);
+  if (it == sinks_.end()) throw ElaborationError("no sink '" + name + "'");
+  return *it->second;
+}
+
+mt::MtSource<Word>& Elaboration::mt_source(const std::string& name) {
+  const auto it = mt_sources_.find(name);
+  if (it == mt_sources_.end()) throw ElaborationError("no mt source '" + name + "'");
+  return *it->second;
+}
+
+mt::MtSink<Word>& Elaboration::mt_sink(const std::string& name) {
+  const auto it = mt_sinks_.find(name);
+  if (it == mt_sinks_.end()) throw ElaborationError("no mt sink '" + name + "'");
+  return *it->second;
+}
+
+}  // namespace mte::netlist

@@ -1,0 +1,78 @@
+// Elaboration: turns an abstract elastic netlist into a live, runnable
+// Simulator. A single-thread netlist elaborates to the elastic:: base
+// primitives; a multithreaded netlist (after to_multithreaded) elaborates
+// to MEBs and M- operators. Tokens are 64-bit words; function and branch
+// nodes resolve their behaviour through a FunctionRegistry by name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "elastic/sink.hpp"
+#include "elastic/source.hpp"
+#include "mt/mt_sink.hpp"
+#include "mt/mt_source.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::netlist {
+
+using Word = std::uint64_t;
+
+class ElaborationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Named behaviours for function and branch nodes.
+class FunctionRegistry {
+ public:
+  void add_fn(const std::string& name, std::function<Word(Word)> fn) {
+    fns_[name] = std::move(fn);
+  }
+  void add_pred(const std::string& name, std::function<bool(Word)> pred) {
+    preds_[name] = std::move(pred);
+  }
+
+  [[nodiscard]] std::function<Word(Word)> fn(const std::string& name) const;
+  [[nodiscard]] std::function<bool(Word)> pred(const std::string& name) const;
+
+  /// id/inc/dec/square/double functions; even/odd/nonzero predicates.
+  [[nodiscard]] static FunctionRegistry with_defaults();
+
+ private:
+  std::map<std::string, std::function<Word(Word)>> fns_;
+  std::map<std::string, std::function<bool(Word)>> preds_;
+};
+
+/// The elaborated design: owns the simulator and exposes handles to the
+/// boundary components for workload configuration and observation.
+class Elaboration {
+ public:
+  Elaboration(const Netlist& netlist, const FunctionRegistry& registry);
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  // Single-thread boundary handles (threads() == 1).
+  [[nodiscard]] elastic::Source<Word>& source(const std::string& name);
+  [[nodiscard]] elastic::Sink<Word>& sink(const std::string& name);
+
+  // Multithreaded boundary handles (threads() > 1).
+  [[nodiscard]] mt::MtSource<Word>& mt_source(const std::string& name);
+  [[nodiscard]] mt::MtSink<Word>& mt_sink(const std::string& name);
+
+ private:
+  sim::Simulator sim_;
+  std::size_t threads_ = 1;
+  std::map<std::string, elastic::Source<Word>*> sources_;
+  std::map<std::string, elastic::Sink<Word>*> sinks_;
+  std::map<std::string, mt::MtSource<Word>*> mt_sources_;
+  std::map<std::string, mt::MtSink<Word>*> mt_sinks_;
+};
+
+}  // namespace mte::netlist

@@ -1,0 +1,230 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace mte::netlist {
+
+const char* to_string(NodeType type) {
+  switch (type) {
+    case NodeType::kSource: return "source";
+    case NodeType::kSink: return "sink";
+    case NodeType::kBuffer: return "buffer";
+    case NodeType::kFork: return "fork";
+    case NodeType::kJoin: return "join";
+    case NodeType::kMerge: return "merge";
+    case NodeType::kBranch: return "branch";
+    case NodeType::kFunction: return "function";
+    case NodeType::kVarLatency: return "var_latency";
+  }
+  return "?";
+}
+
+std::size_t Netlist::add_node(NodeType type, const std::string& name, unsigned inputs,
+                              unsigned outputs) {
+  Node n;
+  n.id = nodes_.size();
+  n.type = type;
+  n.name = name;
+  n.inputs = inputs;
+  n.outputs = outputs;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+std::size_t Netlist::add_source(const std::string& name, double rate) {
+  const auto id = add_node(NodeType::kSource, name, 0, 1);
+  nodes_[id].rate = rate;
+  return id;
+}
+
+std::size_t Netlist::add_sink(const std::string& name, double rate) {
+  const auto id = add_node(NodeType::kSink, name, 1, 0);
+  nodes_[id].rate = rate;
+  return id;
+}
+
+std::size_t Netlist::add_buffer(const std::string& name) {
+  return add_node(NodeType::kBuffer, name, 1, 1);
+}
+
+std::size_t Netlist::add_fork(const std::string& name, unsigned outputs) {
+  return add_node(NodeType::kFork, name, 1, outputs);
+}
+
+std::size_t Netlist::add_join(const std::string& name, unsigned inputs) {
+  return add_node(NodeType::kJoin, name, inputs, 1);
+}
+
+std::size_t Netlist::add_merge(const std::string& name, unsigned inputs) {
+  return add_node(NodeType::kMerge, name, inputs, 1);
+}
+
+std::size_t Netlist::add_branch(const std::string& name, const std::string& predicate) {
+  const auto id = add_node(NodeType::kBranch, name, 1, 2);
+  nodes_[id].fn = predicate;
+  return id;
+}
+
+std::size_t Netlist::add_function(const std::string& name, const std::string& fn) {
+  const auto id = add_node(NodeType::kFunction, name, 1, 1);
+  nodes_[id].fn = fn;
+  return id;
+}
+
+std::size_t Netlist::add_var_latency(const std::string& name, unsigned lo, unsigned hi) {
+  const auto id = add_node(NodeType::kVarLatency, name, 1, 1);
+  nodes_[id].latency_lo = lo;
+  nodes_[id].latency_hi = hi;
+  return id;
+}
+
+void Netlist::connect(std::size_t from, unsigned from_port, std::size_t to,
+                      unsigned to_port) {
+  Edge e;
+  e.id = edges_.size();
+  e.from = from;
+  e.from_port = from_port;
+  e.to = to;
+  e.to_port = to_port;
+  edges_.push_back(e);
+}
+
+std::size_t Netlist::count(NodeType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [type](const Node& n) { return n.type == type; }));
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+
+  // Port references and single driver/reader per port.
+  std::map<std::pair<std::size_t, unsigned>, int> out_use;
+  std::map<std::pair<std::size_t, unsigned>, int> in_use;
+  for (const auto& e : edges_) {
+    if (e.from >= nodes_.size() || e.to >= nodes_.size()) {
+      problems.push_back("edge " + std::to_string(e.id) + ": bad node id");
+      continue;
+    }
+    if (e.from_port >= nodes_[e.from].outputs) {
+      problems.push_back("edge " + std::to_string(e.id) + ": '" + nodes_[e.from].name +
+                         "' has no output port " + std::to_string(e.from_port));
+    }
+    if (e.to_port >= nodes_[e.to].inputs) {
+      problems.push_back("edge " + std::to_string(e.id) + ": '" + nodes_[e.to].name +
+                         "' has no input port " + std::to_string(e.to_port));
+    }
+    ++out_use[{e.from, e.from_port}];
+    ++in_use[{e.to, e.to_port}];
+  }
+  for (const auto& n : nodes_) {
+    for (unsigned p = 0; p < n.outputs; ++p) {
+      const int uses = out_use.count({n.id, p}) != 0 ? out_use.at({n.id, p}) : 0;
+      if (uses == 0) {
+        problems.push_back("node '" + n.name + "' output " + std::to_string(p) +
+                           " unconnected");
+      } else if (uses > 1) {
+        problems.push_back("node '" + n.name + "' output " + std::to_string(p) +
+                           " has fanout " + std::to_string(uses) + " (use a fork)");
+      }
+    }
+    for (unsigned p = 0; p < n.inputs; ++p) {
+      const int uses = in_use.count({n.id, p}) != 0 ? in_use.at({n.id, p}) : 0;
+      if (uses == 0) {
+        problems.push_back("node '" + n.name + "' input " + std::to_string(p) +
+                           " undriven");
+      } else if (uses > 1) {
+        problems.push_back("node '" + n.name + "' input " + std::to_string(p) +
+                           " has " + std::to_string(uses) + " drivers");
+      }
+    }
+  }
+
+  // Every cycle must contain at least one buffer or variable-latency unit
+  // (sequential element), otherwise the handshake forms a combinational
+  // loop. DFS over non-sequential nodes only.
+  std::vector<std::vector<std::size_t>> adj(nodes_.size());
+  for (const auto& e : edges_) {
+    if (e.from < nodes_.size() && e.to < nodes_.size()) adj[e.from].push_back(e.to);
+  }
+  auto sequential = [this](std::size_t id) {
+    const NodeType t = nodes_[id].type;
+    return t == NodeType::kBuffer || t == NodeType::kVarLatency;
+  };
+  enum class Mark { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(nodes_.size(), Mark::kWhite);
+  bool comb_cycle = false;
+  std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+    mark[u] = Mark::kGray;
+    for (std::size_t v : adj[u]) {
+      if (sequential(v)) continue;  // a buffer cuts the combinational path
+      if (mark[v] == Mark::kGray) {
+        comb_cycle = true;
+      } else if (mark[v] == Mark::kWhite) {
+        dfs(v);
+      }
+    }
+    mark[u] = Mark::kBlack;
+  };
+  for (std::size_t u = 0; u < nodes_.size(); ++u) {
+    if (mark[u] == Mark::kWhite && !sequential(u)) dfs(u);
+  }
+  if (comb_cycle) {
+    problems.push_back("combinational cycle: some feedback path has no buffer");
+  }
+
+  return problems;
+}
+
+std::string Netlist::to_dot() const {
+  std::ostringstream os;
+  os << "digraph elastic {\n  rankdir=LR;\n";
+  const bool mt = threads_ > 1;
+  for (const auto& n : nodes_) {
+    std::string label = n.name;
+    std::string shape = "box";
+    switch (n.type) {
+      case NodeType::kBuffer:
+        label += mt ? std::string("\\n") + (meb_kind_ == mt::MebKind::kFull
+                                                ? "full MEB"
+                                                : "reduced MEB")
+                    : "\\nEB";
+        shape = "box3d";
+        break;
+      case NodeType::kFork: label += mt ? "\\nM-Fork" : "\\nFork"; shape = "triangle"; break;
+      case NodeType::kJoin: label += mt ? "\\nM-Join" : "\\nJoin"; shape = "invtriangle"; break;
+      case NodeType::kMerge: label += mt ? "\\nM-Merge" : "\\nMerge"; shape = "invtrapezium"; break;
+      case NodeType::kBranch: label += mt ? "\\nM-Branch" : "\\nBranch"; shape = "trapezium"; break;
+      case NodeType::kSource: shape = "circle"; break;
+      case NodeType::kSink: shape = "doublecircle"; break;
+      case NodeType::kFunction: label += "\\nf=" + n.fn; break;
+      case NodeType::kVarLatency:
+        label += "\\nL=" + std::to_string(n.latency_lo) + ".." +
+                 std::to_string(n.latency_hi);
+        break;
+    }
+    os << "  n" << n.id << " [label=\"" << label << "\", shape=" << shape << "];\n";
+  }
+  for (const auto& e : edges_) {
+    os << "  n" << e.from << " -> n" << e.to;
+    if (mt) os << " [color=blue, penwidth=1.5]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Netlist Netlist::to_multithreaded(std::size_t threads, mt::MebKind kind) const {
+  if (threads_ != 1) {
+    throw std::logic_error("to_multithreaded: netlist is already multithreaded");
+  }
+  Netlist out = *this;  // the structure is unchanged; primitives are swapped
+  out.threads_ = threads;
+  out.meb_kind_ = kind;
+  return out;
+}
+
+}  // namespace mte::netlist

@@ -1,0 +1,102 @@
+// Elastic netlist: the abstract graph on which multithreaded elastic
+// synthesis operates (paper Secs. II & IV).
+//
+// Nodes are elastic primitives (sources, sinks, buffers, forks, joins,
+// merges, branches, function units, variable-latency units); edges are
+// elastic channels. A single-thread netlist can be *transformed* into a
+// multithreaded one (to_multithreaded): buffers become MEBs (full or
+// reduced) and the operators become their M- variants — this is the
+// synthesis step the paper's primitives enable. The netlist validates
+// structural rules (port arities, single driver/reader per port, at
+// least one buffer on every cycle) and elaborates into a live Simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mt/meb_variant.hpp"
+
+namespace mte::netlist {
+
+enum class NodeType {
+  kSource,
+  kSink,
+  kBuffer,      ///< 2-slot EB (MEB after the MT transform)
+  kFork,
+  kJoin,
+  kMerge,
+  kBranch,      ///< routes by a predicate on the token (true/false outputs)
+  kFunction,    ///< combinational map, by registry name
+  kVarLatency,  ///< variable-latency unit (single-thread elaboration only)
+};
+
+[[nodiscard]] const char* to_string(NodeType type);
+
+struct Node {
+  std::size_t id = 0;
+  NodeType type = NodeType::kBuffer;
+  std::string name;
+  unsigned inputs = 1;
+  unsigned outputs = 1;
+  std::string fn;              ///< registry key (kFunction: map; kBranch: predicate)
+  unsigned latency_lo = 1;     ///< kVarLatency latency range
+  unsigned latency_hi = 1;
+  double rate = 1.0;           ///< kSource injection / kSink readiness rate
+};
+
+struct Edge {
+  std::size_t id = 0;
+  std::size_t from = 0;
+  unsigned from_port = 0;
+  std::size_t to = 0;
+  unsigned to_port = 0;
+};
+
+class Netlist {
+ public:
+  std::size_t add_source(const std::string& name, double rate = 1.0);
+  std::size_t add_sink(const std::string& name, double rate = 1.0);
+  std::size_t add_buffer(const std::string& name);
+  std::size_t add_fork(const std::string& name, unsigned outputs);
+  std::size_t add_join(const std::string& name, unsigned inputs);
+  std::size_t add_merge(const std::string& name, unsigned inputs);
+  std::size_t add_branch(const std::string& name, const std::string& predicate);
+  std::size_t add_function(const std::string& name, const std::string& fn);
+  std::size_t add_var_latency(const std::string& name, unsigned lo, unsigned hi);
+
+  /// Connects from:from_port -> to:to_port. Ports are 0-based.
+  void connect(std::size_t from, unsigned from_port, std::size_t to, unsigned to_port);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] const Node& node(std::size_t id) const { return nodes_.at(id); }
+
+  /// 1 for a single-thread netlist, > 1 after to_multithreaded().
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  [[nodiscard]] mt::MebKind meb_kind() const noexcept { return meb_kind_; }
+
+  /// Structural validation; returns human-readable problems (empty = OK).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Number of nodes of a given type.
+  [[nodiscard]] std::size_t count(NodeType type) const;
+
+  /// Graphviz rendering (M- prefixes and MEB labels after the transform).
+  [[nodiscard]] std::string to_dot() const;
+
+  /// The synthesis pass: returns the S-thread version of this netlist
+  /// with the chosen MEB flavour. Requires threads() == 1.
+  [[nodiscard]] Netlist to_multithreaded(std::size_t threads, mt::MebKind kind) const;
+
+ private:
+  std::size_t add_node(NodeType type, const std::string& name, unsigned inputs,
+                       unsigned outputs);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::size_t threads_ = 1;
+  mt::MebKind meb_kind_ = mt::MebKind::kFull;
+};
+
+}  // namespace mte::netlist

@@ -1,0 +1,78 @@
+// Predicate branches used by netlist elaboration: route a token to the
+// true/false output according to a predicate evaluated on the token
+// itself. This is the paper's branch with its condition channel driven
+// by a function of the data (the common synthesis pattern for loops).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "elastic/channel.hpp"
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::netlist {
+
+template <typename T>
+class PredBranch : public sim::Component {
+ public:
+  using Pred = std::function<bool(const T&)>;
+
+  PredBranch(sim::Simulator& s, std::string name, elastic::Channel<T>& in,
+             elastic::Channel<T>& out_true, elastic::Channel<T>& out_false, Pred pred)
+      : Component(s, std::move(name)), in_(in), out_true_(out_true),
+        out_false_(out_false), pred_(std::move(pred)) {}
+
+  void eval() override {
+    const bool taken = pred_(in_.data.get());
+    const bool v = in_.valid.get();
+    out_true_.valid.set(v && taken);
+    out_false_.valid.set(v && !taken);
+    in_.ready.set(taken ? out_true_.ready.get() : out_false_.ready.get());
+    out_true_.data.set(in_.data.get());
+    out_false_.data.set(in_.data.get());
+  }
+
+  void tick() override {}
+
+ private:
+  elastic::Channel<T>& in_;
+  elastic::Channel<T>& out_true_;
+  elastic::Channel<T>& out_false_;
+  Pred pred_;
+};
+
+template <typename T>
+class MtPredBranch : public sim::Component {
+ public:
+  using Pred = std::function<bool(const T&)>;
+
+  MtPredBranch(sim::Simulator& s, std::string name, mt::MtChannel<T>& in,
+               mt::MtChannel<T>& out_true, mt::MtChannel<T>& out_false, Pred pred)
+      : Component(s, std::move(name)), in_(in), out_true_(out_true),
+        out_false_(out_false), pred_(std::move(pred)) {}
+
+  void eval() override {
+    const bool taken = pred_(in_.data.get());
+    for (std::size_t i = 0; i < in_.threads(); ++i) {
+      const bool v = in_.valid(i).get();
+      out_true_.valid(i).set(v && taken);
+      out_false_.valid(i).set(v && !taken);
+      in_.ready(i).set(taken ? out_true_.ready(i).get() : out_false_.ready(i).get());
+    }
+    out_true_.data.set(in_.data.get());
+    out_false_.data.set(in_.data.get());
+  }
+
+  void tick() override { (void)in_.active_thread(); }
+
+ private:
+  mt::MtChannel<T>& in_;
+  mt::MtChannel<T>& out_true_;
+  mt::MtChannel<T>& out_false_;
+  Pred pred_;
+};
+
+}  // namespace mte::netlist

@@ -1,0 +1,46 @@
+// Component: base class of everything that lives inside a Simulator.
+#pragma once
+
+#include <string>
+
+namespace mte::sim {
+
+class Simulator;
+
+/// A synchronous circuit element.
+///
+/// Lifecycle per clock cycle:
+///   1. eval()  — compute combinational outputs from input wires and
+///                registered state. Called repeatedly until all wires
+///                settle; it must therefore be idempotent.
+///   2. tick()  — commit sequential state from the settled wire values.
+///                Must never write a wire.
+///
+/// Components register themselves with the Simulator passed at
+/// construction and must outlive any use of that Simulator.
+class Component {
+ public:
+  Component(Simulator& sim, std::string name);
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Re-initialize registered state to its power-on value.
+  virtual void reset() {}
+
+  /// Combinational evaluation; idempotent; runs >= 1 time per cycle.
+  virtual void eval() = 0;
+
+  /// Sequential commit at the clock edge; must not write wires.
+  virtual void tick() = 0;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Simulator& sim() const noexcept { return *sim_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+};
+
+}  // namespace mte::sim

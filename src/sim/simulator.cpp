@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace mte::sim {
+
+Component::Component(Simulator& sim, std::string name)
+    : sim_(&sim), name_(std::move(name)) {
+  sim.register_component(*this);
+}
+
+std::size_t Simulator::effective_settle_limit() const noexcept {
+  if (settle_limit_ != 0) return settle_limit_;
+  // Each iteration propagates signals at least one component deeper, so a
+  // loop-free circuit settles in <= #components + 1 iterations. Keep a
+  // little slack for pathological evaluation orders.
+  return 2 * components_.size() + 8;
+}
+
+void Simulator::settle() {
+  const std::size_t limit = effective_settle_limit();
+  std::size_t iterations = 0;
+  tracker_.consume();  // drop stale notifications from outside the loop
+  do {
+    if (++iterations > limit) {
+      throw CombinationalLoopError(
+          "settle loop did not converge after " + std::to_string(limit) +
+          " iterations; the circuit most likely contains a combinational cycle");
+    }
+    for (Component* c : components_) c->eval();
+  } while (tracker_.consume());
+}
+
+void Simulator::reset() {
+  cycle_ = 0;
+  for (Component* c : components_) c->reset();
+}
+
+void Simulator::step() {
+  settle();
+  for (const auto& fn : observers_) fn(cycle_);
+  for (Component* c : components_) c->tick();
+  ++cycle_;
+}
+
+void Simulator::run(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) step();
+}
+
+}  // namespace mte::sim

@@ -1,0 +1,86 @@
+// Simulator: the clocked, delta-cycle simulation kernel.
+//
+// Each step() performs:
+//   1. settle: run eval() on every component repeatedly until no wire
+//      changes (fixed point). Non-convergence within the settle limit
+//      raises CombinationalLoopError.
+//   2. observe: invoke registered per-cycle observers on the settled state.
+//   3. commit: run tick() on every component (the clock edge).
+//
+// This reproduces synchronous RTL semantics at cycle granularity, which is
+// the level at which the paper's protocol properties are defined.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+#include "sim/wire.hpp"
+
+namespace mte::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// The change tracker shared by all wires of this simulator.
+  [[nodiscard]] ChangeTracker& tracker() noexcept { return tracker_; }
+
+  /// Registers a component. Called automatically by the Component ctor.
+  void register_component(Component& c) { components_.push_back(&c); }
+
+  /// Constructs a component (or any object) owned by the simulator.
+  /// Components still self-register through their constructor.
+  template <typename C, typename... Args>
+  C& make(Args&&... args) {
+    auto obj = std::make_shared<C>(std::forward<Args>(args)...);
+    C& ref = *obj;
+    owned_.push_back(std::move(obj));  // shared_ptr<void> keeps the deleter
+    return ref;
+  }
+
+  /// Adds an observer invoked once per cycle on the settled state,
+  /// before the clock edge.
+  void on_cycle(std::function<void(Cycle)> fn) { observers_.push_back(std::move(fn)); }
+
+  /// Resets all components and the cycle counter.
+  void reset();
+
+  /// Advances one clock cycle.
+  void step();
+
+  /// Advances n clock cycles.
+  void run(Cycle n);
+
+  /// Runs eval to fixed point without ticking; useful for inspecting the
+  /// combinational response to the current state in tests.
+  void settle();
+
+  /// Cycles completed since reset.
+  [[nodiscard]] Cycle now() const noexcept { return cycle_; }
+
+  /// Upper bound on settle iterations per cycle (default: scales with the
+  /// number of components).
+  void set_settle_limit(std::size_t limit) noexcept { settle_limit_ = limit; }
+
+  [[nodiscard]] std::size_t component_count() const noexcept { return components_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t effective_settle_limit() const noexcept;
+
+  ChangeTracker tracker_;
+  std::vector<Component*> components_;
+  std::vector<std::shared_ptr<void>> owned_;
+  std::vector<std::function<void(Cycle)>> observers_;
+  Cycle cycle_ = 0;
+  std::size_t settle_limit_ = 0;  // 0 => automatic
+};
+
+}  // namespace mte::sim

@@ -1,0 +1,82 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mte::sim {
+
+std::vector<TransferEvent> TraceRecorder::channel_events(const std::string& channel) const {
+  std::vector<TransferEvent> out;
+  for (const auto& e : events_) {
+    if (e.channel == channel) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> TraceRecorder::tags(const std::string& channel, int thread) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& e : events_) {
+    if (e.channel == channel && e.thread == thread) out.push_back(e.tag);
+  }
+  return out;
+}
+
+void Timeline::declare_row(const std::string& row) {
+  if (std::find(row_order_.begin(), row_order_.end(), row) == row_order_.end()) {
+    row_order_.push_back(row);
+  }
+}
+
+void Timeline::put(const std::string& row, Cycle cycle, std::string label) {
+  declare_row(row);
+  cells_[row][cycle] = std::move(label);
+  max_cycle_ = std::max(max_cycle_, cycle);
+  any_ = true;
+}
+
+std::string Timeline::render(Cycle first, Cycle last) const {
+  // Column width: widest label, at least 3 (two chars + separator space).
+  std::size_t cell_w = 2;
+  for (const auto& [row, by_cycle] : cells_) {
+    for (const auto& [cycle, label] : by_cycle) {
+      if (cycle >= first && cycle <= last) cell_w = std::max(cell_w, label.size());
+    }
+  }
+  std::size_t row_w = 8;
+  for (const auto& row : row_order_) row_w = std::max(row_w, row.size());
+
+  std::ostringstream os;
+  os << std::string(row_w, ' ') << " |";
+  for (Cycle c = first; c <= last; ++c) {
+    std::string hdr = std::to_string(c);
+    if (hdr.size() < cell_w) hdr = std::string(cell_w - hdr.size(), ' ') + hdr;
+    os << ' ' << hdr;
+  }
+  os << '\n';
+  os << std::string(row_w, '-') << "-+" << std::string((cell_w + 1) * (last - first + 1), '-')
+     << '\n';
+  for (const auto& row : row_order_) {
+    std::string padded = row + std::string(row_w - row.size(), ' ');
+    os << padded << " |";
+    const auto it = cells_.find(row);
+    for (Cycle c = first; c <= last; ++c) {
+      std::string label;
+      if (it != cells_.end()) {
+        const auto jt = it->second.find(c);
+        if (jt != it->second.end()) label = jt->second;
+      }
+      if (label.empty()) label = ".";
+      if (label.size() < cell_w) label = std::string(cell_w - label.size(), ' ') + label;
+      os << ' ' << label;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Timeline::render() const {
+  if (!any_) return "(empty timeline)\n";
+  return render(0, max_cycle_);
+}
+
+}  // namespace mte::sim

@@ -1,0 +1,71 @@
+// Transfer-event tracing and textual timeline rendering.
+//
+// Elastic components report every completed handshake (valid && ready at a
+// clock edge) to a TraceRecorder. Benchmarks use the recorded events to
+// print cycle-by-cycle flow diagrams like the paper's Fig. 5 and to check
+// ordering/conservation properties in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace mte::sim {
+
+/// One completed elastic transfer.
+struct TransferEvent {
+  Cycle cycle = 0;
+  std::string channel;  ///< name of the channel the transfer occurred on
+  int thread = 0;       ///< thread index (0 for single-threaded channels)
+  std::uint64_t tag = 0;  ///< token identity (payload or sequence number)
+
+  friend bool operator==(const TransferEvent&, const TransferEvent&) = default;
+};
+
+class TraceRecorder {
+ public:
+  void record(Cycle cycle, const std::string& channel, int thread, std::uint64_t tag) {
+    events_.push_back(TransferEvent{cycle, channel, thread, tag});
+  }
+
+  [[nodiscard]] const std::vector<TransferEvent>& events() const noexcept { return events_; }
+
+  /// Events on a single channel, in record order.
+  [[nodiscard]] std::vector<TransferEvent> channel_events(const std::string& channel) const;
+
+  /// Tags transferred on `channel` for `thread`, in transfer order.
+  [[nodiscard]] std::vector<std::uint64_t> tags(const std::string& channel, int thread) const;
+
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<TransferEvent> events_;
+};
+
+/// A column-aligned text timeline: rows are named resources (channels,
+/// buffer slots), columns are cycles, cells are short labels such as "A3".
+class Timeline {
+ public:
+  /// Sets the cell for (row, cycle). Later writes overwrite earlier ones.
+  void put(const std::string& row, Cycle cycle, std::string label);
+
+  /// Appends a row to the display order if not already present.
+  void declare_row(const std::string& row);
+
+  /// Renders the timeline for cycles [first, last].
+  [[nodiscard]] std::string render(Cycle first, Cycle last) const;
+
+  /// Renders the full recorded span.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> row_order_;
+  std::map<std::string, std::map<Cycle, std::string>> cells_;
+  Cycle max_cycle_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace mte::sim

@@ -1,0 +1,34 @@
+// Common types and error hierarchy for the mte simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mte::sim {
+
+/// Discrete simulation time, measured in clock cycles since reset.
+using Cycle = std::uint64_t;
+
+/// Base class for all errors raised by the simulation kernel.
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when the combinational settle loop fails to reach a fixed point,
+/// which indicates a combinational cycle (e.g. a ready signal that depends
+/// on a valid signal that depends on the same ready signal).
+class CombinationalLoopError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// Raised when a circuit violates a protocol invariant at runtime, e.g. a
+/// multithreaded channel asserting two valid bits in the same cycle.
+class ProtocolError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+}  // namespace mte::sim

@@ -1,0 +1,90 @@
+#include "sim/vcd.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+
+namespace mte::sim {
+
+VcdWriter::VcdWriter(Simulator& sim, std::string top_scope)
+    : scope_(std::move(top_scope)) {
+  sim.on_cycle([this](Cycle c) { sample(c); });
+}
+
+std::string VcdWriter::make_id(std::size_t index) {
+  // VCD identifiers are strings over the printable ASCII range '!'..'~'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdWriter::add_signal(const std::string& name, unsigned width,
+                           std::function<std::uint64_t()> sampler) {
+  Signal s;
+  s.name = name;
+  s.width = width == 0 ? 1 : width;
+  s.id = make_id(signals_.size());
+  s.sampler = std::move(sampler);
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::sample(Cycle cycle) {
+  times_.push_back(cycle);
+  for (auto& s : signals_) s.samples.push_back(s.sampler());
+}
+
+namespace {
+
+void emit_value(std::ostream& os, std::uint64_t value, unsigned width,
+                const std::string& id) {
+  if (width == 1) {
+    os << (value & 1u) << id << '\n';
+    return;
+  }
+  os << 'b';
+  bool leading = true;
+  for (int bit = static_cast<int>(width) - 1; bit >= 0; --bit) {
+    const unsigned v = static_cast<unsigned>((value >> bit) & 1u);
+    if (v != 0) leading = false;
+    if (!leading || bit == 0) os << v;
+  }
+  os << ' ' << id << '\n';
+}
+
+}  // namespace
+
+std::string VcdWriter::render() const {
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n";
+  os << "$scope module " << scope_ << " $end\n";
+  for (const auto& s : signals_) {
+    std::string safe = s.name;
+    for (char& ch : safe) {
+      if (ch == ' ') ch = '_';
+    }
+    os << "$var wire " << s.width << ' ' << s.id << ' ' << safe << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  for (std::size_t t = 0; t < times_.size(); ++t) {
+    os << '#' << times_[t] << '\n';
+    for (const auto& s : signals_) {
+      const bool changed = t == 0 || s.samples[t] != s.samples[t - 1];
+      if (changed) emit_value(os, s.samples[t], s.width, s.id);
+    }
+  }
+  return os.str();
+}
+
+bool VcdWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mte::sim

@@ -1,0 +1,58 @@
+// Value-change-dump (VCD) waveform writer.
+//
+// Signals are registered as sampler callbacks; the writer samples them once
+// per clock cycle (on the settled state, before the clock edge) and emits a
+// standard VCD file that waveform viewers such as GTKWave can open.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace mte::sim {
+
+class Simulator;
+
+class VcdWriter {
+ public:
+  /// Creates a writer bound to sim; sampling hooks into sim.on_cycle().
+  VcdWriter(Simulator& sim, std::string top_scope = "top");
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Registers a signal. The sampler is called once per cycle and must
+  /// return the signal value in the low `width` bits.
+  void add_signal(const std::string& name, unsigned width,
+                  std::function<std::uint64_t()> sampler);
+
+  /// Writes the collected waveform to a file. Returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+  /// Renders the collected waveform as a VCD document in memory.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t signal_count() const noexcept { return signals_.size(); }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return times_.size(); }
+
+ private:
+  struct Signal {
+    std::string name;
+    unsigned width;
+    std::string id;
+    std::function<std::uint64_t()> sampler;
+    std::vector<std::uint64_t> samples;
+  };
+
+  static std::string make_id(std::size_t index);
+  void sample(Cycle cycle);
+
+  std::string scope_;
+  std::vector<Signal> signals_;
+  std::vector<Cycle> times_;
+};
+
+}  // namespace mte::sim

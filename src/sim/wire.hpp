@@ -1,0 +1,55 @@
+// Wires: the combinational signals of the simulated circuit.
+//
+// A Wire<T> holds the value a signal has settled to in the current delta
+// cycle. Components write wires only from eval(); every write that changes
+// the value notifies the owning ChangeTracker so the settle loop knows it
+// has not yet reached a fixed point.
+#pragma once
+
+#include <utility>
+
+namespace mte::sim {
+
+/// Records whether any wire changed during the current settle iteration.
+/// One tracker is owned by each Simulator and shared by all of its wires.
+class ChangeTracker {
+ public:
+  void note_change() noexcept { changed_ = true; }
+
+  /// Returns whether a change was noted since the last consume, and clears.
+  bool consume() noexcept { return std::exchange(changed_, false); }
+
+ private:
+  bool changed_ = false;
+};
+
+/// A combinational signal carrying a value of type T.
+///
+/// Semantics: writes are "blocking" within the settle loop — readers that
+/// evaluate after the writer in the same iteration see the new value, and
+/// the loop re-runs until no write changes any wire. T must be equality
+/// comparable and cheap to copy or move.
+template <typename T>
+class Wire {
+ public:
+  explicit Wire(ChangeTracker& tracker, T initial = T{})
+      : tracker_(&tracker), value_(std::move(initial)) {}
+
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  [[nodiscard]] const T& get() const noexcept { return value_; }
+
+  void set(const T& v) {
+    if (!(value_ == v)) {
+      value_ = v;
+      tracker_->note_change();
+    }
+  }
+
+ private:
+  ChangeTracker* tracker_;
+  T value_;
+};
+
+}  // namespace mte::sim

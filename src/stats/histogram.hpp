@@ -1,0 +1,61 @@
+// Histogram: integer-valued sample accumulator with summary statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mte::stats {
+
+class Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1) {
+    buckets_[value] += count;
+    total_ += count;
+    sum_ += value * count;
+    if (count > 0) {
+      if (total_ == count || value < min_) min_ = value;
+      if (total_ == count || value > max_) max_ = value;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return total_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return total_ ? max_ : 0; }
+
+  [[nodiscard]] double mean() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  /// Smallest value v such that at least q (0..1] of the samples are <= v.
+  [[nodiscard]] std::uint64_t percentile(double q) const {
+    if (total_ == 0) return 0;
+    const auto threshold =
+        static_cast<std::uint64_t>(q * static_cast<double>(total_) + 0.5);
+    std::uint64_t running = 0;
+    for (const auto& [value, count] : buckets_) {
+      running += count;
+      if (running >= threshold) return value;
+    }
+    return max_;
+  }
+
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  void clear() {
+    buckets_.clear();
+    total_ = sum_ = 0;
+    min_ = max_ = 0;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace mte::stats

@@ -1,0 +1,40 @@
+// Token latency tracking: time from injection to retirement, by tag.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+#include "stats/histogram.hpp"
+
+namespace mte::stats {
+
+class LatencyTracker {
+ public:
+  /// Records that the token identified by `tag` entered the system.
+  void on_inject(std::uint64_t tag, sim::Cycle now) { inflight_[tag] = now; }
+
+  /// Records retirement; returns the latency (0 if the tag was never seen).
+  std::uint64_t on_retire(std::uint64_t tag, sim::Cycle now) {
+    const auto it = inflight_.find(tag);
+    if (it == inflight_.end()) return 0;
+    const std::uint64_t latency = now - it->second;
+    inflight_.erase(it);
+    histogram_.add(latency);
+    return latency;
+  }
+
+  [[nodiscard]] const Histogram& histogram() const noexcept { return histogram_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return inflight_.size(); }
+
+  void clear() {
+    inflight_.clear();
+    histogram_.clear();
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, sim::Cycle> inflight_;
+  Histogram histogram_;
+};
+
+}  // namespace mte::stats

@@ -1,0 +1,58 @@
+// Per-thread throughput accounting over observation windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace mte::stats {
+
+/// Counts per-thread transfer events and reports rates over the observed
+/// cycle span. Feed it from a probe or directly from component counters.
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(std::size_t threads) : counts_(threads, 0) {}
+
+  void record(std::size_t thread) { ++counts_.at(thread); }
+
+  /// Marks the start/end of the observation window.
+  void start_window(sim::Cycle now) {
+    window_start_ = now;
+    std::fill(counts_.begin(), counts_.end(), 0);
+  }
+  void end_window(sim::Cycle now) { window_end_ = now; }
+
+  [[nodiscard]] std::uint64_t count(std::size_t thread) const { return counts_.at(thread); }
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+  [[nodiscard]] sim::Cycle window_cycles() const {
+    return window_end_ > window_start_ ? window_end_ - window_start_ : 0;
+  }
+
+  /// Tokens per cycle for one thread over the window.
+  [[nodiscard]] double rate(std::size_t thread) const {
+    const auto cycles = window_cycles();
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(count(thread)) / static_cast<double>(cycles);
+  }
+
+  /// Aggregate tokens per cycle over the window.
+  [[nodiscard]] double total_rate() const {
+    const auto cycles = window_cycles();
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(total()) / static_cast<double>(cycles);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  sim::Cycle window_start_ = 0;
+  sim::Cycle window_end_ = 0;
+};
+
+}  // namespace mte::stats

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "area/cost_model.hpp"
+#include "area/designs.hpp"
+
+namespace mte::area {
+namespace {
+
+TEST(CostModel, ReducedMebAlwaysSmallerThanFull) {
+  CostModel m;
+  for (unsigned threads : {2u, 4u, 8u, 16u, 32u}) {
+    for (unsigned bits : {8u, 32u, 64u, 264u}) {
+      const auto full = m.full_meb("f", bits, threads);
+      const auto reduced = m.reduced_meb("r", bits, threads);
+      EXPECT_LT(reduced.les, full.les) << "S=" << threads << " W=" << bits;
+    }
+  }
+}
+
+TEST(CostModel, MebSavingsApproachHalfAtLargeThreadCounts) {
+  // 2SW vs (S+1)W storage: the register savings tend to (S-1)/(2S) -> 50 %.
+  CostModel m;
+  const auto full = m.full_meb("f", 512, 64);
+  const auto reduced = m.reduced_meb("r", 512, 64);
+  const double savings = (full.les - reduced.les) / full.les;
+  EXPECT_GT(savings, 0.35);
+  EXPECT_LT(savings, 0.55);
+}
+
+TEST(CostModel, SingleThreadMebNearEbCost) {
+  // With S = 1 the full MEB degenerates to one EB (+ arbiter overhead).
+  CostModel m;
+  const auto eb = m.eb("eb", 32);
+  const auto full = m.full_meb("f", 32, 1);
+  EXPECT_NEAR(full.les, eb.les, 10.0);
+}
+
+TEST(CostModel, AreaMonotonicInThreadsAndWidth) {
+  CostModel m;
+  double prev = 0;
+  for (unsigned threads = 1; threads <= 16; threads *= 2) {
+    const auto a = m.reduced_meb("r", 64, threads);
+    EXPECT_GT(a.les, prev);
+    prev = a.les;
+  }
+  prev = 0;
+  for (unsigned bits = 8; bits <= 512; bits *= 2) {
+    const auto a = m.full_meb("f", bits, 8);
+    EXPECT_GT(a.les, prev);
+    prev = a.les;
+  }
+}
+
+TEST(CostModel, FrequencyDropsWithArea) {
+  CostModel m;
+  DesignEstimate small{"s", {m.comb("c", 100, 0, 10)}};
+  DesignEstimate large{"l", {m.comb("c", 100000, 0, 10)}};
+  EXPECT_GT(m.frequency_mhz(small), m.frequency_mhz(large));
+}
+
+TEST(CostModel, FrequencySetByDeepestItem) {
+  CostModel m;
+  DesignEstimate d{"d", {m.comb("shallow", 10, 0, 2), m.comb("deep", 10, 0, 30)}};
+  EXPECT_DOUBLE_EQ(d.max_logic_levels(), 30.0);
+}
+
+TEST(TableOne, Paper8ThreadShape) {
+  // The qualitative claims of Table I at S = 8:
+  //  - reduced saves LEs on both designs,
+  //  - savings land in the paper's 10-30 % band,
+  //  - the processor (MEB-dominated) saves more than MD5,
+  //  - reduced clocks equal or slightly faster.
+  CostModel m;
+  const TableRow md5 = md5_row(m, 8);
+  const TableRow proc = processor_row(m, 8);
+  EXPECT_GT(md5.savings_percent(), 8.0);
+  EXPECT_LT(md5.savings_percent(), 30.0);
+  EXPECT_GT(proc.savings_percent(), 8.0);
+  EXPECT_LT(proc.savings_percent(), 35.0);
+  EXPECT_GT(proc.savings_percent(), md5.savings_percent());
+  EXPECT_GE(md5.reduced_mhz, md5.full_mhz);
+  EXPECT_GE(proc.reduced_mhz, proc.full_mhz);
+}
+
+TEST(TableOne, SavingsGrowWithSixteenThreads) {
+  // Paper: "If we increase the number of threads to 16 the average
+  // savings rise above 22 %".
+  CostModel m;
+  const double avg8 =
+      (md5_row(m, 8).savings_percent() + processor_row(m, 8).savings_percent()) / 2;
+  const double avg16 =
+      (md5_row(m, 16).savings_percent() + processor_row(m, 16).savings_percent()) / 2;
+  EXPECT_GT(avg16, avg8);
+  EXPECT_GT(avg16, 22.0);
+}
+
+TEST(TableOne, FrequenciesInPlausibleFpgaRange) {
+  CostModel m;
+  const TableRow md5 = md5_row(m, 8);
+  const TableRow proc = processor_row(m, 8);
+  // MD5 is slow (16 unrolled steps in one cycle), the processor is
+  // pipelined: an order of magnitude apart, like the paper's 11 vs 60 MHz.
+  EXPECT_GT(md5.full_mhz, 5.0);
+  EXPECT_LT(md5.full_mhz, 25.0);
+  EXPECT_GT(proc.full_mhz, 40.0);
+  EXPECT_LT(proc.full_mhz, 120.0);
+  EXPECT_GT(proc.full_mhz, 3.0 * md5.full_mhz);
+}
+
+TEST(TableOne, SavingsMonotonicInThreadCount) {
+  CostModel m;
+  double prev_md5 = 0, prev_proc = 0;
+  for (unsigned threads : {2u, 4u, 8u, 16u, 32u}) {
+    const double s_md5 = md5_row(m, threads).savings_percent();
+    const double s_proc = processor_row(m, threads).savings_percent();
+    EXPECT_GT(s_md5, prev_md5) << "S=" << threads;
+    EXPECT_GT(s_proc, prev_proc) << "S=" << threads;
+    prev_md5 = s_md5;
+    prev_proc = s_proc;
+  }
+}
+
+TEST(Designs, ItemBreakdownSumsToTotal) {
+  CostModel m;
+  const auto d = md5_design(m, 8, mt::MebKind::kFull);
+  double sum = 0;
+  for (const auto& item : d.items) sum += item.les;
+  EXPECT_DOUBLE_EQ(sum, d.total_les());
+  EXPECT_GE(d.items.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mte::area
+
+namespace mte::area {
+namespace {
+
+TEST(Storage, LatchMebCheaperThanFlipFlopMeb) {
+  // Paper Sec. I: MEBs can be built from flip flops or level-sensitive
+  // latches; the latch datapath is cheaper at equal behaviour.
+  CostModel m;
+  for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+    const auto ff = m.meb_with_storage("ff", 64, 8, kind, StorageKind::kFlipFlop);
+    const auto latch = m.meb_with_storage("l", 64, 8, kind, StorageKind::kLatch);
+    EXPECT_LT(latch.les, ff.les);
+    // Identical control cost: the difference is purely the datapath bits.
+    EXPECT_NEAR(ff.les - latch.les,
+                (kind == mt::MebKind::kFull ? 16.0 : 9.0) * 64 *
+                    (m.params().le_per_reg_bit - m.params().le_per_latch_bit),
+                1.0);
+  }
+}
+
+TEST(Storage, FlipFlopOverloadMatchesDefault) {
+  CostModel m;
+  const auto a = m.full_meb("a", 32, 4);
+  const auto b = m.meb_with_storage("b", 32, 4, mt::MebKind::kFull,
+                                    StorageKind::kFlipFlop);
+  EXPECT_DOUBLE_EQ(a.les, b.les);
+}
+
+}  // namespace
+}  // namespace mte::area

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hpp"
+#include "cpu/kernels.hpp"
+
+namespace mte::cpu {
+namespace {
+
+TEST(Assembler, BasicProgram) {
+  const Program p = assemble(R"(
+    addi r1, r0, 5
+    add r2, r1, r1
+    halt
+  )");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(decode(p.words[0]), (Instr{Opcode::kAddi, 1, 0, 0, 5}));
+  EXPECT_EQ(decode(p.words[1]), (Instr{Opcode::kAdd, 2, 1, 1, 0}));
+  EXPECT_EQ(decode(p.words[2]).op, Opcode::kHalt);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+    ; full line comment
+    # another comment style
+
+    nop            ; trailing comment
+    halt
+  )");
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const Program p = assemble(R"(
+top:
+    beq r0, r0, bottom
+    nop
+bottom:
+    beq r0, r0, top
+    halt
+  )");
+  // beq to bottom: offset = 2 - 0 - 1 = 1.
+  EXPECT_EQ(decode(p.words[0]).imm, 1);
+  // beq to top: offset = 0 - 2 - 1 = -3.
+  EXPECT_EQ(decode(p.words[2]).imm, -3);
+  EXPECT_EQ(p.label("top"), 0u);
+  EXPECT_EQ(p.label("bottom"), 2u);
+}
+
+TEST(Assembler, MemoryOperandsWithOffsets) {
+  const Program p = assemble(R"(
+    lw r4, 8(r2)
+    sw r5, -4(r3)
+    lw r6, (r7)
+  )");
+  EXPECT_EQ(decode(p.words[0]), (Instr{Opcode::kLw, 4, 2, 0, 8}));
+  const Instr sw = decode(p.words[1]);
+  EXPECT_EQ(sw.op, Opcode::kSw);
+  EXPECT_EQ(sw.rs1, 3);
+  EXPECT_EQ(sw.rs2, 5);
+  EXPECT_EQ(sw.imm, -4);
+  EXPECT_EQ(decode(p.words[2]).imm, 0);  // empty offset is zero
+}
+
+TEST(Assembler, HexAndNegativeImmediates) {
+  const Program p = assemble(R"(
+    addi r1, r0, 0x1F
+    addi r2, r0, -100
+    lui r3, 0xABCD
+  )");
+  EXPECT_EQ(decode(p.words[0]).imm, 31);
+  EXPECT_EQ(decode(p.words[1]).imm, -100);
+  EXPECT_EQ(decode(p.words[2]).imm, 0xABCD);
+}
+
+TEST(Assembler, JalTakesLabelOrNumber) {
+  const Program p = assemble(R"(
+    jal r31, func
+    halt
+func:
+    jr r31
+  )");
+  EXPECT_EQ(decode(p.words[0]).imm, 2);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    (void)assemble("nop\nbogus r1, r2\n");
+    FAIL() << "expected AssemblerError";
+  } catch (const AssemblerError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsBadRegister) {
+  EXPECT_THROW((void)assemble("addi r99, r0, 1"), AssemblerError);
+  EXPECT_THROW((void)assemble("addi x1, r0, 1"), AssemblerError);
+}
+
+TEST(Assembler, RejectsOutOfRangeImmediate) {
+  EXPECT_THROW((void)assemble("addi r1, r0, 5000"), AssemblerError);
+  EXPECT_THROW((void)assemble("addi r1, r0, -5000"), AssemblerError);
+  EXPECT_THROW((void)assemble("lui r1, 0x10000"), AssemblerError);
+}
+
+TEST(Assembler, RejectsWrongOperandCount) {
+  EXPECT_THROW((void)assemble("add r1, r2"), AssemblerError);
+  EXPECT_THROW((void)assemble("halt r1"), AssemblerError);
+}
+
+TEST(Assembler, RejectsDuplicateLabel) {
+  EXPECT_THROW((void)assemble("a:\nnop\na:\nnop"), AssemblerError);
+}
+
+TEST(Assembler, RejectsUnknownLabel) {
+  EXPECT_THROW((void)assemble("beq r0, r0, nowhere"), AssemblerError);
+}
+
+TEST(Disassembler, RoundTripThroughText) {
+  const Program p = kernels::sieve(50);
+  // Disassemble every word and re-assemble; branch offsets become numeric
+  // immediates, so compare decoded instruction streams.
+  for (std::uint32_t w : p.words) {
+    const std::string text = disassemble(w);
+    const Instr original = decode(w);
+    if (is_branch(original.op)) continue;  // textual branch targets are relative
+    const Program again = assemble(text + "\n");
+    ASSERT_EQ(again.size(), 1u) << text;
+    EXPECT_EQ(decode(again.words[0]), original) << text;
+  }
+}
+
+TEST(Disassembler, ProgramListingHasLabels) {
+  const Program p = assemble("start:\n  nop\n  beq r0, r0, start\n");
+  const std::string text = disassemble(p);
+  EXPECT_NE(text.find("start:"), std::string::npos);
+  EXPECT_NE(text.find("nop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mte::cpu

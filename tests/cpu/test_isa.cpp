@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "cpu/isa.hpp"
+
+namespace mte::cpu {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTripRType) {
+  const Instr i{Opcode::kAdd, 3, 7, 12, 0};
+  EXPECT_EQ(decode(encode(i)), i);
+}
+
+TEST(Isa, EncodeDecodeRoundTripITypeNegativeImm) {
+  const Instr i{Opcode::kAddi, 1, 2, 0, -17};
+  EXPECT_EQ(decode(encode(i)), i);
+}
+
+TEST(Isa, EncodeDecodeRoundTripSType) {
+  const Instr i{Opcode::kSw, 0, 4, 9, -1024};
+  EXPECT_EQ(decode(encode(i)), i);
+}
+
+TEST(Isa, EncodeDecodeRoundTripUType) {
+  const Instr i{Opcode::kLui, 31, 0, 0, 0xFFFF};
+  EXPECT_EQ(decode(encode(i)), i);
+}
+
+TEST(Isa, EncodeDecodeRoundTripJType) {
+  const Instr i{Opcode::kJal, 31, 0, 0, (1 << 21) - 1};
+  EXPECT_EQ(decode(encode(i)), i);
+}
+
+TEST(Isa, RoundTripAllOpcodesExhaustive) {
+  for (unsigned op = 0; op < static_cast<unsigned>(Opcode::kCount_); ++op) {
+    Instr i;
+    i.op = static_cast<Opcode>(op);
+    switch (format_of(i.op)) {
+      case Format::kR: i.rd = 1; i.rs1 = 2; i.rs2 = 3; break;
+      case Format::kI: i.rd = 4; i.rs1 = 5; i.imm = -7; break;
+      case Format::kS: i.rs1 = 6; i.rs2 = 7; i.imm = 100; break;
+      case Format::kU: i.rd = 8; i.imm = 0x1234; break;
+      case Format::kJ: i.rd = 9; i.imm = 4242; break;
+    }
+    EXPECT_EQ(decode(encode(i)), i) << "opcode " << op;
+  }
+}
+
+TEST(Isa, UnknownOpcodeDecodesAsNop) {
+  const std::uint32_t bogus = 63u << 26;
+  EXPECT_EQ(decode(bogus).op, Opcode::kNop);
+}
+
+TEST(Isa, FormatClassification) {
+  EXPECT_EQ(format_of(Opcode::kMul), Format::kR);
+  EXPECT_EQ(format_of(Opcode::kLw), Format::kI);
+  EXPECT_EQ(format_of(Opcode::kSw), Format::kS);
+  EXPECT_EQ(format_of(Opcode::kBeq), Format::kS);
+  EXPECT_EQ(format_of(Opcode::kLui), Format::kU);
+  EXPECT_EQ(format_of(Opcode::kJal), Format::kJ);
+  EXPECT_EQ(format_of(Opcode::kJr), Format::kI);
+}
+
+TEST(Isa, RegisterUsagePredicates) {
+  EXPECT_TRUE(writes_rd(Opcode::kAdd));
+  EXPECT_TRUE(writes_rd(Opcode::kLw));
+  EXPECT_TRUE(writes_rd(Opcode::kJal));
+  EXPECT_FALSE(writes_rd(Opcode::kSw));
+  EXPECT_FALSE(writes_rd(Opcode::kBeq));
+  EXPECT_FALSE(writes_rd(Opcode::kHalt));
+  EXPECT_TRUE(reads_rs1(Opcode::kJr));
+  EXPECT_FALSE(reads_rs1(Opcode::kLui));
+  EXPECT_TRUE(reads_rs2(Opcode::kSw));
+  EXPECT_FALSE(reads_rs2(Opcode::kAddi));
+}
+
+TEST(Isa, MnemonicRoundTrip) {
+  for (unsigned op = 0; op < static_cast<unsigned>(Opcode::kCount_); ++op) {
+    const auto o = static_cast<Opcode>(op);
+    const auto back = opcode_from(mnemonic(o));
+    ASSERT_TRUE(back.has_value()) << mnemonic(o);
+    EXPECT_EQ(*back, o);
+  }
+  EXPECT_FALSE(opcode_from("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace mte::cpu

@@ -1,0 +1,245 @@
+// The elastic pipeline is verified against the golden-model interpreter:
+// identical final registers, memory and retired counts for every kernel,
+// every MEB flavour and randomized variable-latency configurations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cpu/kernels.hpp"
+#include "cpu/processor.hpp"
+
+namespace mte::cpu {
+namespace {
+
+ProcessorConfig base_config(std::size_t threads, mt::MebKind kind) {
+  ProcessorConfig cfg;
+  cfg.threads = threads;
+  cfg.meb_kind = kind;
+  return cfg;
+}
+
+void expect_matches_interp(Processor& proc, const std::vector<Program>& programs,
+                           const std::vector<std::vector<std::uint32_t>>& dmem_init) {
+  const auto cycles = proc.run();
+  ASSERT_GT(cycles, 0u) << "pipeline timed out";
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    if (programs[t].words.empty()) continue;
+    Interpreter interp(programs[t], proc.config().dmem_words);
+    for (std::size_t a = 0; a < dmem_init[t].size(); ++a) {
+      interp.mem().write(static_cast<std::uint32_t>(a), dmem_init[t][a]);
+    }
+    interp.run();
+    for (unsigned r = 0; r < kNumRegs; ++r) {
+      ASSERT_EQ(proc.reg(t, r), interp.reg(r)) << "thread " << t << " r" << r;
+    }
+    ASSERT_EQ(proc.retired(t), interp.retired()) << "thread " << t;
+    for (std::uint32_t a = 0; a < 200; ++a) {
+      ASSERT_EQ(proc.dmem_read(t, a), interp.mem().read(a))
+          << "thread " << t << " dmem[" << a << "]";
+    }
+  }
+}
+
+TEST(Processor, SingleThreadFibonacci) {
+  for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+    Processor proc(base_config(1, kind));
+    proc.load_program(0, kernels::fibonacci(15));
+    ASSERT_GT(proc.run(), 0u);
+    EXPECT_EQ(proc.reg(0, 1), 610u) << to_string(kind);
+  }
+}
+
+TEST(Processor, EightThreadsDifferentKernels) {
+  for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+    Processor proc(base_config(8, kind));
+    std::vector<Program> programs = {
+        kernels::fibonacci(12),    kernels::gcd(48, 36),
+        kernels::array_sum(8),     kernels::memcpy_words(6, 0, 64),
+        kernels::dot_product(4, 0, 32), kernels::sieve(30),
+        kernels::call_leaf(5, 6),  kernels::fibonacci(7),
+    };
+    std::vector<std::vector<std::uint32_t>> dmem(8);
+    dmem[2] = {5, 6, 7, 8, 9, 10, 11, 12};
+    dmem[3] = {1, 2, 3, 4, 5, 6};
+    dmem[4] = {9, 8, 7, 6};
+    for (std::size_t t = 0; t < 8; ++t) {
+      proc.load_program(t, programs[t]);
+      for (std::size_t a = 0; a < dmem[t].size(); ++a) {
+        proc.set_dmem(t, static_cast<std::uint32_t>(a), dmem[t][a]);
+      }
+    }
+    // Fill rs2-space for dot product (second vector at 32).
+    for (int i = 0; i < 4; ++i) proc.set_dmem(4, 32 + i, 3 * (i + 1));
+    Processor* p = &proc;
+    // Re-seed interp dmem to match.
+    std::vector<std::vector<std::uint32_t>> dmem_full(8);
+    for (std::size_t t = 0; t < 8; ++t) {
+      dmem_full[t].resize(64, 0);
+      for (std::size_t a = 0; a < dmem[t].size(); ++a) dmem_full[t][a] = dmem[t][a];
+    }
+    for (int i = 0; i < 4; ++i) dmem_full[4][32 + i] = 3 * (i + 1);
+    expect_matches_interp(*p, programs, dmem_full);
+  }
+}
+
+TEST(Processor, ThreadsWithoutProgramsStayHalted) {
+  Processor proc(base_config(4, mt::MebKind::kReduced));
+  proc.load_program(1, kernels::fibonacci(5));
+  ASSERT_GT(proc.run(), 0u);
+  EXPECT_EQ(proc.retired(0), 0u);
+  EXPECT_EQ(proc.reg(1, 1), 5u);
+}
+
+TEST(Processor, MissingHaltThrows) {
+  Processor proc(base_config(1, mt::MebKind::kReduced));
+  proc.load_program(0, assemble("nop\nnop\n"));
+  EXPECT_THROW((void)proc.run(), sim::SimulationError);
+}
+
+TEST(Processor, MultiCycleMultiplySemantics) {
+  ProcessorConfig cfg = base_config(2, mt::MebKind::kReduced);
+  cfg.mul_latency = 5;
+  Processor proc(cfg);
+  proc.load_program(0, assemble(R"(
+    addi r2, r0, 7
+    addi r3, r0, 9
+    mul r1, r2, r3
+    mul r1, r1, r2
+    halt
+  )"));
+  proc.load_program(1, kernels::fibonacci(9));
+  ASSERT_GT(proc.run(), 0u);
+  EXPECT_EQ(proc.reg(0, 1), 7u * 9u * 7u);
+  EXPECT_EQ(proc.reg(1, 1), 34u);
+}
+
+TEST(Processor, CacheMissesAreSlowerButCorrect) {
+  ProcessorConfig cfg = base_config(1, mt::MebKind::kReduced);
+  cfg.dmem_miss_latency = 20;
+  cfg.dcache_lines = 1;
+  cfg.dcache_line_words = 1;  // every new address misses
+  Processor thrash(cfg);
+  thrash.load_program(0, kernels::array_sum(16));
+  for (int i = 0; i < 16; ++i) thrash.set_dmem(0, i, i);
+  const auto slow_cycles = thrash.run();
+  ASSERT_GT(slow_cycles, 0u);
+  EXPECT_EQ(thrash.reg(0, 1), 120u);
+
+  ProcessorConfig fast_cfg = base_config(1, mt::MebKind::kReduced);
+  fast_cfg.dcache_lines = 64;
+  fast_cfg.dcache_line_words = 8;
+  Processor fast(fast_cfg);
+  fast.load_program(0, kernels::array_sum(16));
+  for (int i = 0; i < 16; ++i) fast.set_dmem(0, i, i);
+  const auto fast_cycles = fast.run();
+  EXPECT_EQ(fast.reg(0, 1), 120u);
+  EXPECT_LT(fast_cycles, slow_cycles);
+}
+
+TEST(Processor, VariableFetchLatencyStillCorrect) {
+  ProcessorConfig cfg = base_config(4, mt::MebKind::kReduced);
+  cfg.imem_latency_lo = 1;
+  cfg.imem_latency_hi = 4;
+  cfg.seed = 99;
+  Processor proc(cfg);
+  std::vector<Program> programs = {kernels::fibonacci(10), kernels::gcd(100, 36),
+                                   kernels::call_leaf(1, 2), kernels::sieve(20)};
+  for (std::size_t t = 0; t < 4; ++t) proc.load_program(t, programs[t]);
+  expect_matches_interp(proc, programs,
+                        std::vector<std::vector<std::uint32_t>>(4));
+}
+
+TEST(Processor, MultithreadingHidesLatency) {
+  // IPC with 8 threads must be much higher than with 1 thread on the
+  // same latency-heavy kernel (the paper's utilization argument).
+  double ipc1 = 0, ipc8 = 0;
+  for (std::size_t threads : {1u, 8u}) {
+    ProcessorConfig cfg = base_config(threads, mt::MebKind::kReduced);
+    cfg.mul_latency = 4;
+    cfg.dmem_miss_latency = 8;
+    Processor proc(cfg);
+    for (std::size_t t = 0; t < threads; ++t) {
+      proc.load_program(t, kernels::dot_product(16, 0, 100));
+      for (int i = 0; i < 16; ++i) {
+        proc.set_dmem(t, i, i + 1);
+        proc.set_dmem(t, 100 + i, i + 2);
+      }
+    }
+    ASSERT_GT(proc.run(), 0u);
+    (threads == 1 ? ipc1 : ipc8) = proc.ipc();
+  }
+  EXPECT_GT(ipc8, 2.5 * ipc1);
+}
+
+TEST(Processor, FullAndReducedSameResultsAndSimilarCycles) {
+  sim::Cycle cycles[2];
+  for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+    Processor proc(base_config(8, kind));
+    for (std::size_t t = 0; t < 8; ++t) {
+      proc.load_program(t, kernels::fibonacci(10 + static_cast<int>(t)));
+    }
+    const auto n = proc.run();
+    ASSERT_GT(n, 0u);
+    cycles[kind == mt::MebKind::kFull ? 0 : 1] = n;
+    for (std::size_t t = 0; t < 8; ++t) {
+      Interpreter interp(kernels::fibonacci(10 + static_cast<int>(t)), 64);
+      interp.run();
+      EXPECT_EQ(proc.reg(t, 1), interp.reg(1));
+    }
+  }
+  // Paper: the reduced MEB does not sacrifice performance.
+  const double ratio = static_cast<double>(cycles[1]) / static_cast<double>(cycles[0]);
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+using RandomParams = std::tuple<int /*threads*/, int /*kind*/, int /*seed*/>;
+
+class ProcessorRandomSweep : public testing::TestWithParam<RandomParams> {};
+
+TEST_P(ProcessorRandomSweep, AgreesWithInterpreter) {
+  const int threads = std::get<0>(GetParam());
+  const auto kind =
+      std::get<1>(GetParam()) == 0 ? mt::MebKind::kFull : mt::MebKind::kReduced;
+  const int seed = std::get<2>(GetParam());
+  ProcessorConfig cfg = base_config(threads, kind);
+  cfg.imem_latency_lo = 1;
+  cfg.imem_latency_hi = 3;
+  cfg.mul_latency = 3;
+  cfg.seed = static_cast<std::uint64_t>(seed) * 1013 + 7;
+  Processor proc(cfg);
+  std::vector<Program> programs;
+  std::vector<std::vector<std::uint32_t>> dmem(threads);
+  for (int t = 0; t < threads; ++t) {
+    switch ((t + seed) % 5) {
+      case 0: programs.push_back(kernels::fibonacci(8 + t)); break;
+      case 1: programs.push_back(kernels::gcd(90 + t, 12)); break;
+      case 2:
+        programs.push_back(kernels::array_sum(6));
+        dmem[t] = {1u, 2u, 3u, 4u, 5u, 6u};
+        break;
+      case 3:
+        programs.push_back(kernels::dot_product(3, 0, 10));
+        dmem[t] = {2u, 3u, 4u, 0u, 0u, 0u, 0u, 0u, 0u, 0u, 5u, 6u, 7u};
+        break;
+      default: programs.push_back(kernels::sieve(25)); break;
+    }
+    proc.load_program(t, programs.back());
+    for (std::size_t a = 0; a < dmem[t].size(); ++a) {
+      proc.set_dmem(t, static_cast<std::uint32_t>(a), dmem[t][a]);
+    }
+  }
+  expect_matches_interp(proc, programs, dmem);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProcessorRandomSweep,
+                         testing::Combine(testing::Values(1, 2, 4, 8),
+                                          testing::Values(0, 1),
+                                          testing::Values(0, 1, 2)),
+                         [](const testing::TestParamInfo<RandomParams>& info) {
+                           return "t" + std::to_string(std::get<0>(info.param)) +
+                                  (std::get<1>(info.param) == 0 ? "_full" : "_reduced") +
+                                  "_s" + std::to_string(std::get<2>(info.param));
+                         });
+
+}  // namespace
+}  // namespace mte::cpu

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "elastic/branch.hpp"
+#include "elastic/channel.hpp"
+#include "elastic/elastic_buffer.hpp"
+#include "elastic/function_unit.hpp"
+#include "elastic/merge.hpp"
+#include "elastic/sink.hpp"
+#include "elastic/source.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::elastic {
+namespace {
+
+std::vector<std::uint64_t> iota_tokens(std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+TEST(BranchControl, SteersByCondition) {
+  auto o = BranchControl::compute(true, true, true, true, true);
+  EXPECT_TRUE(o.valid_true);
+  EXPECT_FALSE(o.valid_false);
+  EXPECT_TRUE(o.ready_data);
+  EXPECT_TRUE(o.ready_cond);
+
+  o = BranchControl::compute(true, true, false, true, true);
+  EXPECT_FALSE(o.valid_true);
+  EXPECT_TRUE(o.valid_false);
+}
+
+TEST(BranchControl, WaitsForBothInputs) {
+  auto o = BranchControl::compute(true, false, true, true, true);
+  EXPECT_FALSE(o.valid_true);
+  EXPECT_FALSE(o.valid_false);
+  EXPECT_FALSE(o.ready_data);  // condition missing: do not consume data
+  o = BranchControl::compute(false, true, true, true, true);
+  EXPECT_FALSE(o.ready_cond);  // data missing: do not consume condition
+}
+
+TEST(BranchControl, BlockedSelectedOutputBlocksBothInputs) {
+  const auto o = BranchControl::compute(true, true, true, /*ready_true=*/false,
+                                        /*ready_false=*/true);
+  EXPECT_TRUE(o.valid_true);
+  EXPECT_FALSE(o.ready_data);
+  EXPECT_FALSE(o.ready_cond);
+}
+
+struct BranchRig {
+  sim::Simulator s;
+  Channel<std::uint64_t> data{s, "data"};
+  Channel<bool> cond{s, "cond"};
+  Channel<std::uint64_t> t{s, "t"}, f{s, "f"};
+  Source<std::uint64_t> src{s, "src", data};
+  Source<bool> csrc{s, "csrc", cond};
+  Branch<std::uint64_t> branch{s, "branch", data, cond, t, f};
+  Sink<std::uint64_t> st{s, "st", t};
+  Sink<std::uint64_t> sf{s, "sf", f};
+};
+
+TEST(Branch, PartitionsStreamByCondition) {
+  BranchRig rig;
+  rig.src.set_tokens(iota_tokens(20));
+  std::vector<bool> conds;
+  for (int i = 1; i <= 20; ++i) conds.push_back(i % 3 == 0);
+  rig.csrc.set_tokens(conds);
+  rig.s.reset();
+  rig.s.run(60);
+  std::vector<std::uint64_t> expect_t, expect_f;
+  for (std::uint64_t i = 1; i <= 20; ++i) (i % 3 == 0 ? expect_t : expect_f).push_back(i);
+  EXPECT_EQ(rig.st.received(), expect_t);
+  EXPECT_EQ(rig.sf.received(), expect_f);
+}
+
+TEST(Branch, BackpressureOnOnePathStallsStream) {
+  BranchRig rig;
+  rig.src.set_tokens(iota_tokens(10));
+  std::vector<bool> conds(10, true);
+  conds[4] = false;  // token 5 goes to the false path
+  rig.csrc.set_tokens(conds);
+  rig.st.add_stall_window(0, 30);  // true path blocked
+  rig.s.reset();
+  rig.s.run(30);
+  EXPECT_EQ(rig.st.count(), 0u);
+  EXPECT_EQ(rig.sf.count(), 0u);  // token 5 is stuck behind tokens 1-4
+  rig.s.run(30);
+  EXPECT_EQ(rig.st.count(), 9u);
+  EXPECT_EQ(rig.sf.count(), 1u);
+}
+
+TEST(Merge, ForwardsExclusiveStreams) {
+  sim::Simulator s;
+  Channel<std::uint64_t> a{s, "a"}, b{s, "b"}, out{s, "out"};
+  // Build exclusivity with a branch upstream.
+  Channel<std::uint64_t> data{s, "data"};
+  Channel<bool> cond{s, "cond"};
+  Source<std::uint64_t> src{s, "src", data};
+  Source<bool> csrc{s, "csrc", cond};
+  Branch<std::uint64_t> branch{s, "branch", data, cond, a, b};
+  Merge<std::uint64_t> merge{s, "merge", {&a, &b}, out};
+  Sink<std::uint64_t> sink{s, "sink", out};
+  src.set_tokens(iota_tokens(20));
+  std::vector<bool> conds;
+  for (int i = 1; i <= 20; ++i) conds.push_back(i % 2 == 0);
+  csrc.set_tokens(conds);
+  s.reset();
+  s.run(60);
+  // Branch+merge round trip preserves the stream order.
+  EXPECT_EQ(sink.received(), iota_tokens(20));
+}
+
+TEST(Merge, ThrowsOnSimultaneousValids) {
+  sim::Simulator s;
+  Channel<std::uint64_t> a{s, "a"}, b{s, "b"}, out{s, "out"};
+  Source<std::uint64_t> sa{s, "sa", a}, sb{s, "sb", b};
+  Merge<std::uint64_t> merge{s, "merge", {&a, &b}, out};
+  Sink<std::uint64_t> sink{s, "sink", out};
+  sa.set_tokens({1});
+  sb.set_tokens({2});
+  s.reset();
+  EXPECT_THROW(s.run(5), sim::ProtocolError);
+}
+
+TEST(ArbMerge, InterleavesWithoutLoss) {
+  sim::Simulator s;
+  Channel<std::uint64_t> a{s, "a"}, b{s, "b"}, out{s, "out"};
+  Source<std::uint64_t> sa{s, "sa", a}, sb{s, "sb", b};
+  ArbMerge<std::uint64_t> merge{s, "merge", {&a, &b}, out};
+  Sink<std::uint64_t> sink{s, "sink", out};
+  sa.set_tokens({1, 2, 3, 4});
+  sb.set_tokens({101, 102, 103, 104});
+  s.reset();
+  s.run(30);
+  EXPECT_EQ(sink.count(), 8u);
+  // Per-stream order is preserved even though streams interleave.
+  std::vector<std::uint64_t> a_seen, b_seen;
+  for (auto v : sink.received()) (v < 100 ? a_seen : b_seen).push_back(v);
+  EXPECT_EQ(a_seen, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(b_seen, (std::vector<std::uint64_t>{101, 102, 103, 104}));
+}
+
+TEST(ArbMerge, RoundRobinFairUnderSaturation) {
+  sim::Simulator s;
+  Channel<std::uint64_t> a{s, "a"}, b{s, "b"}, out{s, "out"};
+  Source<std::uint64_t> sa{s, "sa", a}, sb{s, "sb", b};
+  ArbMerge<std::uint64_t> merge{s, "merge", {&a, &b}, out};
+  Sink<std::uint64_t> sink{s, "sink", out};
+  sa.set_generator([](std::uint64_t i) { return i * 2; });        // even
+  sb.set_generator([](std::uint64_t i) { return i * 2 + 1; });    // odd
+  s.reset();
+  s.run(101);
+  std::size_t a_count = 0;
+  for (auto v : sink.received()) a_count += (v % 2 == 0) ? 1 : 0;
+  const double share = static_cast<double>(a_count) / sink.count();
+  EXPECT_NEAR(share, 0.5, 0.05);
+}
+
+TEST(FunctionUnit, MapsDataThrough) {
+  sim::Simulator s;
+  Channel<std::uint64_t> in{s, "in"}, mid{s, "mid"}, out{s, "out"};
+  Source<std::uint64_t> src{s, "src", in};
+  FunctionUnit<std::uint64_t, std::uint64_t> fu{
+      s, "fu", in, mid, [](const std::uint64_t& x) { return x * x; }};
+  ElasticBuffer<std::uint64_t> eb{s, "eb", mid, out};
+  Sink<std::uint64_t> sink{s, "sink", out};
+  src.set_tokens(iota_tokens(10));
+  s.reset();
+  s.run(20);
+  ASSERT_EQ(sink.count(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sink.received()[i], (i + 1) * (i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace mte::elastic

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "elastic/eb_control.hpp"
+
+namespace mte::elastic {
+namespace {
+
+TEST(EbControl, StartsEmpty) {
+  EbControl c;
+  EXPECT_EQ(c.state(), EbState::kEmpty);
+  EXPECT_TRUE(c.can_accept());
+  EXPECT_FALSE(c.has_data());
+  EXPECT_EQ(c.occupancy(), 0);
+}
+
+TEST(EbControl, EmptyToHalfOnWrite) {
+  EbControl c;
+  const auto d = c.decide(/*valid_in=*/true, /*ready_in=*/false);
+  EXPECT_TRUE(d.in_fire);
+  EXPECT_FALSE(d.out_fire);
+  EXPECT_TRUE(d.load_head_from_in);
+  EXPECT_FALSE(d.load_aux_from_in);
+  c.commit(d);
+  EXPECT_EQ(c.state(), EbState::kHalf);
+}
+
+TEST(EbControl, HalfToFullOnWriteWithoutRead) {
+  EbControl c;
+  c.commit(c.decide(true, false));  // -> HALF
+  const auto d = c.decide(true, false);
+  EXPECT_TRUE(d.in_fire);
+  EXPECT_TRUE(d.load_aux_from_in);
+  EXPECT_FALSE(d.load_head_from_in);
+  c.commit(d);
+  EXPECT_EQ(c.state(), EbState::kFull);
+  EXPECT_FALSE(c.can_accept());
+}
+
+TEST(EbControl, FullRejectsInput) {
+  EbControl c;
+  c.commit(c.decide(true, false));
+  c.commit(c.decide(true, false));  // -> FULL
+  const auto d = c.decide(true, false);
+  EXPECT_FALSE(d.in_fire);  // not accepted: buffer full
+  c.commit(d);
+  EXPECT_EQ(c.state(), EbState::kFull);
+}
+
+TEST(EbControl, FullToHalfOnReadShiftsAux) {
+  EbControl c;
+  c.commit(c.decide(true, false));
+  c.commit(c.decide(true, false));  // -> FULL
+  const auto d = c.decide(false, true);
+  EXPECT_TRUE(d.out_fire);
+  EXPECT_TRUE(d.shift_aux_to_head);
+  c.commit(d);
+  EXPECT_EQ(c.state(), EbState::kHalf);
+}
+
+TEST(EbControl, HalfToEmptyOnRead) {
+  EbControl c;
+  c.commit(c.decide(true, false));
+  const auto d = c.decide(false, true);
+  EXPECT_TRUE(d.out_fire);
+  EXPECT_FALSE(d.shift_aux_to_head);
+  c.commit(d);
+  EXPECT_EQ(c.state(), EbState::kEmpty);
+}
+
+TEST(EbControl, SimultaneousReadWriteInHalfStaysHalf) {
+  EbControl c;
+  c.commit(c.decide(true, false));  // -> HALF
+  const auto d = c.decide(true, true);
+  EXPECT_TRUE(d.in_fire);
+  EXPECT_TRUE(d.out_fire);
+  EXPECT_TRUE(d.load_head_from_in);  // head freed and refilled this cycle
+  c.commit(d);
+  EXPECT_EQ(c.state(), EbState::kHalf);
+}
+
+TEST(EbControl, SimultaneousReadWriteInFullStaysFull) {
+  EbControl c;
+  c.commit(c.decide(true, false));
+  c.commit(c.decide(true, false));  // -> FULL: cannot accept
+  const auto d = c.decide(true, true);
+  EXPECT_FALSE(d.in_fire);  // ready was low
+  EXPECT_TRUE(d.out_fire);
+  c.commit(d);
+  EXPECT_EQ(c.state(), EbState::kHalf);
+}
+
+TEST(EbControl, ReadFromEmptyDoesNothing) {
+  EbControl c;
+  const auto d = c.decide(false, true);
+  EXPECT_FALSE(d.out_fire);
+  c.commit(d);
+  EXPECT_EQ(c.state(), EbState::kEmpty);
+}
+
+TEST(EbControl, ResetReturnsToEmpty) {
+  EbControl c;
+  c.commit(c.decide(true, false));
+  c.reset();
+  EXPECT_EQ(c.state(), EbState::kEmpty);
+}
+
+// Exhaustive check: occupancy arithmetic is consistent for every
+// (state, valid, ready) combination.
+TEST(EbControl, ExhaustiveOccupancyConservation) {
+  for (int occ0 = 0; occ0 <= 2; ++occ0) {
+    for (int v = 0; v <= 1; ++v) {
+      for (int r = 0; r <= 1; ++r) {
+        EbControl c;
+        for (int k = 0; k < occ0; ++k) c.commit(c.decide(true, false));
+        ASSERT_EQ(c.occupancy(), occ0);
+        const auto d = c.decide(v != 0, r != 0);
+        c.commit(d);
+        const int expected = occ0 + (d.in_fire ? 1 : 0) - (d.out_fire ? 1 : 0);
+        EXPECT_EQ(c.occupancy(), expected)
+            << "occ0=" << occ0 << " v=" << v << " r=" << r;
+        EXPECT_GE(c.occupancy(), 0);
+        EXPECT_LE(c.occupancy(), 2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mte::elastic

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "md5/md5_circuit.hpp"
+#include "sim/rng.hpp"
+
+namespace mte::md5 {
+namespace {
+
+std::string random_text(sim::Rng& rng, std::size_t len) {
+  std::string s(len, ' ');
+  for (auto& ch : s) ch = static_cast<char>('!' + rng.next_below(90));
+  return s;
+}
+
+TEST(Md5Circuit, SingleThreadSingleBlock) {
+  for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+    Md5Circuit c(1, kind);
+    c.set_message(0, "abc");
+    ASSERT_GT(c.run(), 0u) << to_string(kind);
+    EXPECT_EQ(c.digest_hex(0), "900150983cd24fb0d6963f7d28e17f72") << to_string(kind);
+  }
+}
+
+TEST(Md5Circuit, EmptyMessage) {
+  Md5Circuit c(2, mt::MebKind::kReduced);
+  c.set_message(0, "");
+  c.set_message(1, "");
+  ASSERT_GT(c.run(), 0u);
+  EXPECT_EQ(c.digest_hex(0), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(c.digest_hex(1), "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(Md5Circuit, EightThreadsDistinctMessages) {
+  for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+    Md5Circuit c(8, kind);
+    std::vector<std::string> msgs;
+    for (int t = 0; t < 8; ++t) msgs.push_back("thread message #" + std::to_string(t));
+    for (int t = 0; t < 8; ++t) c.set_message(t, msgs[t]);
+    ASSERT_GT(c.run(), 0u) << to_string(kind);
+    for (int t = 0; t < 8; ++t) {
+      EXPECT_EQ(c.digest_hex(t), hex_digest(msgs[t])) << to_string(kind) << " t=" << t;
+    }
+  }
+}
+
+TEST(Md5Circuit, MultiBlockMessages) {
+  for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+    Md5Circuit c(4, kind);
+    std::vector<std::string> msgs = {
+        std::string(10, 'a'), std::string(100, 'b'),  // 1 vs 2 blocks
+        std::string(200, 'c'), std::string(300, 'd'),  // 4 vs 5 blocks
+    };
+    for (int t = 0; t < 4; ++t) c.set_message(t, msgs[t]);
+    ASSERT_GT(c.run(), 0u) << to_string(kind);
+    for (int t = 0; t < 4; ++t) {
+      EXPECT_EQ(c.digest_hex(t), hex_digest(msgs[t]))
+          << to_string(kind) << " t=" << t << " (dummy-block padding in play)";
+    }
+  }
+}
+
+TEST(Md5Circuit, UnevenBlockCountsUseDummyPadding) {
+  Md5Circuit c(3, mt::MebKind::kReduced);
+  c.set_message(0, "short");
+  c.set_message(1, std::string(500, 'x'));  // 8 blocks
+  c.set_message(2, "mid length message here");
+  ASSERT_GT(c.run(), 0u);
+  EXPECT_EQ(c.feeder().rounds_of_blocks(), 8u);
+  EXPECT_EQ(c.digest_hex(0), hex_digest("short"));
+  EXPECT_EQ(c.digest_hex(1), hex_digest(std::string(500, 'x')));
+  EXPECT_EQ(c.digest_hex(2), hex_digest("mid length message here"));
+}
+
+TEST(Md5Circuit, BarrierReleasesFourPerBlockRound) {
+  Md5Circuit c(4, mt::MebKind::kFull);
+  for (int t = 0; t < 4; ++t) c.set_message(t, "one block each");
+  ASSERT_GT(c.run(), 0u);
+  // One block -> 4 rounds -> 4 barrier releases.
+  EXPECT_EQ(c.barrier().releases(), 4u);
+  EXPECT_EQ(c.round_counter().value(), 0u);  // wrapped back to round 0
+}
+
+using SweepParams = std::tuple<int /*threads*/, int /*kind*/, int /*seed*/>;
+
+class Md5CircuitSweep : public testing::TestWithParam<SweepParams> {};
+
+TEST_P(Md5CircuitSweep, MatchesReferenceOnRandomMessages) {
+  const int threads = std::get<0>(GetParam());
+  const auto kind = std::get<1>(GetParam()) == 0 ? mt::MebKind::kFull
+                                                 : mt::MebKind::kReduced;
+  const int seed = std::get<2>(GetParam());
+  sim::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + threads);
+  Md5Circuit c(threads, kind);
+  std::vector<std::string> msgs;
+  for (int t = 0; t < threads; ++t) {
+    msgs.push_back(random_text(rng, rng.next_below(260)));
+    c.set_message(t, msgs.back());
+  }
+  ASSERT_GT(c.run(), 0u);
+  for (int t = 0; t < threads; ++t) {
+    EXPECT_EQ(c.digest_hex(t), hex_digest(msgs[t])) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Md5CircuitSweep,
+                         testing::Combine(testing::Values(1, 2, 4, 8),
+                                          testing::Values(0, 1),
+                                          testing::Values(1, 2)),
+                         [](const testing::TestParamInfo<SweepParams>& info) {
+                           return "t" + std::to_string(std::get<0>(info.param)) +
+                                  (std::get<1>(info.param) == 0 ? "_full" : "_reduced") +
+                                  "_r" + std::to_string(std::get<2>(info.param));
+                         });
+
+TEST(Md5Circuit, ThroughputSimilarAcrossMebKinds) {
+  // Identical workload, both MEB flavours: completion time within a few
+  // percent (the paper: no performance loss for the reduced MEB).
+  sim::Cycle cycles[2];
+  for (mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+    Md5Circuit c(8, kind);
+    for (int t = 0; t < 8; ++t) {
+      c.set_message(t, std::string(120 + 13 * t, static_cast<char>('a' + t)));
+    }
+    const auto n = c.run();
+    ASSERT_GT(n, 0u);
+    cycles[kind == mt::MebKind::kFull ? 0 : 1] = n;
+  }
+  const double ratio = static_cast<double>(cycles[1]) / static_cast<double>(cycles[0]);
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace mte::md5

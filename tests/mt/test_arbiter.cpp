@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "mt/arbiter.hpp"
+
+namespace mte::mt {
+namespace {
+
+TEST(RoundRobin, GrantsOnlyReadyPending) {
+  RoundRobinArbiter a(4);
+  EXPECT_EQ(a.grant({false, true, false, true}, {false, true, false, false}), 1u);
+}
+
+TEST(RoundRobin, NoRequestNoGrant) {
+  RoundRobinArbiter a(3);
+  EXPECT_EQ(a.grant({false, false, false}, {true, true, true}), 3u);
+}
+
+TEST(RoundRobin, RotatesAfterFire) {
+  RoundRobinArbiter a(3);
+  std::vector<bool> all{true, true, true};
+  const auto g0 = a.grant(all, all);
+  EXPECT_EQ(g0, 0u);
+  a.update(g0, true);
+  const auto g1 = a.grant(all, all);
+  EXPECT_EQ(g1, 1u);
+  a.update(g1, true);
+  const auto g2 = a.grant(all, all);
+  EXPECT_EQ(g2, 2u);
+  a.update(g2, true);
+  EXPECT_EQ(a.grant(all, all), 0u);
+}
+
+TEST(RoundRobin, SpeculativeOfferWhenNothingReady) {
+  RoundRobinArbiter a(3);
+  // Threads 1 and 2 have data, nothing is ready downstream.
+  EXPECT_EQ(a.grant({false, true, true}, {false, false, false}), 1u);
+}
+
+TEST(RoundRobin, SpeculativeOfferRotates) {
+  RoundRobinArbiter a(3);
+  std::vector<bool> pending{true, true, true};
+  std::vector<bool> none(3, false);
+  const auto g0 = a.grant(pending, none);
+  a.update(g0, false);
+  const auto g1 = a.grant(pending, none);
+  a.update(g1, false);
+  const auto g2 = a.grant(pending, none);
+  // Over consecutive non-firing cycles every thread gets offered.
+  EXPECT_NE(g0, g1);
+  EXPECT_NE(g1, g2);
+  EXPECT_NE(g0, g2);
+}
+
+TEST(RoundRobin, ReadyThreadPreferredOverSpeculative) {
+  RoundRobinArbiter a(3);
+  EXPECT_EQ(a.grant({true, true, false}, {false, true, false}), 1u);
+}
+
+TEST(RoundRobin, FairnessUnderSaturation) {
+  RoundRobinArbiter a(4);
+  std::vector<int> grants(4, 0);
+  std::vector<bool> all(4, true);
+  for (int i = 0; i < 400; ++i) {
+    const auto g = a.grant(all, all);
+    ASSERT_LT(g, 4u);
+    ++grants[g];
+    a.update(g, true);
+  }
+  for (int g : grants) EXPECT_EQ(g, 100);
+}
+
+TEST(RoundRobin, ResetRestoresPointer) {
+  RoundRobinArbiter a(3);
+  std::vector<bool> all(3, true);
+  a.update(a.grant(all, all), true);
+  a.reset();
+  EXPECT_EQ(a.grant(all, all), 0u);
+}
+
+TEST(FixedPriority, AlwaysLowestReadyIndex) {
+  FixedPriorityArbiter a(4);
+  std::vector<bool> all(4, true);
+  for (int i = 0; i < 10; ++i) {
+    const auto g = a.grant(all, all);
+    EXPECT_EQ(g, 0u);
+    a.update(g, true);
+  }
+}
+
+TEST(FixedPriority, StarvesHighIndicesUnderLoad) {
+  FixedPriorityArbiter a(2);
+  std::vector<bool> all(2, true);
+  int grants1 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto g = a.grant(all, all);
+    grants1 += g == 1 ? 1 : 0;
+    a.update(g, true);
+  }
+  EXPECT_EQ(grants1, 0);
+}
+
+TEST(FixedPriority, SpeculativeStillRotates) {
+  FixedPriorityArbiter a(3);
+  std::vector<bool> pending(3, true);
+  std::vector<bool> none(3, false);
+  std::vector<bool> offered(3, false);
+  for (int i = 0; i < 3; ++i) {
+    const auto g = a.grant(pending, none);
+    ASSERT_LT(g, 3u);
+    offered[g] = true;
+    a.update(g, false);
+  }
+  EXPECT_TRUE(offered[0] && offered[1] && offered[2]);
+}
+
+TEST(Matrix, GrantsLeastRecentlyServed) {
+  MatrixArbiter a(3);
+  std::vector<bool> all(3, true);
+  const auto g0 = a.grant(all, all);
+  a.update(g0, true);
+  const auto g1 = a.grant(all, all);
+  EXPECT_NE(g1, g0);
+  a.update(g1, true);
+  const auto g2 = a.grant(all, all);
+  EXPECT_NE(g2, g0);
+  EXPECT_NE(g2, g1);
+  a.update(g2, true);
+  // Now the least recently served is g0 again.
+  EXPECT_EQ(a.grant(all, all), g0);
+}
+
+TEST(Matrix, FairnessUnderSaturation) {
+  MatrixArbiter a(4);
+  std::vector<bool> all(4, true);
+  std::vector<int> grants(4, 0);
+  for (int i = 0; i < 400; ++i) {
+    const auto g = a.grant(all, all);
+    ASSERT_LT(g, 4u);
+    ++grants[g];
+    a.update(g, true);
+  }
+  for (int g : grants) EXPECT_EQ(g, 100);
+}
+
+TEST(Matrix, PartialRequests) {
+  MatrixArbiter a(3);
+  std::vector<bool> all(3, true);
+  a.update(a.grant(all, all), true);  // 0 served
+  // Only 0 and 2 request; 2 is older (never served).
+  EXPECT_EQ(a.grant({true, false, true}, {true, true, true}), 2u);
+}
+
+TEST(Matrix, SpeculativeOfferRotates) {
+  MatrixArbiter a(2);
+  std::vector<bool> pending(2, true);
+  std::vector<bool> none(2, false);
+  const auto g0 = a.grant(pending, none);
+  a.update(g0, false);
+  const auto g1 = a.grant(pending, none);
+  EXPECT_NE(g0, g1);
+}
+
+}  // namespace
+}  // namespace mte::mt

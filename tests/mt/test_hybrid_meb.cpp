@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "mt/hybrid_meb.hpp"
+#include "mt/mt_channel.hpp"
+#include "mt/mt_sink.hpp"
+#include "mt/mt_source.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::mt {
+namespace {
+
+std::vector<std::uint64_t> thread_tokens(std::size_t thread, std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = thread * 1000 + i;
+  return v;
+}
+
+struct Rig {
+  Rig(std::size_t threads, std::size_t k)
+      : in(s, "in", threads), out(s, "out", threads), src(s, "src", in),
+        meb(s, "meb", in, out, k), sink(s, "sink", out) {}
+
+  sim::Simulator s;
+  MtChannel<std::uint64_t> in, out;
+  MtSource<std::uint64_t> src;
+  HybridMeb<std::uint64_t> meb;
+  MtSink<std::uint64_t> sink;
+};
+
+TEST(HybridMeb, CapacityBookkeeping) {
+  Rig rig(4, 2);
+  EXPECT_EQ(rig.meb.capacity(), 6u);
+  EXPECT_EQ(rig.meb.shared_capacity(), 2u);
+}
+
+TEST(HybridMeb, KEqualsOneBehavesLikeReducedMeb) {
+  // Single slot pool: when one thread stalls and claims it, other HALF
+  // threads stop accepting.
+  Rig rig(2, 1);
+  rig.src.set_generator(0, [](std::uint64_t i) { return i; });
+  rig.src.set_generator(1, [](std::uint64_t i) { return 1000 + i; });
+  rig.sink.add_stall_window(1, 0, 50);
+  rig.s.reset();
+  rig.s.run(50);
+  EXPECT_EQ(rig.meb.shared_used(), 1u);
+  EXPECT_EQ(rig.meb.state(1), elastic::EbState::kFull);
+  EXPECT_GT(rig.sink.count(0), 20u);
+}
+
+TEST(HybridMeb, KZeroCapsSingleThreadAtHalfRate) {
+  Rig rig(2, 0);
+  rig.src.set_generator(0, [](std::uint64_t i) { return i; });
+  rig.s.reset();
+  rig.s.run(200);
+  EXPECT_NEAR(static_cast<double>(rig.sink.count(0)), 100.0, 5.0);
+}
+
+TEST(HybridMeb, KEqualsThreadsGivesEveryThreadTwoSlots) {
+  Rig rig(3, 3);
+  for (std::size_t t = 0; t < 3; ++t) {
+    rig.src.set_generator(t, [t](std::uint64_t i) { return t * 1000 + i; });
+    rig.sink.add_stall_window(t, 0, 30);
+  }
+  rig.s.reset();
+  rig.s.run(30);
+  // Every thread buffered two items: 3 main + 3 shared slots used.
+  EXPECT_EQ(rig.meb.shared_used(), 3u);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(rig.meb.state(t), elastic::EbState::kFull);
+  }
+}
+
+TEST(HybridMeb, ConservationAndOrderUnderRandomTraffic) {
+  for (std::size_t k : {0u, 1u, 2u, 4u}) {
+    Rig rig(4, k);
+    for (std::size_t t = 0; t < 4; ++t) {
+      rig.src.set_tokens(t, thread_tokens(t, 40));
+      rig.src.set_rate(t, 0.6, 100 + t);
+      rig.sink.set_rate(t, 0.5, 200 + t);
+    }
+    rig.s.reset();
+    rig.s.run(3000);
+    for (std::size_t t = 0; t < 4; ++t) {
+      EXPECT_EQ(rig.sink.received(t), thread_tokens(t, 40)) << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(HybridMeb, SlotsRecycleAcrossThreads) {
+  // Thread 0 claims and releases the single shared slot, then thread 1
+  // must be able to claim it.
+  Rig rig(2, 1);
+  rig.src.set_tokens(0, {1, 2});
+  rig.s.reset();
+  rig.sink.add_stall_window(0, 0, 10);
+  rig.s.run(10);
+  EXPECT_EQ(rig.meb.shared_used(), 1u);
+  rig.s.run(20);  // drain thread 0
+  EXPECT_EQ(rig.meb.shared_used(), 0u);
+  rig.src.set_tokens(1, {100, 101});
+  // A fresh stall for thread 1 (window relative to current time).
+  rig.sink.add_stall_window(1, 0, 1000);
+  rig.s.run(20);
+  EXPECT_EQ(rig.meb.shared_used(), 1u);
+  EXPECT_EQ(rig.meb.state(1), elastic::EbState::kFull);
+}
+
+}  // namespace
+}  // namespace mte::mt

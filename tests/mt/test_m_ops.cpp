@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "mt/full_meb.hpp"
+#include "mt/m_branch.hpp"
+#include "mt/m_fork.hpp"
+#include "mt/m_join.hpp"
+#include "mt/m_merge.hpp"
+#include "mt/mt_channel.hpp"
+#include "mt/mt_sink.hpp"
+#include "mt/mt_source.hpp"
+#include "mt/reduced_meb.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::mt {
+namespace {
+
+std::vector<std::uint64_t> thread_tokens(std::size_t thread, std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = thread * 1000 + i;
+  return v;
+}
+
+TEST(MJoin, PairsPerThreadStreams) {
+  // Two MEB-buffered inputs joined per thread; outputs must pair the i-th
+  // A token with the i-th B token of the same thread.
+  sim::Simulator s;
+  const std::size_t threads = 2;
+  MtChannel<std::uint64_t> a0(s, "a0", threads), a1(s, "a1", threads);
+  MtChannel<std::uint64_t> b0(s, "b0", threads), b1(s, "b1", threads);
+  MtChannel<std::uint64_t> j(s, "j", threads);
+  MtSource<std::uint64_t> sa(s, "sa", a0), sb(s, "sb", b0);
+  ReducedMeb<std::uint64_t> ma(s, "ma", a0, a1), mb(s, "mb", b0, b1);
+  MJoin<std::uint64_t, std::uint64_t, std::uint64_t> join(
+      s, "join", a1, b1, j,
+      [](const std::uint64_t& x, const std::uint64_t& y) { return x * 1000000 + y; });
+  MtSink<std::uint64_t> sink(s, "sink", j);
+  for (std::size_t t = 0; t < threads; ++t) {
+    sa.set_tokens(t, thread_tokens(t, 20));
+    sb.set_tokens(t, thread_tokens(t, 20));
+  }
+  s.reset();
+  s.run(500);
+  for (std::size_t t = 0; t < threads; ++t) {
+    ASSERT_EQ(sink.count(t), 20u) << "thread " << t;
+    for (std::size_t i = 0; i < 20; ++i) {
+      const std::uint64_t tok = t * 1000 + i;
+      EXPECT_EQ(sink.received(t)[i], tok * 1000000 + tok);
+    }
+  }
+}
+
+TEST(MJoin, SkewedInputsStillPairCorrectly) {
+  // B's source is slow and bursty: the join must never pair across
+  // generations or threads.
+  sim::Simulator s;
+  const std::size_t threads = 3;
+  MtChannel<std::uint64_t> a0(s, "a0", threads), a1(s, "a1", threads);
+  MtChannel<std::uint64_t> b0(s, "b0", threads), b1(s, "b1", threads);
+  MtChannel<std::uint64_t> j(s, "j", threads);
+  MtSource<std::uint64_t> sa(s, "sa", a0), sb(s, "sb", b0);
+  FullMeb<std::uint64_t> ma(s, "ma", a0, a1), mb(s, "mb", b0, b1);
+  MJoin<std::uint64_t, std::uint64_t, std::uint64_t> join(
+      s, "join", a1, b1, j,
+      [](const std::uint64_t& x, const std::uint64_t& y) { return x * 1000000 + y; });
+  MtSink<std::uint64_t> sink(s, "sink", j);
+  for (std::size_t t = 0; t < threads; ++t) {
+    sa.set_tokens(t, thread_tokens(t, 15));
+    sb.set_tokens(t, thread_tokens(t, 15));
+    sb.set_rate(t, 0.25, 900 + t);
+  }
+  s.reset();
+  s.run(2000);
+  for (std::size_t t = 0; t < threads; ++t) {
+    ASSERT_EQ(sink.count(t), 15u);
+    for (std::size_t i = 0; i < 15; ++i) {
+      const std::uint64_t tok = t * 1000 + i;
+      EXPECT_EQ(sink.received(t)[i], tok * 1000000 + tok);
+    }
+  }
+}
+
+TEST(MFork, AllOutputsReceiveEveryThreadStream) {
+  sim::Simulator s;
+  const std::size_t threads = 2;
+  MtChannel<std::uint64_t> in(s, "in", threads);
+  MtChannel<std::uint64_t> o0(s, "o0", threads), o1(s, "o1", threads);
+  MtSource<std::uint64_t> src(s, "src", in);
+  MFork<std::uint64_t> fork(s, "fork", in, {&o0, &o1});
+  MtSink<std::uint64_t> k0(s, "k0", o0), k1(s, "k1", o1);
+  for (std::size_t t = 0; t < threads; ++t) src.set_tokens(t, thread_tokens(t, 25));
+  s.reset();
+  s.run(300);
+  for (std::size_t t = 0; t < threads; ++t) {
+    EXPECT_EQ(k0.received(t), thread_tokens(t, 25));
+    EXPECT_EQ(k1.received(t), thread_tokens(t, 25));
+  }
+}
+
+TEST(MFork, SlowOutputOnOneThreadOnlyBlocksThatThread) {
+  sim::Simulator s;
+  const std::size_t threads = 2;
+  MtChannel<std::uint64_t> in(s, "in", threads);
+  MtChannel<std::uint64_t> o0(s, "o0", threads), o1(s, "o1", threads);
+  MtSource<std::uint64_t> src(s, "src", in);
+  MFork<std::uint64_t> fork(s, "fork", in, {&o0, &o1});
+  MtSink<std::uint64_t> k0(s, "k0", o0), k1(s, "k1", o1);
+  src.set_generator(0, [](std::uint64_t i) { return i; });
+  src.set_generator(1, [](std::uint64_t i) { return 1000 + i; });
+  k1.add_stall_window(1, 0, 100);  // output 1 refuses thread 1
+  s.reset();
+  s.run(100);
+  // Thread 0 keeps flowing to both outputs.
+  EXPECT_GT(k0.count(0), 40u);
+  EXPECT_GT(k1.count(0), 40u);
+  // Thread 1 blocked (output 1 holds the eager fork's pending bit).
+  EXPECT_LE(k0.count(1), 1u);  // at most the eagerly-delivered first token
+  EXPECT_EQ(k1.count(1), 0u);
+}
+
+TEST(MBranch, RoutesPerThreadByCondition) {
+  sim::Simulator s;
+  const std::size_t threads = 2;
+  MtChannel<std::uint64_t> data(s, "data", threads);
+  MtChannel<bool> cond(s, "cond", threads);
+  MtChannel<std::uint64_t> t_out(s, "t", threads), f_out(s, "f", threads);
+  MtSource<std::uint64_t> dsrc(s, "dsrc", data);
+  MtSource<bool> csrc(s, "csrc", cond);
+  MBranch<std::uint64_t> branch(s, "br", data, cond, t_out, f_out);
+  MtSink<std::uint64_t> st(s, "st", t_out), sf(s, "sf", f_out);
+  // Thread 0: even tokens true; thread 1: all false.
+  std::vector<bool> c0, c1;
+  for (int i = 0; i < 20; ++i) {
+    c0.push_back(i % 2 == 0);
+    c1.push_back(false);
+  }
+  dsrc.set_tokens(0, thread_tokens(0, 20));
+  dsrc.set_tokens(1, thread_tokens(1, 20));
+  csrc.set_tokens(0, c0);
+  csrc.set_tokens(1, c1);
+  s.reset();
+  s.run(1000);
+  std::vector<std::uint64_t> t0_true, t0_false;
+  for (std::size_t i = 0; i < 20; ++i) {
+    (i % 2 == 0 ? t0_true : t0_false).push_back(i);
+  }
+  EXPECT_EQ(st.received(0), t0_true);
+  EXPECT_EQ(sf.received(0), t0_false);
+  EXPECT_TRUE(st.received(1).empty());
+  EXPECT_EQ(sf.received(1), thread_tokens(1, 20));
+}
+
+TEST(MMerge, MergesBranchPathsPerThread) {
+  // branch -> (true path / false path) -> merge round trip, 2 threads.
+  sim::Simulator s;
+  const std::size_t threads = 2;
+  MtChannel<std::uint64_t> data(s, "data", threads);
+  MtChannel<bool> cond(s, "cond", threads);
+  MtChannel<std::uint64_t> p_t(s, "pt", threads), p_f(s, "pf", threads);
+  MtChannel<std::uint64_t> merged(s, "merged", threads);
+  MtSource<std::uint64_t> dsrc(s, "dsrc", data);
+  MtSource<bool> csrc(s, "csrc", cond);
+  MBranch<std::uint64_t> branch(s, "br", data, cond, p_t, p_f);
+  MMerge<std::uint64_t> merge(s, "mg", {&p_t, &p_f}, merged);
+  MtSink<std::uint64_t> sink(s, "sink", merged);
+  std::vector<bool> c0, c1;
+  for (int i = 0; i < 24; ++i) {
+    c0.push_back(i % 3 == 0);
+    c1.push_back(i % 2 == 0);
+  }
+  dsrc.set_tokens(0, thread_tokens(0, 24));
+  dsrc.set_tokens(1, thread_tokens(1, 24));
+  csrc.set_tokens(0, c0);
+  csrc.set_tokens(1, c1);
+  s.reset();
+  s.run(1000);
+  // Every token reappears, per thread, in original order.
+  EXPECT_EQ(sink.received(0), thread_tokens(0, 24));
+  EXPECT_EQ(sink.received(1), thread_tokens(1, 24));
+}
+
+TEST(MMerge, CrossThreadPathsBothDrain) {
+  // Path A carries only thread 0, path B only thread 1: the merge's path
+  // selector must interleave them without loss.
+  sim::Simulator s;
+  const std::size_t threads = 2;
+  MtChannel<std::uint64_t> pa(s, "pa", threads), pb(s, "pb", threads);
+  MtChannel<std::uint64_t> merged(s, "merged", threads);
+  MtSource<std::uint64_t> sa(s, "sa", pa), sb(s, "sb", pb);
+  MMerge<std::uint64_t> merge(s, "mg", {&pa, &pb}, merged);
+  MtSink<std::uint64_t> sink(s, "sink", merged);
+  sa.set_tokens(0, thread_tokens(0, 30));
+  sb.set_tokens(1, thread_tokens(1, 30));
+  s.reset();
+  s.run(300);
+  EXPECT_EQ(sink.received(0), thread_tokens(0, 30));
+  EXPECT_EQ(sink.received(1), thread_tokens(1, 30));
+}
+
+TEST(MMerge, ThrowsWhenSameThreadValidOnBothPaths) {
+  sim::Simulator s;
+  const std::size_t threads = 2;
+  MtChannel<std::uint64_t> pa(s, "pa", threads), pb(s, "pb", threads);
+  MtChannel<std::uint64_t> merged(s, "merged", threads);
+  MtSource<std::uint64_t> sa(s, "sa", pa), sb(s, "sb", pb);
+  MMerge<std::uint64_t> merge(s, "mg", {&pa, &pb}, merged);
+  MtSink<std::uint64_t> sink(s, "sink", merged);
+  sa.set_tokens(0, {1});
+  sb.set_tokens(0, {2});  // same thread on the other path: protocol error
+  s.reset();
+  EXPECT_THROW(s.run(10), sim::ProtocolError);
+}
+
+TEST(MForkMJoin, DiamondReconvergencePerThread) {
+  // M-Fork -> (MEB path / direct path) -> M-Join diamond with 2 threads.
+  sim::Simulator s;
+  const std::size_t threads = 2;
+  MtChannel<std::uint64_t> in(s, "in", threads);
+  MtChannel<std::uint64_t> p0(s, "p0", threads), p1(s, "p1", threads),
+      p1b(s, "p1b", threads);
+  MtChannel<std::uint64_t> out(s, "out", threads);
+  MtSource<std::uint64_t> src(s, "src", in);
+  MFork<std::uint64_t> fork(s, "fork", in, {&p0, &p1});
+  FullMeb<std::uint64_t> meb(s, "meb", p1, p1b);
+  MJoin<std::uint64_t, std::uint64_t, std::uint64_t> join(
+      s, "join", p0, p1b, out,
+      [](const std::uint64_t& x, const std::uint64_t& y) { return x * 1000000 + y; });
+  MtSink<std::uint64_t> sink(s, "sink", out);
+  for (std::size_t t = 0; t < threads; ++t) src.set_tokens(t, thread_tokens(t, 20));
+  s.reset();
+  s.run(1000);
+  for (std::size_t t = 0; t < threads; ++t) {
+    ASSERT_EQ(sink.count(t), 20u) << "thread " << t;
+    for (std::size_t i = 0; i < 20; ++i) {
+      const std::uint64_t tok = t * 1000 + i;
+      EXPECT_EQ(sink.received(t)[i], tok * 1000000 + tok);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mte::mt

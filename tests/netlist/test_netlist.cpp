@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+
+namespace mte::netlist {
+namespace {
+
+Netlist linear_pipeline() {
+  Netlist n;
+  const auto src = n.add_source("src");
+  const auto b0 = n.add_buffer("b0");
+  const auto f = n.add_function("sq", "square");
+  const auto b1 = n.add_buffer("b1");
+  const auto snk = n.add_sink("snk");
+  n.connect(src, 0, b0, 0);
+  n.connect(b0, 0, f, 0);
+  n.connect(f, 0, b1, 0);
+  n.connect(b1, 0, snk, 0);
+  return n;
+}
+
+TEST(Netlist, ValidPipelinePassesValidation) {
+  EXPECT_TRUE(linear_pipeline().validate().empty());
+}
+
+TEST(Netlist, CountsByType) {
+  const Netlist n = linear_pipeline();
+  EXPECT_EQ(n.count(NodeType::kBuffer), 2u);
+  EXPECT_EQ(n.count(NodeType::kSource), 1u);
+  EXPECT_EQ(n.count(NodeType::kFunction), 1u);
+}
+
+TEST(Netlist, DetectsUnconnectedPorts) {
+  Netlist n;
+  n.add_source("src");
+  const auto problems = n.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("unconnected"), std::string::npos);
+}
+
+TEST(Netlist, DetectsUndrivenInput) {
+  Netlist n;
+  const auto src = n.add_source("src");
+  const auto j = n.add_join("j", 2);
+  const auto snk = n.add_sink("snk");
+  n.connect(src, 0, j, 0);
+  n.connect(j, 0, snk, 0);
+  bool found = false;
+  for (const auto& p : n.validate()) {
+    if (p.find("undriven") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Netlist, DetectsIllegalFanout) {
+  Netlist n;
+  const auto src = n.add_source("src");
+  const auto s0 = n.add_sink("s0");
+  const auto s1 = n.add_sink("s1");
+  n.connect(src, 0, s0, 0);
+  n.connect(src, 0, s1, 0);  // fanout without a fork
+  bool found = false;
+  for (const auto& p : n.validate()) {
+    if (p.find("fanout") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Netlist, DetectsBadPortIndex) {
+  Netlist n;
+  const auto src = n.add_source("src");
+  const auto snk = n.add_sink("snk");
+  n.connect(src, 3, snk, 0);  // source has only port 0
+  bool found = false;
+  for (const auto& p : n.validate()) {
+    if (p.find("no output port") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Netlist, DetectsBufferlessCycle) {
+  // merge -> function -> branch -> (loop back to merge) with no buffer.
+  Netlist n;
+  const auto src = n.add_source("src");
+  const auto m = n.add_merge("m", 2);
+  const auto f = n.add_function("inc", "inc");
+  const auto br = n.add_branch("br", "even");
+  const auto snk = n.add_sink("snk");
+  n.connect(src, 0, m, 0);
+  n.connect(m, 0, f, 0);
+  n.connect(f, 0, br, 0);
+  n.connect(br, 0, m, 1);  // combinational feedback
+  n.connect(br, 1, snk, 0);
+  bool found = false;
+  for (const auto& p : n.validate()) {
+    if (p.find("combinational cycle") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Netlist, BufferedCycleIsLegal) {
+  Netlist n;
+  const auto src = n.add_source("src");
+  const auto m = n.add_merge("m", 2);
+  const auto f = n.add_function("inc", "inc");
+  const auto b = n.add_buffer("b");
+  const auto br = n.add_branch("br", "even");
+  const auto snk = n.add_sink("snk");
+  n.connect(src, 0, m, 0);
+  n.connect(m, 0, f, 0);
+  n.connect(f, 0, b, 0);
+  n.connect(b, 0, br, 0);
+  n.connect(br, 0, m, 1);  // feedback through the buffer
+  n.connect(br, 1, snk, 0);
+  EXPECT_TRUE(n.validate().empty());
+}
+
+TEST(Netlist, TransformPreservesStructure) {
+  const Netlist single = linear_pipeline();
+  const Netlist multi = single.to_multithreaded(8, mt::MebKind::kReduced);
+  EXPECT_EQ(multi.threads(), 8u);
+  EXPECT_EQ(multi.meb_kind(), mt::MebKind::kReduced);
+  EXPECT_EQ(multi.nodes().size(), single.nodes().size());
+  EXPECT_EQ(multi.edges().size(), single.edges().size());
+  EXPECT_TRUE(multi.validate().empty());
+}
+
+TEST(Netlist, TransformTwiceThrows) {
+  const Netlist multi = linear_pipeline().to_multithreaded(4, mt::MebKind::kFull);
+  EXPECT_THROW((void)multi.to_multithreaded(8, mt::MebKind::kFull), std::logic_error);
+}
+
+TEST(Netlist, DotExportSingleVsMulti) {
+  const Netlist single = linear_pipeline();
+  const std::string dot1 = single.to_dot();
+  EXPECT_NE(dot1.find("digraph"), std::string::npos);
+  EXPECT_NE(dot1.find("EB"), std::string::npos);
+  EXPECT_EQ(dot1.find("MEB"), std::string::npos);
+
+  const std::string dot2 =
+      single.to_multithreaded(4, mt::MebKind::kReduced).to_dot();
+  EXPECT_NE(dot2.find("reduced MEB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mte::netlist

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hpp"
+
+namespace mte::sim {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowZeroReturnsZero) {
+  Rng r(3);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_in(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values of a small range are hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyApproximatesP) {
+  Rng r(11);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += r.next_bool(0.3) ? 1 : 0;
+  const double freq = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(freq, 0.3, 0.01);
+}
+
+TEST(Rng, UniformityAcrossBuckets) {
+  Rng r(13);
+  int buckets[10] = {};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++buckets[r.next_below(10)];
+  for (int b : buckets) {
+    EXPECT_NEAR(static_cast<double>(b) / trials, 0.1, 0.01);
+  }
+}
+
+TEST(SplitMix64, KnownFirstValueStability) {
+  // Pin the expansion function so persisted seeds stay meaningful.
+  SplitMix64 sm(0);
+  const auto v0 = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), v0);
+  EXPECT_NE(sm.next(), v0);
+}
+
+}  // namespace
+}  // namespace mte::sim

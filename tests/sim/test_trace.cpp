@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+
+namespace mte::sim {
+namespace {
+
+TEST(TraceRecorder, RecordsEventsInOrder) {
+  TraceRecorder rec;
+  rec.record(1, "ch0", 0, 100);
+  rec.record(2, "ch1", 1, 200);
+  rec.record(3, "ch0", 1, 300);
+  ASSERT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.events()[0], (TransferEvent{1, "ch0", 0, 100}));
+  EXPECT_EQ(rec.events()[2], (TransferEvent{3, "ch0", 1, 300}));
+}
+
+TEST(TraceRecorder, ChannelFilter) {
+  TraceRecorder rec;
+  rec.record(1, "a", 0, 1);
+  rec.record(2, "b", 0, 2);
+  rec.record(3, "a", 1, 3);
+  const auto a = rec.channel_events("a");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].tag, 1u);
+  EXPECT_EQ(a[1].tag, 3u);
+}
+
+TEST(TraceRecorder, TagsByChannelAndThread) {
+  TraceRecorder rec;
+  rec.record(1, "a", 0, 10);
+  rec.record(2, "a", 1, 20);
+  rec.record(3, "a", 0, 30);
+  EXPECT_EQ(rec.tags("a", 0), (std::vector<std::uint64_t>{10, 30}));
+  EXPECT_EQ(rec.tags("a", 1), (std::vector<std::uint64_t>{20}));
+  EXPECT_TRUE(rec.tags("missing", 0).empty());
+}
+
+TEST(TraceRecorder, ClearEmpties) {
+  TraceRecorder rec;
+  rec.record(1, "a", 0, 1);
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(Timeline, RendersCellsAndGaps) {
+  Timeline tl;
+  tl.put("input", 0, "A0");
+  tl.put("input", 2, "B0");
+  tl.put("output", 1, "A0");
+  const std::string text = tl.render();
+  EXPECT_NE(text.find("input"), std::string::npos);
+  EXPECT_NE(text.find("output"), std::string::npos);
+  EXPECT_NE(text.find("A0"), std::string::npos);
+  EXPECT_NE(text.find("B0"), std::string::npos);
+  EXPECT_NE(text.find("."), std::string::npos);  // gap marker
+}
+
+TEST(Timeline, RowOrderFollowsDeclaration) {
+  Timeline tl;
+  tl.declare_row("second");
+  tl.declare_row("first");
+  tl.put("first", 0, "x");
+  tl.put("second", 0, "y");
+  const std::string text = tl.render();
+  EXPECT_LT(text.find("second"), text.find("first"));
+}
+
+TEST(Timeline, EmptyRenders) {
+  Timeline tl;
+  EXPECT_EQ(tl.render(), "(empty timeline)\n");
+}
+
+TEST(Timeline, RangeRender) {
+  Timeline tl;
+  tl.put("r", 0, "a");
+  tl.put("r", 5, "b");
+  const std::string text = tl.render(4, 6);
+  EXPECT_EQ(text.find("\"a\""), std::string::npos);
+  EXPECT_NE(text.find("b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mte::sim
