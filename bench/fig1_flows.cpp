@@ -5,26 +5,23 @@
 // output timelines; the quantitative claim: the MT-elastic pipeline's
 // channel utilization approaches 100 % while the single-thread elastic
 // one is limited by the variable-latency unit.
+//
+// Both elastic variants are described through the fluent CircuitBuilder;
+// the deterministic latency pattern of the variable-latency unit enters
+// through a custom node kind registered with the ComponentFactory.
 #include <cstdio>
 
-#include "elastic/channel.hpp"
-#include "elastic/elastic_buffer.hpp"
-#include "elastic/sink.hpp"
-#include "elastic/source.hpp"
 #include "elastic/var_latency.hpp"
-#include "mt/full_meb.hpp"
-#include "mt/mt_channel.hpp"
-#include "mt/mt_sink.hpp"
-#include "mt/mt_source.hpp"
-#include "sim/simulator.hpp"
+#include "netlist/builder.hpp"
 #include "sim/trace.hpp"
 
 namespace {
 
 using namespace mte;
+using netlist::Word;
 
 // Latency pattern of the "variable latency unit": every 3rd token is slow.
-unsigned latency_of(std::uint64_t tok) { return tok % 3 == 2 ? 3u : 1u; }
+unsigned latency_of(Word tok) { return tok % 3 == 2 ? 3u : 1u; }
 
 double run_inelastic(sim::Timeline& tl, int cycles) {
   // A rigid synchronous pipeline must always budget the worst-case
@@ -41,48 +38,53 @@ double run_inelastic(sim::Timeline& tl, int cycles) {
 }
 
 double run_elastic(sim::Timeline& tl, int cycles) {
-  sim::Simulator s;
-  elastic::Channel<std::uint64_t> c0(s, "c0"), c1(s, "c1"), c2(s, "c2");
-  elastic::Source<std::uint64_t> src(s, "src", c0);
-  elastic::VariableLatencyUnit<std::uint64_t> vl(s, "vl", c0, c1);
-  elastic::ElasticBuffer<std::uint64_t> eb(s, "eb", c1, c2);
-  elastic::Sink<std::uint64_t> sink(s, "sink", c2);
-  src.set_generator([](std::uint64_t i) { return i; });
-  vl.set_latency_fn(latency_of);
-  s.on_cycle([&](sim::Cycle c) {
-    if (c2.fired()) tl.put("elastic out", c, "A" + std::to_string(c2.data.get()));
+  netlist::CircuitBuilder b;
+  b.source("src") >> b.custom("vl", "pattern_vl", 1, 1) >> b.buffer("eb")
+      >> b.sink("sink");
+
+  auto factory = netlist::ComponentFactory::with_defaults();
+  factory.register_custom_st("pattern_vl", [](const netlist::StContext& ctx) {
+    auto& vl = ctx.sim.make<elastic::VariableLatencyUnit<Word>>(
+        ctx.sim, ctx.node.name, ctx.in(0), ctx.out(0));
+    vl.set_latency_fn(latency_of);
   });
-  s.reset();
-  s.run(cycles);
-  return static_cast<double>(sink.count()) / cycles;
+
+  auto e = b.elaborate(netlist::FunctionRegistry::with_defaults(), factory);
+  e.source("src").set_generator([](std::uint64_t i) { return i; });
+  auto& out = e.channel("eb");
+  e.simulator().on_cycle([&](sim::Cycle c) {
+    if (out.fired()) tl.put("elastic out", c, "A" + std::to_string(out.data.get()));
+  });
+  e.simulator().reset();
+  e.simulator().run(cycles);
+  return static_cast<double>(e.sink("sink").count()) / cycles;
 }
 
 double run_mt_elastic(sim::Timeline& tl, int cycles) {
-  // Two threads, each with its own variable-latency engine wrapper, time-
-  // multiplexed on one channel through a full MEB: thread B's tokens fill
-  // the slots thread A leaves empty.
-  sim::Simulator s;
-  mt::MtChannel<std::uint64_t> c0(s, "c0", 2), c1(s, "c1", 2);
-  mt::MtSource<std::uint64_t> src(s, "src", c0);
-  mt::FullMeb<std::uint64_t> meb(s, "meb", c0, c1);
-  mt::MtSink<std::uint64_t> sink(s, "sink", c1);
+  // Two threads time-multiplexed on one channel through a full MEB:
+  // thread B's tokens fill the slots thread A leaves empty.
+  netlist::CircuitBuilder b;
+  b.source("src") >> b.buffer("meb") >> b.sink("sink");
+  auto e = b.then_multithreaded(2, mt::MebKind::kFull).elaborate();
+
   // Model each thread's producer as variable-rate injection with the same
   // duty cycle as the variable-latency unit (2 fast + 1 slow per 3).
+  auto& src = e.mt_source("src");
   src.set_generator(0, [](std::uint64_t i) { return i; });
   src.set_generator(1, [](std::uint64_t i) { return 1000 + i; });
   src.set_rate(0, 0.7, 42);
   src.set_rate(1, 0.7, 43);
-  s.on_cycle([&](sim::Cycle c) {
-    const std::size_t t = c1.fired_thread();
+  auto& out = e.mt_channel("meb");
+  e.simulator().on_cycle([&](sim::Cycle c) {
+    const std::size_t t = out.fired_thread();
     if (t < 2) {
-      const auto v = c1.data.get();
-      tl.put("mt-elastic out", c,
-             (t == 0 ? "A" : "B") + std::to_string(v % 1000));
+      const auto v = out.data.get();
+      tl.put("mt-elastic out", c, (t == 0 ? "A" : "B") + std::to_string(v % 1000));
     }
   });
-  s.reset();
-  s.run(cycles);
-  return static_cast<double>(sink.total_count()) / cycles;
+  e.simulator().reset();
+  e.simulator().run(cycles);
+  return static_cast<double>(e.mt_sink("sink").total_count()) / cycles;
 }
 
 }  // namespace

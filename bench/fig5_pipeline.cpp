@@ -5,22 +5,20 @@
 // MEBs and (b) reduced MEBs. The quantitative claim checked: while B is
 // blocked to saturation, thread A keeps ~100 % of the channel with full
 // MEBs but only ~50 % with reduced MEBs; after release both recover.
+//
+// The pipeline is described once with the fluent CircuitBuilder; the MEB
+// flavour is the then_multithreaded knob, and the MEB slot introspection
+// comes from the Elaboration's meb() handles.
 #include <cstdio>
 #include <string>
 
-#include "mt/full_meb.hpp"
-#include "mt/meb_variant.hpp"
-#include "mt/mt_channel.hpp"
-#include "mt/mt_sink.hpp"
-#include "mt/mt_source.hpp"
-#include "mt/reduced_meb.hpp"
-#include "sim/simulator.hpp"
+#include "netlist/builder.hpp"
 #include "sim/trace.hpp"
 
 namespace {
 
 using namespace mte;
-using Token = std::uint64_t;
+using Token = netlist::Word;
 
 std::string label(Token v) {
   const char thread = v >= 1000 ? 'B' : 'A';
@@ -33,12 +31,13 @@ struct Result {
 };
 
 Result run(mt::MebKind kind, bool print) {
-  sim::Simulator s;
-  mt::MtChannel<Token> c0(s, "in", 2), c1(s, "mid", 2), c2(s, "out", 2);
-  mt::MtSource<Token> src(s, "src", c0);
-  auto meb0 = mt::AnyMeb<Token>::create(s, "MEB#0", c0, c1, kind);
-  auto meb1 = mt::AnyMeb<Token>::create(s, "MEB#1", c1, c2, kind);
-  mt::MtSink<Token> sink(s, "sink", c2);
+  netlist::CircuitBuilder b;
+  b.source("src") >> b.buffer("meb0") >> b.buffer("meb1") >> b.sink("sink");
+  auto design = b.then_multithreaded(2, kind).elaborate();
+  sim::Simulator& s = design.simulator();
+
+  auto& src = design.mt_source("src");
+  auto& sink = design.mt_sink("sink");
   src.set_generator(0, [](std::uint64_t i) { return i; });
   src.set_generator(1, [](std::uint64_t i) { return 1000 + i; });
   const sim::Cycle stall_start = 4, stall_end = 26;
@@ -49,14 +48,19 @@ Result run(mt::MebKind kind, bool print) {
                           "MEB1[A]", "MEB1[B]", "MEB1[sh]", "output ch"}) {
     tl.declare_row(row);
   }
+  auto& c_in = design.mt_channel("src");
+  auto& c_mid = design.mt_channel("meb0");
+  auto& c_out = design.mt_channel("meb1");
+  const auto& meb0 = design.meb("meb0");
+  const auto& meb1 = design.meb("meb1");
   std::uint64_t a_before = 0, a_after = 0, b_at_release = 0;
   s.on_cycle([&](sim::Cycle c) {
     auto fired_label = [](const mt::MtChannel<Token>& ch) -> std::string {
       const std::size_t t = ch.fired_thread();
       return t < ch.threads() ? label(ch.data.get()) : "";
     };
-    const std::string in_l = fired_label(c0), mid_l = fired_label(c1),
-                      out_l = fired_label(c2);
+    const std::string in_l = fired_label(c_in), mid_l = fired_label(c_mid),
+                      out_l = fired_label(c_out);
     if (!in_l.empty()) tl.put("input ch", c, in_l);
     if (!mid_l.empty()) tl.put("mid ch", c, mid_l);
     if (!out_l.empty()) tl.put("output ch", c, out_l);

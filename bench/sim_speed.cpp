@@ -4,35 +4,31 @@
 #include <benchmark/benchmark.h>
 
 #include "md5/md5_circuit.hpp"
-#include "mt/meb_variant.hpp"
-#include "mt/mt_channel.hpp"
-#include "mt/mt_sink.hpp"
-#include "mt/mt_source.hpp"
-#include "sim/simulator.hpp"
+#include "netlist/builder.hpp"
 
 namespace {
 
 using namespace mte;
-using Token = std::uint64_t;
 
 void BM_MebPipeline(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   const auto kind = state.range(1) == 0 ? mt::MebKind::kFull : mt::MebKind::kReduced;
-  sim::Simulator s;
-  std::vector<mt::MtChannel<Token>*> chans;
-  for (int i = 0; i <= 4; ++i) {
-    chans.push_back(&s.make<mt::MtChannel<Token>>(s, "c" + std::to_string(i), threads));
-  }
-  std::vector<mt::AnyMeb<Token>> mebs;
-  for (int i = 0; i < 4; ++i) {
-    mebs.push_back(mt::AnyMeb<Token>::create(s, "m" + std::to_string(i), *chans[i],
-                                             *chans[i + 1], kind));
-  }
-  mt::MtSource<Token> src(s, "src", *chans.front());
-  mt::MtSink<Token> sink(s, "sink", *chans.back());
+  netlist::CircuitBuilder b;
+  auto [first, last] = b.buffer_chain("m", 4);
+  b.source("src") >> first;
+  last >> b.sink("sink");
+  // Probes off: this benchmark measures the raw simulation kernel on the
+  // same component set the seed's hand-wired pipeline had.
+  auto design = b.then_multithreaded(threads, kind)
+                    .elaborate(netlist::FunctionRegistry::with_defaults(),
+                               netlist::ComponentFactory::defaults(),
+                               {.channel_probes = false});
+  auto& src = design.mt_source("src");
+  auto& sink = design.mt_sink("sink");
   for (std::size_t t = 0; t < threads; ++t) {
     src.set_generator(t, [](std::uint64_t i) { return i; });
   }
+  sim::Simulator& s = design.simulator();
   s.reset();
   for (auto _ : state) {
     s.step();

@@ -5,41 +5,35 @@
 // MEB flavours. Expected shape: identical throughput everywhere except
 // the all-but-one-blocked corner (bench fig5_pipeline), including under
 // random backpressure.
+//
+// The swept pipeline is a CircuitBuilder description: a buffer chain
+// whose stages become full or reduced MEBs at then_multithreaded time.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
-#include "mt/full_meb.hpp"
-#include "mt/meb_variant.hpp"
-#include "mt/mt_channel.hpp"
-#include "mt/mt_sink.hpp"
-#include "mt/mt_source.hpp"
-#include "mt/reduced_meb.hpp"
-#include "sim/simulator.hpp"
+#include "netlist/builder.hpp"
 
 namespace {
 
 using namespace mte;
-using Token = std::uint64_t;
 
 double measure(mt::MebKind kind, std::size_t threads, std::size_t stages,
                double sink_rate, int cycles = 4000) {
-  sim::Simulator s;
-  std::vector<mt::MtChannel<Token>*> chans;
-  for (std::size_t i = 0; i <= stages; ++i) {
-    chans.push_back(&s.make<mt::MtChannel<Token>>(s, "c" + std::to_string(i), threads));
-  }
-  std::vector<mt::AnyMeb<Token>> mebs;
-  for (std::size_t i = 0; i < stages; ++i) {
-    mebs.push_back(mt::AnyMeb<Token>::create(s, "m" + std::to_string(i), *chans[i],
-                                             *chans[i + 1], kind));
-  }
-  mt::MtSource<Token> src(s, "src", *chans.front());
-  mt::MtSink<Token> sink(s, "sink", *chans.back());
+  netlist::CircuitBuilder b;
+  auto [first, last] = b.buffer_chain("m", stages);
+  b.source("src") >> first;
+  last >> b.sink("sink");
+  auto design = b.then_multithreaded(threads, kind).elaborate();
+
+  auto& src = design.mt_source("src");
+  auto& sink = design.mt_sink("sink");
   for (std::size_t t = 0; t < threads; ++t) {
     src.set_generator(t, [t](std::uint64_t i) { return t * 100000 + i; });
     sink.set_rate(t, sink_rate, 1234 + t);
   }
-  s.reset();
-  s.run(cycles);
+  design.simulator().reset();
+  design.simulator().run(cycles);
   return static_cast<double>(sink.total_count()) / cycles;
 }
 

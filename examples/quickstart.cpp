@@ -1,49 +1,43 @@
-// Quickstart: build a multithreaded elastic pipeline from the public
-// API, drive it with per-thread token streams, and observe throughput.
+// Quickstart: describe an elastic pipeline with the fluent CircuitBuilder,
+// synthesize the multithreaded version (the paper's transform), drive it
+// with per-thread token streams, and observe throughput.
 //
 //   $ ./quickstart
 //
-// Walks through the core objects: Simulator, MtChannel, ReducedMeb,
-// MtSource/MtSink — and demonstrates the reduced MEB's behaviour under a
-// per-thread stall.
+// Walks through the core flow: CircuitBuilder >> chaining,
+// then_multithreaded (EBs become MEBs), Elaboration handles
+// (mt_source/mt_sink/meb/probe) — and demonstrates the reduced MEB's
+// behaviour under a per-thread stall.
 #include <cstdio>
 
-#include "mt/mt_channel.hpp"
-#include "mt/mt_sink.hpp"
-#include "mt/mt_source.hpp"
-#include "mt/reduced_meb.hpp"
-#include "sim/simulator.hpp"
+#include "netlist/builder.hpp"
 
 int main() {
   using namespace mte;
   constexpr std::size_t kThreads = 4;
 
-  // 1. A simulator owns the clock and the settle/commit loop.
-  sim::Simulator s;
+  // 1. Describe the single-thread elastic pipeline: each buffer is a
+  //    2-slot elastic buffer (EB) stage.
+  netlist::CircuitBuilder b;
+  b.source("src") >> b.buffer("stage0") >> b.buffer("stage1") >> b.sink("sink");
 
-  // 2. Multithreaded elastic channels: one valid/ready pair per thread,
-  //    one shared data bus.
-  mt::MtChannel<std::uint64_t> in(s, "in", kThreads);
-  mt::MtChannel<std::uint64_t> mid(s, "mid", kThreads);
-  mt::MtChannel<std::uint64_t> out(s, "out", kThreads);
+  // 2. The synthesis step: EBs become reduced MEBs (one main slot per
+  //    thread plus a single dynamically shared slot) and the boundary
+  //    components their multithreaded variants.
+  auto design = b.then_multithreaded(kThreads, mt::MebKind::kReduced).elaborate();
 
-  // 3. Two pipeline stages built from the paper's reduced MEB: one main
-  //    slot per thread plus a single dynamically shared slot.
-  mt::ReducedMeb<std::uint64_t> stage0(s, "stage0", in, mid);
-  mt::ReducedMeb<std::uint64_t> stage1(s, "stage1", mid, out);
-
-  // 4. Per-thread workloads: thread t produces t*1000, t*1000+1, ...
-  mt::MtSource<std::uint64_t> src(s, "src", in);
-  mt::MtSink<std::uint64_t> sink(s, "sink", out);
+  // 3. Per-thread workloads: thread t produces t*1000, t*1000+1, ...
+  auto& src = design.mt_source("src");
+  auto& sink = design.mt_sink("sink");
   for (std::size_t t = 0; t < kThreads; ++t) {
     src.set_generator(t, [t](std::uint64_t i) { return t * 1000 + i; });
   }
   // Thread 3 refuses tokens for a while: elastic backpressure in action.
   sink.add_stall_window(3, 0, 60);
 
-  // 5. Run and inspect.
-  s.reset();
-  s.run(200);
+  // 4. Run and inspect through the uniform handles.
+  design.simulator().reset();
+  design.simulator().run(200);
 
   std::printf("after 200 cycles:\n");
   for (std::size_t t = 0; t < kThreads; ++t) {
@@ -52,9 +46,11 @@ int main() {
                 sink.count(t) > 0 ? static_cast<unsigned long long>(sink.received(t)[0])
                                   : 0ULL);
   }
-  std::printf("stage0 shared slot in use: %s (owner: thread %zu)\n",
-              stage0.shared_full() ? "yes" : "no", stage0.shared_owner());
+  const auto& meb0 = design.meb("stage0");
+  std::printf("stage0 (%s MEB) occupancy: %d tokens\n", mt::to_string(meb0.kind()),
+              meb0.total_occupancy());
   std::printf("aggregate channel throughput: %.2f tokens/cycle\n",
-              static_cast<double>(sink.total_count()) / 200.0);
+              design.probe("stage1").throughput());
+  std::printf("\nper-channel statistics:\n%s", design.stats_report().c_str());
   return 0;
 }

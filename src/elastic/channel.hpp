@@ -17,10 +17,10 @@ template <typename T>
 class Channel {
  public:
   Channel(sim::Simulator& s, std::string name)
-      : name_(std::move(name)),
-        valid(s.tracker(), false),
+      : valid(s.tracker(), false),
         ready(s.tracker(), false),
-        data(s.tracker(), T{}) {}
+        data(s.tracker(), T{}),
+        name_(std::move(name)) {}
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
@@ -30,10 +30,12 @@ class Channel {
   /// True when a transfer completes in the current (settled) cycle.
   [[nodiscard]] bool fired() const noexcept { return valid.get() && ready.get(); }
 
-  std::string name_;
   sim::Wire<bool> valid;
   sim::Wire<bool> ready;
   sim::Wire<T> data;
+
+ private:
+  std::string name_;
 };
 
 }  // namespace mte::elastic

@@ -21,7 +21,7 @@ template <typename T>
 class MtChannel {
  public:
   MtChannel(sim::Simulator& s, std::string name, std::size_t threads)
-      : name_(std::move(name)), data(s.tracker(), T{}) {
+      : data(s.tracker(), T{}), name_(std::move(name)) {
     for (std::size_t i = 0; i < threads; ++i) {
       valid_.emplace_back(s.tracker(), false);
       ready_.emplace_back(s.tracker(), false);
@@ -67,10 +67,10 @@ class MtChannel {
     return threads();
   }
 
-  std::string name_;
   sim::Wire<T> data;
 
  private:
+  std::string name_;
   std::deque<sim::Wire<bool>> valid_;
   std::deque<sim::Wire<bool>> ready_;
 };

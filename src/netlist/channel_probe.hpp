@@ -1,0 +1,126 @@
+// ChannelProbe: uniform per-channel statistics for elaborated netlists.
+//
+// One probe is attached to every channel of an Elaboration, regardless of
+// whether the design is single-thread or multithreaded. It accumulates,
+// per thread:
+//   - transfer counts (-> throughput in tokens/cycle over the run), and
+//   - the backpressure wait of each token: the number of cycles its valid
+//     was asserted before the consumer's ready completed the transfer
+//     (-> a latency histogram of the stalls each channel injects).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "elastic/channel.hpp"
+#include "mt/mt_channel.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+
+namespace mte::netlist {
+
+using Word = std::uint64_t;
+
+class ChannelProbe : public sim::Component {
+ public:
+  ChannelProbe(sim::Simulator& s, const std::string& label,
+               elastic::Channel<Word>& ch)
+      : Component(s, "probe:" + label), st_(&ch) {
+    init(1);
+  }
+
+  ChannelProbe(sim::Simulator& s, const std::string& label, mt::MtChannel<Word>& ch)
+      : Component(s, "probe:" + label), mt_(&ch) {
+    init(ch.threads());
+  }
+
+  void reset() override {
+    cycles_ = 0;
+    std::fill(counts_.begin(), counts_.end(), 0);
+    std::fill(waits_.begin(), waits_.end(), 0);
+    wait_hist_.clear();
+    last_value_ = Word{};
+  }
+
+  void eval() override {}
+
+  void tick() override {
+    ++cycles_;
+    if (st_ != nullptr) {
+      observe(0, st_->valid.get(), st_->ready.get(), st_->data.get());
+    } else {
+      for (std::size_t t = 0; t < counts_.size(); ++t) {
+        observe(t, mt_->valid(t).get(), mt_->ready(t).get(), mt_->data.get());
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t threads() const noexcept { return counts_.size(); }
+
+  /// Transfers completed by one thread / by all threads since reset.
+  [[nodiscard]] std::uint64_t count(std::size_t thread) const {
+    return counts_.at(thread);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (auto c : counts_) total += c;
+    return total;
+  }
+
+  /// Tokens per cycle since reset, per thread / aggregate.
+  [[nodiscard]] double rate(std::size_t thread) const {
+    return cycles_ == 0 ? 0.0
+                        : static_cast<double>(count(thread)) /
+                              static_cast<double>(cycles_);
+  }
+  [[nodiscard]] double throughput() const noexcept {
+    return cycles_ == 0
+               ? 0.0
+               : static_cast<double>(count()) / static_cast<double>(cycles_);
+  }
+
+  /// Backpressure wait per delivered token (cycles valid was stalled by a
+  /// deasserted ready before the transfer fired).
+  [[nodiscard]] const stats::Histogram& wait_histogram() const noexcept {
+    return wait_hist_;
+  }
+  [[nodiscard]] double mean_wait() const noexcept { return wait_hist_.mean(); }
+
+  /// Cycles observed since reset.
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Payload of the most recent completed transfer.
+  [[nodiscard]] Word last_value() const noexcept { return last_value_; }
+
+ private:
+  void init(std::size_t threads) {
+    counts_.assign(threads, 0);
+    waits_.assign(threads, 0);
+  }
+
+  void observe(std::size_t t, bool valid, bool ready, Word data) {
+    if (!valid) return;
+    if (ready) {
+      ++counts_[t];
+      wait_hist_.add(waits_[t]);
+      waits_[t] = 0;
+      last_value_ = data;
+    } else {
+      ++waits_[t];
+    }
+  }
+
+  elastic::Channel<Word>* st_ = nullptr;
+  mt::MtChannel<Word>* mt_ = nullptr;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> waits_;
+  stats::Histogram wait_hist_;
+  std::uint64_t cycles_ = 0;
+  Word last_value_{};
+};
+
+}  // namespace mte::netlist

@@ -1,0 +1,149 @@
+// ComponentFactory: the extensible elaboration registry.
+//
+// Elaboration no longer hard-codes how a netlist node turns into live
+// components: every NodeType resolves to a registered builder, one for
+// single-thread elaboration (elastic:: primitives) and one for
+// multithreaded elaboration (MEBs and M- operators) — the paper's
+// synthesis correspondence expressed as a table. kCustom nodes resolve by
+// their kind string instead, so downstream code can introduce new
+// primitives (barriers, pattern-latency servers, ...) without touching
+// this library:
+//
+//   auto factory = ComponentFactory::with_defaults();
+//   factory.register_custom_mt("barrier", [&](const MtContext& ctx) {
+//     ctx.sim.make<mt::Barrier<Word>>(ctx.sim, ctx.node.name, ctx.in(0),
+//                                     ctx.out(0));
+//   });
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "elastic/channel.hpp"
+#include "mt/meb_variant.hpp"
+#include "mt/mt_channel.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::netlist {
+
+using Word = std::uint64_t;
+
+class Elaboration;
+class FunctionRegistry;
+
+class ElaborationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Channel lookup keyed by (node id, port) on each side of an edge.
+template <typename ChannelT>
+struct PortMap {
+  std::map<std::pair<std::size_t, unsigned>, ChannelT*> out;  // driver side
+  std::map<std::pair<std::size_t, unsigned>, ChannelT*> in;   // consumer side
+
+  [[nodiscard]] ChannelT& output_of(const Node& n, unsigned port) const {
+    const auto it = out.find({n.id, port});
+    if (it == out.end()) {
+      throw ElaborationError("node '" + n.name + "' output " +
+                             std::to_string(port) + " unconnected");
+    }
+    return *it->second;
+  }
+
+  [[nodiscard]] ChannelT& input_of(const Node& n, unsigned port) const {
+    const auto it = in.find({n.id, port});
+    if (it == in.end()) {
+      throw ElaborationError("node '" + n.name + "' input " +
+                             std::to_string(port) + " undriven");
+    }
+    return *it->second;
+  }
+};
+
+/// Everything a single-thread node builder may need. in()/out() resolve
+/// the node's ports to the elaborated channels.
+struct StContext {
+  sim::Simulator& sim;
+  const Netlist& netlist;
+  const Node& node;
+  const FunctionRegistry& registry;
+  const PortMap<elastic::Channel<Word>>& ports;
+  Elaboration& elab;
+
+  [[nodiscard]] elastic::Channel<Word>& in(unsigned port = 0) const {
+    return ports.input_of(node, port);
+  }
+  [[nodiscard]] elastic::Channel<Word>& out(unsigned port = 0) const {
+    return ports.output_of(node, port);
+  }
+};
+
+/// Everything a multithreaded node builder may need.
+struct MtContext {
+  sim::Simulator& sim;
+  const Netlist& netlist;
+  const Node& node;
+  const FunctionRegistry& registry;
+  const PortMap<mt::MtChannel<Word>>& ports;
+  Elaboration& elab;
+
+  [[nodiscard]] std::size_t threads() const noexcept { return netlist.threads(); }
+  [[nodiscard]] mt::MebKind meb_kind() const noexcept { return netlist.meb_kind(); }
+  [[nodiscard]] mt::MtChannel<Word>& in(unsigned port = 0) const {
+    return ports.input_of(node, port);
+  }
+  [[nodiscard]] mt::MtChannel<Word>& out(unsigned port = 0) const {
+    return ports.output_of(node, port);
+  }
+};
+
+class ComponentFactory {
+ public:
+  using StBuilder = std::function<void(const StContext&)>;
+  using MtBuilder = std::function<void(const MtContext&)>;
+
+  ComponentFactory& register_st(NodeType type, StBuilder builder) {
+    st_[type] = std::move(builder);
+    return *this;
+  }
+  ComponentFactory& register_mt(NodeType type, MtBuilder builder) {
+    mt_[type] = std::move(builder);
+    return *this;
+  }
+  /// Builders for kCustom nodes, keyed by the node's kind string.
+  ComponentFactory& register_custom_st(const std::string& kind, StBuilder builder) {
+    custom_st_[kind] = std::move(builder);
+    return *this;
+  }
+  ComponentFactory& register_custom_mt(const std::string& kind, MtBuilder builder) {
+    custom_mt_[kind] = std::move(builder);
+    return *this;
+  }
+
+  /// Resolves the builder for a node; throws ElaborationError when the
+  /// node's type (or custom kind) has no registration.
+  [[nodiscard]] const StBuilder& st(const Node& node) const;
+  [[nodiscard]] const MtBuilder& mt(const Node& node) const;
+
+  /// The built-in primitive set: every NodeType except kCustom, for both
+  /// elaboration modes. Copy it and register more to extend.
+  [[nodiscard]] static ComponentFactory with_defaults();
+
+  /// A shared immutable default instance (what Elaboration uses when no
+  /// factory is passed).
+  [[nodiscard]] static const ComponentFactory& defaults();
+
+ private:
+  std::map<NodeType, StBuilder> st_;
+  std::map<NodeType, MtBuilder> mt_;
+  std::map<std::string, StBuilder> custom_st_;
+  std::map<std::string, MtBuilder> custom_mt_;
+};
+
+}  // namespace mte::netlist

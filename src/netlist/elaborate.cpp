@@ -1,20 +1,10 @@
 #include "netlist/elaborate.hpp"
 
+#include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "elastic/channel.hpp"
-#include "elastic/elastic_buffer.hpp"
-#include "elastic/fork.hpp"
-#include "elastic/function_unit.hpp"
-#include "elastic/join.hpp"
-#include "elastic/merge.hpp"
-#include "elastic/var_latency.hpp"
-#include "mt/m_fork.hpp"
-#include "mt/m_join.hpp"
-#include "mt/m_merge.hpp"
-#include "mt/mt_function_unit.hpp"
-#include "mt/mt_var_latency.hpp"
-#include "netlist/pred_branch.hpp"
 
 namespace mte::netlist {
 
@@ -45,184 +35,71 @@ FunctionRegistry FunctionRegistry::with_defaults() {
 
 namespace {
 
-/// Channel lookup keyed by (node, port) on each side of an edge.
-template <typename ChannelT>
-struct PortMap {
-  std::map<std::pair<std::size_t, unsigned>, ChannelT*> out;  // driver side
-  std::map<std::pair<std::size_t, unsigned>, ChannelT*> in;   // consumer side
-
-  [[nodiscard]] ChannelT& output_of(const Node& n, unsigned port) const {
-    const auto it = out.find({n.id, port});
-    if (it == out.end()) {
-      throw ElaborationError("node '" + n.name + "' output " + std::to_string(port) +
-                             " unconnected");
-    }
-    return *it->second;
-  }
-
-  [[nodiscard]] ChannelT& input_of(const Node& n, unsigned port) const {
-    const auto it = in.find({n.id, port});
-    if (it == in.end()) {
-      throw ElaborationError("node '" + n.name + "' input " + std::to_string(port) +
-                             " undriven");
-    }
-    return *it->second;
-  }
-};
+/// Channel name: the driving endpoint of the edge, "node:port".
+std::string channel_name(const Netlist& netlist, const Edge& e) {
+  return netlist.node(e.from).name + ':' + std::to_string(e.from_port);
+}
 
 }  // namespace
 
-Elaboration::Elaboration(const Netlist& netlist, const FunctionRegistry& registry) {
+Elaboration::Elaboration(const Netlist& netlist, const FunctionRegistry& registry)
+    : Elaboration(netlist, registry, ComponentFactory::defaults()) {}
+
+Elaboration::Elaboration(const Netlist& netlist, const FunctionRegistry& registry,
+                         const ComponentFactory& factory, ElaborationOptions options) {
   const auto problems = netlist.validate();
   if (!problems.empty()) {
     throw ElaborationError("netlist invalid: " + problems.front());
   }
   threads_ = netlist.threads();
-
-  if (threads_ == 1) {
-    PortMap<elastic::Channel<Word>> ports;
-    for (const auto& e : netlist.edges()) {
-      auto& ch = sim_.make<elastic::Channel<Word>>(
-          sim_, "e" + std::to_string(e.id));
-      ports.out[{e.from, e.from_port}] = &ch;
-      ports.in[{e.to, e.to_port}] = &ch;
-    }
-    for (const auto& n : netlist.nodes()) {
-      switch (n.type) {
-        case NodeType::kSource: {
-          auto& src = sim_.make<elastic::Source<Word>>(sim_, n.name,
-                                                       ports.output_of(n, 0));
-          src.set_rate(n.rate, 17 + n.id);
-          sources_[n.name] = &src;
-          break;
-        }
-        case NodeType::kSink: {
-          auto& snk =
-              sim_.make<elastic::Sink<Word>>(sim_, n.name, ports.input_of(n, 0));
-          snk.set_rate(n.rate, 23 + n.id);
-          sinks_[n.name] = &snk;
-          break;
-        }
-        case NodeType::kBuffer:
-          sim_.make<elastic::ElasticBuffer<Word>>(sim_, n.name, ports.input_of(n, 0),
-                                                  ports.output_of(n, 0));
-          break;
-        case NodeType::kFork: {
-          std::vector<elastic::Channel<Word>*> outs;
-          for (unsigned p = 0; p < n.outputs; ++p) outs.push_back(&ports.output_of(n, p));
-          sim_.make<elastic::Fork<Word>>(sim_, n.name, ports.input_of(n, 0),
-                                         std::move(outs));
-          break;
-        }
-        case NodeType::kJoin: {
-          std::vector<elastic::Channel<Word>*> ins;
-          for (unsigned p = 0; p < n.inputs; ++p) ins.push_back(&ports.input_of(n, p));
-          sim_.make<elastic::JoinN<Word>>(sim_, n.name, std::move(ins),
-                                          ports.output_of(n, 0),
-                                          [](const std::vector<Word>& v) {
-                                            Word sum = 0;
-                                            for (Word x : v) sum += x;
-                                            return sum;
-                                          });
-          break;
-        }
-        case NodeType::kMerge: {
-          // Netlist merges arbitrate: loop-entry merges legitimately see
-          // a new token and a looped-back token in the same cycle.
-          std::vector<elastic::Channel<Word>*> ins;
-          for (unsigned p = 0; p < n.inputs; ++p) ins.push_back(&ports.input_of(n, p));
-          sim_.make<elastic::ArbMerge<Word>>(sim_, n.name, std::move(ins),
-                                             ports.output_of(n, 0));
-          break;
-        }
-        case NodeType::kBranch:
-          sim_.make<PredBranch<Word>>(sim_, n.name, ports.input_of(n, 0),
-                                      ports.output_of(n, 0), ports.output_of(n, 1),
-                                      registry.pred(n.fn));
-          break;
-        case NodeType::kFunction:
-          sim_.make<elastic::FunctionUnit<Word, Word>>(sim_, n.name,
-                                                       ports.input_of(n, 0),
-                                                       ports.output_of(n, 0),
-                                                       registry.fn(n.fn));
-          break;
-        case NodeType::kVarLatency: {
-          auto& vl = sim_.make<elastic::VariableLatencyUnit<Word>>(
-              sim_, n.name, ports.input_of(n, 0), ports.output_of(n, 0));
-          vl.set_latency_range(n.latency_lo, n.latency_hi, 31 + n.id);
-          break;
-        }
-      }
-    }
-    return;
+  multithreaded_ = netlist.is_multithreaded();
+  if (netlist.is_multithreaded()) {
+    elaborate_multi(netlist, registry, factory, options.channel_probes);
+  } else {
+    elaborate_single(netlist, registry, factory, options.channel_probes);
   }
-
-  // Multithreaded elaboration.
-  PortMap<mt::MtChannel<Word>> ports;
+  // Bare-name aliases for channels whose driver has a single output.
   for (const auto& e : netlist.edges()) {
-    auto& ch = sim_.make<mt::MtChannel<Word>>(sim_, "e" + std::to_string(e.id),
-                                              threads_);
+    const Node& from = netlist.node(e.from);
+    if (from.outputs == 1) channel_aliases_[from.name] = channel_name(netlist, e);
+  }
+}
+
+void Elaboration::elaborate_single(const Netlist& netlist,
+                                   const FunctionRegistry& registry,
+                                   const ComponentFactory& factory, bool probes) {
+  PortMap<elastic::Channel<Word>> ports;
+  for (const auto& e : netlist.edges()) {
+    const std::string name = channel_name(netlist, e);
+    auto& ch = sim_.make<elastic::Channel<Word>>(sim_, name);
     ports.out[{e.from, e.from_port}] = &ch;
     ports.in[{e.to, e.to_port}] = &ch;
+    channels_[name] = &ch;
+    channel_order_.push_back(name);
+    if (probes) probes_[name] = &sim_.make<ChannelProbe>(sim_, name, ch);
   }
   for (const auto& n : netlist.nodes()) {
-    switch (n.type) {
-      case NodeType::kSource: {
-        auto& src = sim_.make<mt::MtSource<Word>>(sim_, n.name, ports.output_of(n, 0));
-        for (std::size_t t = 0; t < threads_; ++t) src.set_rate(t, n.rate, 17 + n.id);
-        mt_sources_[n.name] = &src;
-        break;
-      }
-      case NodeType::kSink: {
-        auto& snk = sim_.make<mt::MtSink<Word>>(sim_, n.name, ports.input_of(n, 0));
-        for (std::size_t t = 0; t < threads_; ++t) snk.set_rate(t, n.rate, 23 + n.id);
-        mt_sinks_[n.name] = &snk;
-        break;
-      }
-      case NodeType::kBuffer:
-        (void)mt::AnyMeb<Word>::create(sim_, n.name, ports.input_of(n, 0),
-                                       ports.output_of(n, 0), netlist.meb_kind());
-        break;
-      case NodeType::kFork: {
-        std::vector<mt::MtChannel<Word>*> outs;
-        for (unsigned p = 0; p < n.outputs; ++p) outs.push_back(&ports.output_of(n, p));
-        sim_.make<mt::MFork<Word>>(sim_, n.name, ports.input_of(n, 0), std::move(outs));
-        break;
-      }
-      case NodeType::kJoin: {
-        if (n.inputs != 2) {
-          throw ElaborationError("multithreaded elaboration supports 2-input joins; '" +
-                                 n.name + "' has " + std::to_string(n.inputs));
-        }
-        sim_.make<mt::MJoin<Word, Word, Word>>(
-            sim_, n.name, ports.input_of(n, 0), ports.input_of(n, 1),
-            ports.output_of(n, 0), [](const Word& a, const Word& b) { return a + b; });
-        break;
-      }
-      case NodeType::kMerge: {
-        std::vector<mt::MtChannel<Word>*> ins;
-        for (unsigned p = 0; p < n.inputs; ++p) ins.push_back(&ports.input_of(n, p));
-        sim_.make<mt::MMerge<Word>>(sim_, n.name, std::move(ins),
-                                    ports.output_of(n, 0), /*exclusive=*/false);
-        break;
-      }
-      case NodeType::kBranch:
-        sim_.make<MtPredBranch<Word>>(sim_, n.name, ports.input_of(n, 0),
-                                      ports.output_of(n, 0), ports.output_of(n, 1),
-                                      registry.pred(n.fn));
-        break;
-      case NodeType::kFunction:
-        sim_.make<mt::MtFunctionUnit<Word, Word>>(sim_, n.name, ports.input_of(n, 0),
-                                                  ports.output_of(n, 0),
-                                                  registry.fn(n.fn));
-        break;
-      case NodeType::kVarLatency: {
-        auto& vl = sim_.make<mt::MtVarLatencyUnit<Word>>(
-            sim_, n.name, ports.input_of(n, 0), ports.output_of(n, 0));
-        vl.set_latency_range(n.latency_lo, n.latency_hi, 31 + n.id);
-        break;
-      }
-    }
+    const StContext ctx{sim_, netlist, n, registry, ports, *this};
+    factory.st(n)(ctx);
+  }
+}
+
+void Elaboration::elaborate_multi(const Netlist& netlist,
+                                  const FunctionRegistry& registry,
+                                  const ComponentFactory& factory, bool probes) {
+  PortMap<mt::MtChannel<Word>> ports;
+  for (const auto& e : netlist.edges()) {
+    const std::string name = channel_name(netlist, e);
+    auto& ch = sim_.make<mt::MtChannel<Word>>(sim_, name, threads_);
+    ports.out[{e.from, e.from_port}] = &ch;
+    ports.in[{e.to, e.to_port}] = &ch;
+    mt_channels_[name] = &ch;
+    channel_order_.push_back(name);
+    if (probes) probes_[name] = &sim_.make<ChannelProbe>(sim_, name, ch);
+  }
+  for (const auto& n : netlist.nodes()) {
+    const MtContext ctx{sim_, netlist, n, registry, ports, *this};
+    factory.mt(n)(ctx);
   }
 }
 
@@ -248,6 +125,85 @@ mt::MtSink<Word>& Elaboration::mt_sink(const std::string& name) {
   const auto it = mt_sinks_.find(name);
   if (it == mt_sinks_.end()) throw ElaborationError("no mt sink '" + name + "'");
   return *it->second;
+}
+
+const std::string& Elaboration::resolve_channel(const std::string& name) const {
+  if (channels_.count(name) != 0 || mt_channels_.count(name) != 0) return name;
+  const auto alias = channel_aliases_.find(name);
+  if (alias != channel_aliases_.end()) return alias->second;
+  throw ElaborationError("no channel '" + name + "'");
+}
+
+ChannelProbe& Elaboration::probe(const std::string& channel) {
+  const auto it = probes_.find(resolve_channel(channel));
+  if (it == probes_.end()) {
+    throw ElaborationError("channel probes are disabled for this elaboration");
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Elaboration::channel_names() const {
+  return channel_order_;
+}
+
+double Elaboration::throughput(const std::string& channel) {
+  return probe(channel).throughput();
+}
+
+double Elaboration::mean_wait(const std::string& channel) {
+  return probe(channel).mean_wait();
+}
+
+std::string Elaboration::stats_report() {
+  if (probes_.empty()) return "channel probes are disabled for this elaboration\n";
+  std::ostringstream os;
+  os << "channel            tokens  tput    mean_wait  max_wait\n";
+  for (const auto& name : channel_order_) {
+    const ChannelProbe& p = *probes_.at(name);
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-18s %6llu  %6.3f  %9.2f  %8llu\n",
+                  name.c_str(), static_cast<unsigned long long>(p.count()),
+                  p.throughput(), p.mean_wait(),
+                  static_cast<unsigned long long>(p.wait_histogram().max()));
+    os << line;
+  }
+  return os.str();
+}
+
+elastic::Channel<Word>& Elaboration::channel(const std::string& name) {
+  const auto it = channels_.find(resolve_channel(name));
+  if (it == channels_.end()) throw ElaborationError("no single-thread channel '" + name + "'");
+  return *it->second;
+}
+
+mt::MtChannel<Word>& Elaboration::mt_channel(const std::string& name) {
+  const auto it = mt_channels_.find(resolve_channel(name));
+  if (it == mt_channels_.end()) {
+    throw ElaborationError("no multithreaded channel '" + name + "'");
+  }
+  return *it->second;
+}
+
+const mt::AnyMeb<Word>& Elaboration::meb(const std::string& node_name) const {
+  const auto it = mebs_.find(node_name);
+  if (it == mebs_.end()) throw ElaborationError("no MEB '" + node_name + "'");
+  return it->second;
+}
+
+void Elaboration::expose_source(const std::string& name, elastic::Source<Word>& src) {
+  sources_[name] = &src;
+}
+void Elaboration::expose_sink(const std::string& name, elastic::Sink<Word>& snk) {
+  sinks_[name] = &snk;
+}
+void Elaboration::expose_mt_source(const std::string& name, mt::MtSource<Word>& src) {
+  mt_sources_[name] = &src;
+}
+void Elaboration::expose_mt_sink(const std::string& name, mt::MtSink<Word>& snk) {
+  mt_sinks_[name] = &snk;
+}
+void Elaboration::expose_meb(const std::string& name, mt::AnyMeb<Word> meb) {
+  mebs_.emplace(name, meb);
 }
 
 }  // namespace mte::netlist

@@ -2,7 +2,16 @@
 // Simulator. A single-thread netlist elaborates to the elastic:: base
 // primitives; a multithreaded netlist (after to_multithreaded) elaborates
 // to MEBs and M- operators. Tokens are 64-bit words; function and branch
-// nodes resolve their behaviour through a FunctionRegistry by name.
+// nodes resolve their behaviour through a FunctionRegistry by name, and
+// every node resolves its hardware through a ComponentFactory — the
+// extensible registry that makes new primitives a registration, not a
+// code change.
+//
+// Besides the boundary source/sink handles, an Elaboration attaches a
+// ChannelProbe to every channel: probe("node:port") (or probe("node") for
+// single-output drivers) exposes per-thread throughput and backpressure
+// latency statistics uniformly for single-thread and multithreaded
+// designs.
 #pragma once
 
 #include <cstdint>
@@ -11,22 +20,21 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "elastic/sink.hpp"
 #include "elastic/source.hpp"
+#include "mt/meb_variant.hpp"
 #include "mt/mt_sink.hpp"
 #include "mt/mt_source.hpp"
+#include "netlist/channel_probe.hpp"
+#include "netlist/component_factory.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/simulator.hpp"
 
 namespace mte::netlist {
 
 using Word = std::uint64_t;
-
-class ElaborationError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 /// Named behaviours for function and branch nodes.
 class FunctionRegistry {
@@ -49,30 +57,91 @@ class FunctionRegistry {
   std::map<std::string, std::function<bool(Word)>> preds_;
 };
 
-/// The elaborated design: owns the simulator and exposes handles to the
-/// boundary components for workload configuration and observation.
+struct ElaborationOptions {
+  /// Attach a ChannelProbe to every channel. Probes cost a per-cycle
+  /// per-thread observation on each channel; disable for raw simulation
+  /// speed measurements.
+  bool channel_probes = true;
+};
+
+/// The elaborated design: owns the simulator and exposes uniform handles —
+/// boundary components for workload configuration, per-channel probes for
+/// observation, and typed channel/MEB access for detailed inspection.
 class Elaboration {
  public:
+  /// Elaborates with the built-in primitive set.
   Elaboration(const Netlist& netlist, const FunctionRegistry& registry);
+  /// Elaborates with a custom (usually extended) factory.
+  Elaboration(const Netlist& netlist, const FunctionRegistry& registry,
+              const ComponentFactory& factory, ElaborationOptions options = {});
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  [[nodiscard]] bool is_multithreaded() const noexcept { return multithreaded_; }
 
-  // Single-thread boundary handles (threads() == 1).
+  // Single-thread boundary handles (!is_multithreaded()).
   [[nodiscard]] elastic::Source<Word>& source(const std::string& name);
   [[nodiscard]] elastic::Sink<Word>& sink(const std::string& name);
 
-  // Multithreaded boundary handles (threads() > 1).
+  // Multithreaded boundary handles (is_multithreaded()).
   [[nodiscard]] mt::MtSource<Word>& mt_source(const std::string& name);
   [[nodiscard]] mt::MtSink<Word>& mt_sink(const std::string& name);
 
+  // --- uniform observation ------------------------------------------------
+  // Channels are named after their driving endpoint, "node:port"; the bare
+  // node name is accepted whenever the driver has exactly one output.
+
+  /// Per-channel statistics: throughput, per-thread rates, backpressure
+  /// wait histogram. Works identically for both elaboration modes.
+  /// Throws when ElaborationOptions::channel_probes was disabled.
+  [[nodiscard]] ChannelProbe& probe(const std::string& channel);
+
+  /// All channel names, in edge order (full "node:port" form).
+  [[nodiscard]] std::vector<std::string> channel_names() const;
+
+  /// Convenience: probe(channel).throughput() / .mean_wait().
+  [[nodiscard]] double throughput(const std::string& channel);
+  [[nodiscard]] double mean_wait(const std::string& channel);
+
+  /// A plain-text table of every channel's tokens, throughput and wait
+  /// statistics — ready to print after a run.
+  [[nodiscard]] std::string stats_report();
+
+  // Typed channel access, e.g. for timeline observers.
+  [[nodiscard]] elastic::Channel<Word>& channel(const std::string& name);
+  [[nodiscard]] mt::MtChannel<Word>& mt_channel(const std::string& name);
+
+  /// The MEB elaborated for a buffer node (is_multithreaded() only).
+  [[nodiscard]] const mt::AnyMeb<Word>& meb(const std::string& node_name) const;
+
+  // --- factory-facing registration ---------------------------------------
+  // Node builders call these to publish handles under the node's name.
+  void expose_source(const std::string& name, elastic::Source<Word>& src);
+  void expose_sink(const std::string& name, elastic::Sink<Word>& snk);
+  void expose_mt_source(const std::string& name, mt::MtSource<Word>& src);
+  void expose_mt_sink(const std::string& name, mt::MtSink<Word>& snk);
+  void expose_meb(const std::string& name, mt::AnyMeb<Word> meb);
+
  private:
+  void elaborate_single(const Netlist& netlist, const FunctionRegistry& registry,
+                        const ComponentFactory& factory, bool probes);
+  void elaborate_multi(const Netlist& netlist, const FunctionRegistry& registry,
+                       const ComponentFactory& factory, bool probes);
+  [[nodiscard]] const std::string& resolve_channel(const std::string& name) const;
+
   sim::Simulator sim_;
   std::size_t threads_ = 1;
+  bool multithreaded_ = false;
   std::map<std::string, elastic::Source<Word>*> sources_;
   std::map<std::string, elastic::Sink<Word>*> sinks_;
   std::map<std::string, mt::MtSource<Word>*> mt_sources_;
   std::map<std::string, mt::MtSink<Word>*> mt_sinks_;
+  std::map<std::string, mt::AnyMeb<Word>> mebs_;
+  std::map<std::string, elastic::Channel<Word>*> channels_;
+  std::map<std::string, mt::MtChannel<Word>*> mt_channels_;
+  std::map<std::string, ChannelProbe*> probes_;
+  std::map<std::string, std::string> channel_aliases_;  // "node" -> "node:0"
+  std::vector<std::string> channel_order_;
 };
 
 }  // namespace mte::netlist

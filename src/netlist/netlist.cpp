@@ -18,67 +18,124 @@ const char* to_string(NodeType type) {
     case NodeType::kBranch: return "branch";
     case NodeType::kFunction: return "function";
     case NodeType::kVarLatency: return "var_latency";
+    case NodeType::kCustom: return "custom";
   }
   return "?";
 }
 
-std::size_t Netlist::add_node(NodeType type, const std::string& name, unsigned inputs,
-                              unsigned outputs) {
+namespace {
+
+Node make_node(NodeType type, const std::string& name, unsigned inputs,
+               unsigned outputs) {
   Node n;
-  n.id = nodes_.size();
   n.type = type;
   n.name = name;
   n.inputs = inputs;
   n.outputs = outputs;
-  nodes_.push_back(std::move(n));
+  return n;
+}
+
+}  // namespace
+
+Node Node::source(const std::string& name, double rate) {
+  Node n = make_node(NodeType::kSource, name, 0, 1);
+  n.rate = rate;
+  return n;
+}
+
+Node Node::sink(const std::string& name, double rate) {
+  Node n = make_node(NodeType::kSink, name, 1, 0);
+  n.rate = rate;
+  return n;
+}
+
+Node Node::buffer(const std::string& name) {
+  return make_node(NodeType::kBuffer, name, 1, 1);
+}
+
+Node Node::fork(const std::string& name, unsigned outputs) {
+  return make_node(NodeType::kFork, name, 1, outputs);
+}
+
+Node Node::join(const std::string& name, unsigned inputs) {
+  return make_node(NodeType::kJoin, name, inputs, 1);
+}
+
+Node Node::merge(const std::string& name, unsigned inputs) {
+  return make_node(NodeType::kMerge, name, inputs, 1);
+}
+
+Node Node::branch(const std::string& name, const std::string& predicate) {
+  Node n = make_node(NodeType::kBranch, name, 1, 2);
+  n.fn = predicate;
+  return n;
+}
+
+Node Node::function(const std::string& name, const std::string& fn) {
+  Node n = make_node(NodeType::kFunction, name, 1, 1);
+  n.fn = fn;
+  return n;
+}
+
+Node Node::var_latency(const std::string& name, unsigned lo, unsigned hi) {
+  Node n = make_node(NodeType::kVarLatency, name, 1, 1);
+  n.latency_lo = lo;
+  n.latency_hi = hi;
+  return n;
+}
+
+Node Node::custom(const std::string& name, const std::string& kind, unsigned inputs,
+                  unsigned outputs) {
+  Node n = make_node(NodeType::kCustom, name, inputs, outputs);
+  n.fn = kind;
+  return n;
+}
+
+std::size_t Netlist::add(Node spec) {
+  spec.id = nodes_.size();
+  nodes_.push_back(std::move(spec));
   return nodes_.back().id;
 }
 
 std::size_t Netlist::add_source(const std::string& name, double rate) {
-  const auto id = add_node(NodeType::kSource, name, 0, 1);
-  nodes_[id].rate = rate;
-  return id;
+  return add(Node::source(name, rate));
 }
 
 std::size_t Netlist::add_sink(const std::string& name, double rate) {
-  const auto id = add_node(NodeType::kSink, name, 1, 0);
-  nodes_[id].rate = rate;
-  return id;
+  return add(Node::sink(name, rate));
 }
 
 std::size_t Netlist::add_buffer(const std::string& name) {
-  return add_node(NodeType::kBuffer, name, 1, 1);
+  return add(Node::buffer(name));
 }
 
 std::size_t Netlist::add_fork(const std::string& name, unsigned outputs) {
-  return add_node(NodeType::kFork, name, 1, outputs);
+  return add(Node::fork(name, outputs));
 }
 
 std::size_t Netlist::add_join(const std::string& name, unsigned inputs) {
-  return add_node(NodeType::kJoin, name, inputs, 1);
+  return add(Node::join(name, inputs));
 }
 
 std::size_t Netlist::add_merge(const std::string& name, unsigned inputs) {
-  return add_node(NodeType::kMerge, name, inputs, 1);
+  return add(Node::merge(name, inputs));
 }
 
 std::size_t Netlist::add_branch(const std::string& name, const std::string& predicate) {
-  const auto id = add_node(NodeType::kBranch, name, 1, 2);
-  nodes_[id].fn = predicate;
-  return id;
+  return add(Node::branch(name, predicate));
 }
 
 std::size_t Netlist::add_function(const std::string& name, const std::string& fn) {
-  const auto id = add_node(NodeType::kFunction, name, 1, 1);
-  nodes_[id].fn = fn;
-  return id;
+  return add(Node::function(name, fn));
 }
 
 std::size_t Netlist::add_var_latency(const std::string& name, unsigned lo, unsigned hi) {
-  const auto id = add_node(NodeType::kVarLatency, name, 1, 1);
-  nodes_[id].latency_lo = lo;
-  nodes_[id].latency_hi = hi;
-  return id;
+  return add(Node::var_latency(name, lo, hi));
+}
+
+std::size_t Netlist::add_custom(const std::string& name, const std::string& kind,
+                                unsigned inputs, unsigned outputs) {
+  return add(Node::custom(name, kind, inputs, outputs));
 }
 
 void Netlist::connect(std::size_t from, unsigned from_port, std::size_t to,
@@ -100,6 +157,18 @@ std::size_t Netlist::count(NodeType type) const {
 
 std::vector<std::string> Netlist::validate() const {
   std::vector<std::string> problems;
+
+  // Node names must be unique: elaboration keys channels, probes and
+  // boundary handles by name.
+  std::map<std::string, std::size_t> names_seen;
+  for (const auto& n : nodes_) {
+    const auto [it, inserted] = names_seen.emplace(n.name, n.id);
+    if (!inserted) {
+      problems.push_back("duplicate node name '" + n.name + "' (nodes " +
+                         std::to_string(it->second) + " and " + std::to_string(n.id) +
+                         ")");
+    }
+  }
 
   // Port references and single driver/reader per port.
   std::map<std::pair<std::size_t, unsigned>, int> out_use;
@@ -152,6 +221,10 @@ std::vector<std::string> Netlist::validate() const {
   }
   auto sequential = [this](std::size_t id) {
     const NodeType t = nodes_[id].type;
+    // Custom nodes are conservatively treated as combinational: a factory
+    // may register a pass-through unit, and a falsely-accepted bufferless
+    // loop livelocks the simulator. Loops through custom nodes therefore
+    // need an explicit buffer (or var_latency) on the path.
     return t == NodeType::kBuffer || t == NodeType::kVarLatency;
   };
   enum class Mark { kWhite, kGray, kBlack };
@@ -182,7 +255,7 @@ std::vector<std::string> Netlist::validate() const {
 std::string Netlist::to_dot() const {
   std::ostringstream os;
   os << "digraph elastic {\n  rankdir=LR;\n";
-  const bool mt = threads_ > 1;
+  const bool mt = multithreaded_;
   for (const auto& n : nodes_) {
     std::string label = n.name;
     std::string shape = "box";
@@ -205,6 +278,10 @@ std::string Netlist::to_dot() const {
         label += "\\nL=" + std::to_string(n.latency_lo) + ".." +
                  std::to_string(n.latency_hi);
         break;
+      case NodeType::kCustom:
+        label += "\\n<" + n.fn + ">";
+        shape = "component";
+        break;
     }
     os << "  n" << n.id << " [label=\"" << label << "\", shape=" << shape << "];\n";
   }
@@ -218,11 +295,15 @@ std::string Netlist::to_dot() const {
 }
 
 Netlist Netlist::to_multithreaded(std::size_t threads, mt::MebKind kind) const {
-  if (threads_ != 1) {
+  if (multithreaded_) {
     throw std::logic_error("to_multithreaded: netlist is already multithreaded");
+  }
+  if (threads == 0) {
+    throw std::logic_error("to_multithreaded: thread count must be >= 1");
   }
   Netlist out = *this;  // the structure is unchanged; primitives are swapped
   out.threads_ = threads;
+  out.multithreaded_ = true;
   out.meb_kind_ = kind;
   return out;
 }

@@ -28,10 +28,16 @@ enum class NodeType {
   kMerge,
   kBranch,      ///< routes by a predicate on the token (true/false outputs)
   kFunction,    ///< combinational map, by registry name
-  kVarLatency,  ///< variable-latency unit (single-thread elaboration only)
+  kVarLatency,  ///< variable-latency unit (shared MtVarLatencyUnit after the MT transform)
+  kCustom,      ///< user primitive, resolved by kind through the ComponentFactory
 };
 
 [[nodiscard]] const char* to_string(NodeType type);
+
+/// Sanity bound on node arities, shared by every construction path
+/// (CircuitBuilder, the .enl parser): keeps a malformed count from
+/// exploding validation or elaboration.
+inline constexpr unsigned kMaxPorts = 1024;
 
 struct Node {
   std::size_t id = 0;
@@ -39,10 +45,26 @@ struct Node {
   std::string name;
   unsigned inputs = 1;
   unsigned outputs = 1;
-  std::string fn;              ///< registry key (kFunction: map; kBranch: predicate)
+  std::string fn;              ///< registry key (kFunction: map; kBranch: predicate;
+                               ///< kCustom: component kind)
   unsigned latency_lo = 1;     ///< kVarLatency latency range
   unsigned latency_hi = 1;
   double rate = 1.0;           ///< kSource injection / kSink readiness rate
+
+  // Canonical per-type specs — the one place each node type's arity and
+  // attribute layout is defined. Used by Netlist::add_* and CircuitBuilder.
+  [[nodiscard]] static Node source(const std::string& name, double rate = 1.0);
+  [[nodiscard]] static Node sink(const std::string& name, double rate = 1.0);
+  [[nodiscard]] static Node buffer(const std::string& name);
+  [[nodiscard]] static Node fork(const std::string& name, unsigned outputs);
+  [[nodiscard]] static Node join(const std::string& name, unsigned inputs);
+  [[nodiscard]] static Node merge(const std::string& name, unsigned inputs);
+  [[nodiscard]] static Node branch(const std::string& name, const std::string& predicate);
+  [[nodiscard]] static Node function(const std::string& name, const std::string& fn);
+  [[nodiscard]] static Node var_latency(const std::string& name, unsigned lo,
+                                        unsigned hi);
+  [[nodiscard]] static Node custom(const std::string& name, const std::string& kind,
+                                   unsigned inputs, unsigned outputs);
 };
 
 struct Edge {
@@ -55,6 +77,13 @@ struct Edge {
 
 class Netlist {
  public:
+  /// The single construction entry point: appends a fully described node
+  /// and returns its id (the spec's id field is overwritten). All other
+  /// add_* methods — and CircuitBuilder — funnel through here.
+  std::size_t add(Node spec);
+
+  // Thin compatibility layer over the builder-style add(); prefer
+  // CircuitBuilder (netlist/builder.hpp) for new code.
   std::size_t add_source(const std::string& name, double rate = 1.0);
   std::size_t add_sink(const std::string& name, double rate = 1.0);
   std::size_t add_buffer(const std::string& name);
@@ -64,6 +93,8 @@ class Netlist {
   std::size_t add_branch(const std::string& name, const std::string& predicate);
   std::size_t add_function(const std::string& name, const std::string& fn);
   std::size_t add_var_latency(const std::string& name, unsigned lo, unsigned hi);
+  std::size_t add_custom(const std::string& name, const std::string& kind,
+                         unsigned inputs, unsigned outputs);
 
   /// Connects from:from_port -> to:to_port. Ports are 0-based.
   void connect(std::size_t from, unsigned from_port, std::size_t to, unsigned to_port);
@@ -72,9 +103,13 @@ class Netlist {
   [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
   [[nodiscard]] const Node& node(std::size_t id) const { return nodes_.at(id); }
 
-  /// 1 for a single-thread netlist, > 1 after to_multithreaded().
+  /// 1 for a single-thread netlist; the S of to_multithreaded(S, kind).
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
   [[nodiscard]] mt::MebKind meb_kind() const noexcept { return meb_kind_; }
+
+  /// True after to_multithreaded(): elaborates to MEBs and M- operators
+  /// even for the degenerate S == 1 design point.
+  [[nodiscard]] bool is_multithreaded() const noexcept { return multithreaded_; }
 
   /// Structural validation; returns human-readable problems (empty = OK).
   [[nodiscard]] std::vector<std::string> validate() const;
@@ -86,16 +121,17 @@ class Netlist {
   [[nodiscard]] std::string to_dot() const;
 
   /// The synthesis pass: returns the S-thread version of this netlist
-  /// with the chosen MEB flavour. Requires threads() == 1.
+  /// with the chosen MEB flavour (S >= 1). Requires a netlist that is not
+  /// already multithreaded.
   [[nodiscard]] Netlist to_multithreaded(std::size_t threads, mt::MebKind kind) const;
 
  private:
-  std::size_t add_node(NodeType type, const std::string& name, unsigned inputs,
-                       unsigned outputs);
+  friend class CircuitBuilder;  // fluent construction layer (builder.hpp)
 
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::size_t threads_ = 1;
+  bool multithreaded_ = false;
   mt::MebKind meb_kind_ = mt::MebKind::kFull;
 };
 

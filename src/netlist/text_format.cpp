@@ -23,6 +23,29 @@ std::vector<std::string> tokenize(const std::string& line) {
   return out;
 }
 
+/// Checked unsigned parse: every malformed or out-of-range number in an
+/// .enl file must surface as a ParseError with a line number, never as a
+/// raw std::stoul exception.
+unsigned long parse_uint(const std::string& tok, int line, unsigned long max_value,
+                         const char* what) {
+  unsigned long value = 0;
+  try {
+    if (!tok.empty() && tok[0] == '-') throw std::invalid_argument(tok);
+    value = std::stoul(tok);
+  } catch (const std::exception&) {
+    fail(line, std::string("bad ") + what + " '" + tok + "'");
+  }
+  if (value > max_value) {
+    fail(line, std::string(what) + " " + tok + " exceeds the maximum of " +
+               std::to_string(max_value));
+  }
+  return value;
+}
+
+unsigned parse_arity(const std::string& tok, int line) {
+  return static_cast<unsigned>(parse_uint(tok, line, kMaxPorts, "port count"));
+}
+
 double parse_rate(const std::string& tok, int line) {
   if (tok.rfind("rate=", 0) != 0) fail(line, "expected rate=..., got '" + tok + "'");
   try {
@@ -50,6 +73,7 @@ Netlist parse_netlist(const std::string& text) {
   Netlist n;
   std::map<std::string, std::size_t> by_name;
   std::size_t threads = 1;
+  bool multithreaded = false;
   mt::MebKind kind = mt::MebKind::kFull;
 
   std::istringstream in(text);
@@ -76,8 +100,9 @@ Netlist parse_netlist(const std::string& text) {
     };
     if (kw == "threads") {
       if (toks.size() < 2 || toks.size() > 3) fail(line_no, "threads <n> [full|reduced]");
-      threads = std::stoul(toks[1]);
+      threads = parse_uint(toks[1], line_no, 1u << 20, "thread count");
       if (threads == 0) fail(line_no, "thread count must be positive");
+      multithreaded = true;
       if (toks.size() == 3) {
         if (toks[2] == "full") kind = mt::MebKind::kFull;
         else if (toks[2] == "reduced") kind = mt::MebKind::kReduced;
@@ -94,7 +119,7 @@ Netlist parse_netlist(const std::string& text) {
       declare(toks[1], n.add_buffer(toks[1]), line_no);
     } else if (kw == "fork" || kw == "join" || kw == "merge") {
       want(3);
-      const auto arity = static_cast<unsigned>(std::stoul(toks[2]));
+      const unsigned arity = parse_arity(toks[2], line_no);
       if (arity < 2) fail(line_no, kw + " arity must be >= 2");
       std::size_t id = 0;
       if (kw == "fork") id = n.add_fork(toks[1], arity);
@@ -109,10 +134,15 @@ Netlist parse_netlist(const std::string& text) {
       declare(toks[1], n.add_function(toks[1], toks[2]), line_no);
     } else if (kw == "var_latency") {
       want(4);
-      const auto lo = static_cast<unsigned>(std::stoul(toks[2]));
-      const auto hi = static_cast<unsigned>(std::stoul(toks[3]));
+      const auto lo = static_cast<unsigned>(parse_uint(toks[2], line_no, 1u << 20, "latency"));
+      const auto hi = static_cast<unsigned>(parse_uint(toks[3], line_no, 1u << 20, "latency"));
       if (lo == 0 || hi < lo) fail(line_no, "bad latency range");
       declare(toks[1], n.add_var_latency(toks[1], lo, hi), line_no);
+    } else if (kw == "custom") {
+      want(5);
+      const unsigned ins = parse_arity(toks[3], line_no);
+      const unsigned outs = parse_arity(toks[4], line_no);
+      declare(toks[1], n.add_custom(toks[1], toks[2], ins, outs), line_no);
     } else if (kw == "connect") {
       // "connect a:0 -> b:1" or "connect a:0 b:1".
       if (toks.size() != 3 && !(toks.size() == 4 && toks[2] == "->")) {
@@ -127,14 +157,14 @@ Netlist parse_netlist(const std::string& text) {
       fail(line_no, "unknown keyword '" + kw + "'");
     }
   }
-  if (threads > 1) return n.to_multithreaded(threads, kind);
+  if (multithreaded) return n.to_multithreaded(threads, kind);
   return n;
 }
 
 std::string serialize_netlist(const Netlist& netlist) {
   std::ostringstream os;
   os << "# elastic netlist (.enl)\n";
-  if (netlist.threads() > 1) {
+  if (netlist.is_multithreaded()) {
     os << "threads " << netlist.threads() << ' '
        << (netlist.meb_kind() == mt::MebKind::kFull ? "full" : "reduced") << '\n';
   }
@@ -150,6 +180,10 @@ std::string serialize_netlist(const Netlist& netlist) {
       case NodeType::kFunction: os << "function " << n.name << ' ' << n.fn; break;
       case NodeType::kVarLatency:
         os << "var_latency " << n.name << ' ' << n.latency_lo << ' ' << n.latency_hi;
+        break;
+      case NodeType::kCustom:
+        os << "custom " << n.name << ' ' << n.fn << ' ' << n.inputs << ' '
+           << n.outputs;
         break;
     }
     os << '\n';
