@@ -61,6 +61,9 @@ class Branch : public sim::Component {
 
   void tick() override {}
 
+  /// Pure combinational: eval() is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
  private:
   Channel<T>& data_;
   Channel<bool>& cond_;

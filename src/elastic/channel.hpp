@@ -28,7 +28,9 @@ class Channel {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
   /// True when a transfer completes in the current (settled) cycle.
-  [[nodiscard]] bool fired() const noexcept { return valid.get() && ready.get(); }
+  /// (Not noexcept: a first-time read from inside eval() records the
+  /// reader in the wire's fanout, which may allocate.)
+  [[nodiscard]] bool fired() const { return valid.get() && ready.get(); }
 
   sim::Wire<bool> valid;
   sim::Wire<bool> ready;

@@ -30,6 +30,9 @@ class FunctionUnit : public sim::Component {
 
   void tick() override {}
 
+  /// Pure combinational: eval() is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
  private:
   Channel<In>& in_;
   Channel<Out>& out_;

@@ -56,6 +56,9 @@ class Join2 : public sim::Component {
 
   void tick() override {}
 
+  /// Pure combinational: eval() is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
  private:
   Channel<A>& a_;
   Channel<B>& b_;
@@ -87,6 +90,9 @@ class JoinN : public sim::Component {
   }
 
   void tick() override {}
+
+  /// Pure combinational: eval() is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
 
  private:
   std::vector<Channel<T>*> ins_;

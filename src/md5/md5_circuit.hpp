@@ -32,8 +32,13 @@ namespace mte::md5 {
 
 class Md5Circuit {
  public:
-  Md5Circuit(std::size_t threads, mt::MebKind kind)
-      : threads_(threads), kind_(kind),
+  /// `kernel` selects the settle kernel of the internal simulator. Note
+  /// the engine's token loop (merge <- router) is a genuine feedback
+  /// structure: the event-driven kernel may demote itself to the naive
+  /// reference order if its worklist order fails to converge on it.
+  Md5Circuit(std::size_t threads, mt::MebKind kind,
+             sim::KernelKind kernel = sim::KernelKind::kEventDriven)
+      : threads_(threads), kind_(kind), sim_(kernel),
         c_new_(sim_.make<mt::MtChannel<Md5Token>>(sim_, "new", threads)),
         c_loop_(sim_.make<mt::MtChannel<Md5Token>>(sim_, "loop", threads)),
         c_merged_(sim_.make<mt::MtChannel<Md5Token>>(sim_, "merged", threads)),

@@ -65,6 +65,10 @@ class Md5RoundUnit : public sim::Component {
 
   void tick() override {}
 
+  /// Pure combinational: eval() reads only channel wires and the round
+  /// counter's round() wire.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
  private:
   mt::MtChannel<Md5Token>& in_;
   mt::MtChannel<Md5Token>& out_;

@@ -65,7 +65,10 @@ class FullMeb : public sim::Component {
     const std::size_t in_thread = in_.active_thread();  // checks the invariant
     const bool out_fired = grant_ < n && out_.ready(grant_).get();
 
-    for (std::size_t i = 0; i < n; ++i) {
+    // Only the arriving thread and the granted thread can move this cycle;
+    // for every other thread decide(false, false) commits the identity, so
+    // the per-thread loop reduces to at most two commits.
+    const auto commit_thread = [&](std::size_t i) {
       const bool vin = (i == in_thread) && in_.valid(i).get();
       const bool rin = (i == grant_) && out_fired;
       const elastic::EbDecision d = ctrl_[i].decide(vin, rin);
@@ -75,7 +78,9 @@ class FullMeb : public sim::Component {
       ctrl_[i].commit(d);
       if (d.in_fire) ++in_count_[i];
       if (d.out_fire) ++out_count_[i];
-    }
+    };
+    if (in_thread < n) commit_thread(in_thread);
+    if (grant_ < n && grant_ != in_thread) commit_thread(grant_);
     arb_->update(grant_, out_fired);
   }
 

@@ -43,6 +43,9 @@ class MJoin : public sim::Component {
 
   void tick() override {}
 
+  /// Pure combinational: eval() is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
  private:
   MtChannel<A>& a_;
   MtChannel<B>& b_;

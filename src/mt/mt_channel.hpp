@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "sim/types.hpp"
@@ -22,6 +22,10 @@ class MtChannel {
  public:
   MtChannel(sim::Simulator& s, std::string name, std::size_t threads)
       : data(s.tracker(), T{}), name_(std::move(name)) {
+    // Wires are pinned (they register their address with the tracker), so
+    // reserve up front: the vectors must never reallocate.
+    valid_.reserve(threads);
+    ready_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
       valid_.emplace_back(s.tracker(), false);
       ready_.emplace_back(s.tracker(), false);
@@ -71,8 +75,8 @@ class MtChannel {
 
  private:
   std::string name_;
-  std::deque<sim::Wire<bool>> valid_;
-  std::deque<sim::Wire<bool>> ready_;
+  std::vector<sim::Wire<bool>> valid_;
+  std::vector<sim::Wire<bool>> ready_;
 };
 
 }  // namespace mte::mt

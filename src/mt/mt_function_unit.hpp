@@ -33,6 +33,9 @@ class MtFunctionUnit : public sim::Component {
 
   void tick() override {}
 
+  /// Pure combinational: eval() is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
  private:
   MtChannel<In>& in_;
   MtChannel<Out>& out_;

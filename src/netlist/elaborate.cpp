@@ -51,6 +51,7 @@ Elaboration::Elaboration(const Netlist& netlist, const FunctionRegistry& registr
   if (!problems.empty()) {
     throw ElaborationError("netlist invalid: " + problems.front());
   }
+  sim_.set_kernel(options.kernel);
   threads_ = netlist.threads();
   multithreaded_ = netlist.is_multithreaded();
   if (netlist.is_multithreaded()) {

@@ -62,6 +62,11 @@ struct ElaborationOptions {
   /// per-thread observation on each channel; disable for raw simulation
   /// speed measurements.
   bool channel_probes = true;
+
+  /// The settle kernel the elaborated Simulator runs on. Defaults to the
+  /// event-driven worklist kernel; select sim::KernelKind::kNaive to run
+  /// on the reference kernel (e.g. as the oracle in equivalence tests).
+  sim::KernelKind kernel = sim::KernelKind::kEventDriven;
 };
 
 /// The elaborated design: owns the simulator and exposes uniform handles —

@@ -37,6 +37,9 @@ class PredBranch : public sim::Component {
 
   void tick() override {}
 
+  /// Pure combinational: eval() is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
  private:
   elastic::Channel<T>& in_;
   elastic::Channel<T>& out_true_;

@@ -1,10 +1,13 @@
 // Component: base class of everything that lives inside a Simulator.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace mte::sim {
 
+class ChangeTracker;
 class Simulator;
 
 /// A synchronous circuit element.
@@ -17,11 +20,16 @@ class Simulator;
 ///                Must never write a wire.
 ///
 /// Components register themselves with the Simulator passed at
-/// construction and must outlive any use of that Simulator.
+/// construction and unregister on destruction. A component must therefore
+/// be destroyed BEFORE its Simulator (automatic for Simulator::make
+/// ownership and for stack objects declared after the Simulator): the
+/// destructor calls back into the Simulator to unregister, so destroying
+/// a component after its Simulator is undefined behavior. The same
+/// ordering applies to wires, which call back into the ChangeTracker.
 class Component {
  public:
   Component(Simulator& sim, std::string name);
-  virtual ~Component() = default;
+  virtual ~Component();
 
   Component(const Component&) = delete;
   Component& operator=(const Component&) = delete;
@@ -35,12 +43,31 @@ class Component {
   /// Sequential commit at the clock edge; must not write wires.
   virtual void tick() = 0;
 
+  /// Declares whether this component does work at the clock edge: owns
+  /// sequential state, draws from an RNG, records statistics, or checks
+  /// protocol invariants in tick(). Sequential components are ticked and
+  /// re-evaluated every cycle by the event-driven kernel. Purely
+  /// combinational components — empty tick(), eval() a function of input
+  /// wires only — override this to false; the event-driven kernel then
+  /// skips their tick() entirely and re-runs eval() only when a wire they
+  /// read changes. Defaults to true, which is always safe.
+  [[nodiscard]] virtual bool is_sequential() const noexcept { return true; }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Simulator& sim() const noexcept { return *sim_; }
 
  private:
+  friend class ChangeTracker;
+  friend class Simulator;
+
   Simulator* sim_;
   std::string name_;
+
+  // --- event-kernel bookkeeping (owned by Simulator / ChangeTracker) ------
+  bool kernel_dirty_ = false;        // on the dirty worklist right now
+  std::uint32_t kernel_level_ = 0;   // topological level (levelization pass)
+  std::uint64_t settle_epoch_ = 0;   // settle pass the eval counter belongs to
+  std::size_t settle_evals_ = 0;     // evals within the current settle pass
 };
 
 }  // namespace mte::sim

@@ -9,6 +9,54 @@ Component::Component(Simulator& sim, std::string name)
   sim.register_component(*this);
 }
 
+Component::~Component() {
+  if (sim_ != nullptr) sim_->unregister_component(*this);
+}
+
+Simulator::Simulator(KernelKind kernel) : kernel_(kernel) {
+  tracker_.set_event_mode(kernel_ == KernelKind::kEventDriven);
+}
+
+Simulator::~Simulator() {
+  // Owned components unregister from their dtors; during whole-simulator
+  // teardown those callbacks would cost O(components + wires) each for
+  // bookkeeping nobody will read again, so they collapse to no-ops.
+  tearing_down_ = true;
+  owned_.clear();
+}
+
+void Simulator::set_kernel(KernelKind kind) {
+  // Re-selecting kEventDriven on a demoted simulator un-demotes it (e.g.
+  // after replacing the cyclic component); otherwise same-kind is a no-op.
+  if (kind == kernel_ && !demoted_to_naive_) return;
+  clear_pending();
+  kernel_ = kind;
+  tracker_.set_event_mode(kind == KernelKind::kEventDriven);
+  // Sensitivities may be unknown (or stale) for the incoming kernel: start
+  // from a full evaluation, which re-discovers them.
+  full_eval_pending_ = true;
+  levels_valid_ = false;
+  demoted_to_naive_ = false;
+}
+
+void Simulator::register_component(Component& c) {
+  components_.push_back(&c);
+  seq_cache_valid_ = false;
+  levels_valid_ = false;
+  full_eval_pending_ = true;
+}
+
+void Simulator::unregister_component(Component& c) noexcept {
+  if (tearing_down_) return;
+  const auto it = std::find(components_.begin(), components_.end(), &c);
+  if (it != components_.end()) components_.erase(it);
+  tracker_.forget(c);
+  c.kernel_dirty_ = false;
+  seq_cache_valid_ = false;
+  levels_valid_ = false;
+  full_eval_pending_ = true;
+}
+
 std::size_t Simulator::effective_settle_limit() const noexcept {
   if (settle_limit_ != 0) return settle_limit_;
   // Each iteration propagates signals at least one component deeper, so a
@@ -18,6 +66,14 @@ std::size_t Simulator::effective_settle_limit() const noexcept {
 }
 
 void Simulator::settle() {
+  if (kernel_ == KernelKind::kNaive) {
+    settle_naive();
+  } else {
+    settle_event();
+  }
+}
+
+void Simulator::settle_naive() {
   const std::size_t limit = effective_settle_limit();
   std::size_t iterations = 0;
   tracker_.consume();  // drop stale notifications from outside the loop
@@ -28,18 +84,242 @@ void Simulator::settle() {
           " iterations; the circuit most likely contains a combinational cycle");
     }
     for (Component* c : components_) c->eval();
+    eval_count_ += components_.size();
   } while (tracker_.consume());
+}
+
+void Simulator::flush_worklist_to_buckets(std::size_t& pending, std::size_t& min_level) {
+  const auto& worklist = tracker_.worklist();
+  if (worklist.empty()) return;
+  for (Component* c : worklist) {
+    const std::size_t level = std::min<std::size_t>(c->kernel_level_, level_count_);
+    buckets_[level].push_back(c);
+    ++pending;
+    if (level < min_level) min_level = level;
+  }
+  tracker_.clear_worklist();
+}
+
+void Simulator::settle_event() {
+  if (!levels_valid_ || tracker_.consume_topology_dirty()) relevelize();
+
+  // Genuinely order-sensitive combinational cycles (detected below by the
+  // per-component eval cap) permanently demote this simulator's settles to
+  // the naive reference order: different evaluation orders can oscillate
+  // or pick different fixed points there, and the naive order is the
+  // semantic reference. Component-level cycles that are acyclic at wire
+  // granularity (e.g. an MEB arbitrating on a downstream ready while the
+  // downstream operator passes that ready through) never trip the cap —
+  // the worklist just iterates them to their unique fixed point.
+  if (demoted_to_naive_) {
+    clear_pending();
+    full_eval_pending_ = false;
+    seed_seq_pending_ = false;
+    settle_naive();
+    return;
+  }
+
+  ++settle_epoch_;
+  const std::size_t limit = effective_settle_limit();
+
+  std::size_t pending = 0;
+  std::size_t min_level = level_count_ + 1;
+
+  if (full_eval_pending_) {
+    full_eval_pending_ = false;
+    seed_seq_pending_ = false;
+    for (Component* c : components_) tracker_.enqueue(*c);
+  } else if (seed_seq_pending_) {
+    // The per-cycle seeding: sequential components go straight into their
+    // level buckets (their levels are current — relevelize ran above).
+    seed_seq_pending_ = false;
+    if (!seq_cache_valid_) rebuild_sequential_cache();
+    for (Component* c : seq_components_) {
+      if (c->kernel_dirty_) continue;  // already enqueued by an external write
+      c->kernel_dirty_ = true;
+      const std::size_t level = std::min<std::size_t>(c->kernel_level_, level_count_);
+      buckets_[level].push_back(c);
+      ++pending;
+      if (level < min_level) min_level = level;
+    }
+  }
+  flush_worklist_to_buckets(pending, min_level);
+
+  try {
+    while (pending > 0) {
+      while (min_level < buckets_.size() && buckets_[min_level].empty()) ++min_level;
+      auto& bucket = buckets_[min_level];
+      Component* c = bucket.back();
+      bucket.pop_back();
+      --pending;
+      c->kernel_dirty_ = false;
+      if (c->settle_epoch_ != settle_epoch_) {
+        c->settle_epoch_ = settle_epoch_;
+        c->settle_evals_ = 0;
+      }
+      if (++c->settle_evals_ > limit) {
+        // An order-sensitive combinational cycle: the worklist order is
+        // not converging. Demote to the reference order, which either
+        // converges (order-dependent fixed point) or raises
+        // CombinationalLoopError (genuine divergence) — and stay there,
+        // since the cycle will re-oscillate every settle. Event mode goes
+        // off so wire writes stop paying for a worklist nobody drains
+        // (set_kernel re-enables it).
+        demoted_to_naive_ = true;
+        tracker_.set_event_mode(false);
+        clear_pending();
+        settle_naive();
+        return;
+      }
+      ++eval_count_;
+      tracker_.begin_eval(*c);
+      c->eval();
+      tracker_.end_eval();
+      // Changed wires enqueued their fanout; newly discovered edges can
+      // enqueue below the sweep point and pull it back down.
+      if (!tracker_.worklist().empty()) flush_worklist_to_buckets(pending, min_level);
+    }
+  } catch (...) {
+    tracker_.end_eval();
+    clear_pending();
+    full_eval_pending_ = true;
+    throw;
+  }
+  tracker_.consume();  // the naive fixed-point flag is not meaningful here
+}
+
+void Simulator::relevelize() {
+  const std::size_t n = components_.size();
+  // Temporarily repurpose kernel_level_ as the component's index.
+  for (std::size_t i = 0; i < n; ++i) {
+    components_[i]->kernel_level_ = static_cast<std::uint32_t>(i);
+  }
+
+  // Combinational dependency graph from the discovered wire topology:
+  // writer -> reader for every (writer, fanout) pair.
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  for (const WireBase* w : tracker_.wires()) {
+    const Component* writer = w->writer();
+    if (writer == nullptr) continue;  // externally driven
+    const std::uint32_t wi = writer->kernel_level_;
+    for (const Component* reader : w->fanout()) {
+      succ[wi].push_back(reader->kernel_level_);
+    }
+  }
+
+  // Strongly connected components (iterative Tarjan), then longest-path
+  // levels over the condensation DAG. Components of the same SCC (e.g. an
+  // MEB arbitrating on a ready its downstream operator passes through)
+  // share a level and iterate there to their fixed point; everything else
+  // settles in one topologically ordered sweep.
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> dfs_index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<std::uint32_t> scc(n, 0);
+  std::vector<char> onstack(n, 0);
+  std::vector<std::uint32_t> stack;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> frames;  // (node, child)
+  std::uint32_t next_index = 0;
+  std::uint32_t scc_count = 0;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (dfs_index[root] != kUnvisited) continue;
+    frames.emplace_back(root, 0);
+    while (!frames.empty()) {
+      const std::uint32_t v = frames.back().first;
+      if (frames.back().second == 0) {
+        dfs_index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        onstack[v] = 1;
+      }
+      if (frames.back().second < succ[v].size()) {
+        const std::uint32_t w = succ[v][frames.back().second++];
+        if (dfs_index[w] == kUnvisited) {
+          frames.emplace_back(w, 0);
+        } else if (onstack[w] != 0) {
+          lowlink[v] = std::min(lowlink[v], dfs_index[w]);
+        }
+      } else {
+        if (lowlink[v] == dfs_index[v]) {
+          while (true) {
+            const std::uint32_t w = stack.back();
+            stack.pop_back();
+            onstack[w] = 0;
+            scc[w] = scc_count;
+            if (w == v) break;
+          }
+          ++scc_count;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().first] =
+              std::min(lowlink[frames.back().first], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  // Tarjan numbers SCCs in reverse topological order (descendants first),
+  // so walking ids downward visits every SCC before its successors.
+  std::vector<std::vector<std::uint32_t>> members(scc_count);
+  for (std::uint32_t i = 0; i < n; ++i) members[scc[i]].push_back(i);
+  std::vector<std::uint32_t> scc_level(scc_count, 0);
+  std::uint32_t max_level = 0;
+  for (std::uint32_t s = scc_count; s-- > 0;) {
+    max_level = std::max(max_level, scc_level[s]);
+    for (const std::uint32_t u : members[s]) {
+      for (const std::uint32_t w : succ[u]) {
+        if (scc[w] != s) {
+          scc_level[scc[w]] = std::max(scc_level[scc[w]], scc_level[s] + 1);
+        }
+      }
+    }
+  }
+
+  level_count_ = n == 0 ? 0 : static_cast<std::size_t>(max_level) + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    components_[i]->kernel_level_ = scc_level[scc[i]];
+  }
+  buckets_.resize(level_count_ + 1);  // buckets are empty between settles
+  levels_valid_ = true;
+  tracker_.consume_topology_dirty();
+}
+
+void Simulator::rebuild_sequential_cache() {
+  seq_components_.clear();
+  for (Component* c : components_) {
+    if (c->is_sequential()) seq_components_.push_back(c);
+  }
+  seq_cache_valid_ = true;
+}
+
+void Simulator::clear_pending() noexcept {
+  for (Component* c : tracker_.worklist()) c->kernel_dirty_ = false;
+  tracker_.clear_worklist();
+  for (auto& bucket : buckets_) {
+    for (Component* c : bucket) c->kernel_dirty_ = false;
+    bucket.clear();
+  }
 }
 
 void Simulator::reset() {
   cycle_ = 0;
   for (Component* c : components_) c->reset();
+  clear_pending();
+  full_eval_pending_ = true;
 }
 
 void Simulator::step() {
   settle();
   for (const auto& fn : observers_) fn(cycle_);
-  for (Component* c : components_) c->tick();
+  if (kernel_ == KernelKind::kNaive) {
+    for (Component* c : components_) c->tick();
+  } else {
+    if (!seq_cache_valid_) rebuild_sequential_cache();
+    for (Component* c : seq_components_) c->tick();
+    // Sequential state may have changed: those components' eval() outputs
+    // are stale, so they seed the next settle (directly into the buckets).
+    seed_seq_pending_ = true;
+  }
   ++cycle_;
 }
 

@@ -1,19 +1,62 @@
 // Simulator: the clocked, delta-cycle simulation kernel.
 //
 // Each step() performs:
-//   1. settle: run eval() on every component repeatedly until no wire
-//      changes (fixed point). Non-convergence within the settle limit
-//      raises CombinationalLoopError.
+//   1. settle: run eval() until no wire changes (fixed point).
+//      Non-convergence within the settle limit raises
+//      CombinationalLoopError.
 //   2. observe: invoke registered per-cycle observers on the settled state.
-//   3. commit: run tick() on every component (the clock edge).
+//   3. commit: run tick() (the clock edge).
 //
 // This reproduces synchronous RTL semantics at cycle granularity, which is
 // the level at which the paper's protocol properties are defined.
+//
+// Two interchangeable settle kernels implement those semantics:
+//
+//   KernelKind::kNaive        The reference kernel: every settle iteration
+//                             re-runs eval() on every component until the
+//                             tracker reports a quiet sweep; tick() runs on
+//                             every component. O(components x iterations)
+//                             per cycle, trivially correct.
+//
+//   KernelKind::kEventDriven  The worklist kernel (default): wires record
+//                             their fanout as components read them, so a
+//                             settle pass evaluates only components whose
+//                             inputs actually changed. A levelization pass
+//                             over the discovered combinational graph
+//                             orders the worklist topologically, so
+//                             acyclic regions settle in one ordered sweep
+//                             and wire-acyclic feedback (e.g. arbitration
+//                             on a passed-through ready) iterates to its
+//                             unique fixed point. A circuit whose worklist
+//                             fails to converge (an order-sensitive
+//                             combinational cycle) permanently demotes the
+//                             simulator: every subsequent settle runs the
+//                             exact naive algorithm (including
+//                             CombinationalLoopError on divergence). Note
+//                             the fixed points of order-sensitive cycles
+//                             are order-dependent by nature — the settle
+//                             in which demotion triggers resumes from
+//                             partially updated wires, and such a cycle
+//                             that happens to converge under worklist
+//                             order keeps its own fixed point — so select
+//                             kNaive up front when a cyclic circuit must
+//                             match the reference trace exactly.
+//                             Each cycle seeds the worklist with the
+//                             sequential components (their tick() may have
+//                             changed state); tick() runs only on
+//                             components that declare sequential state
+//                             (Component::is_sequential).
+//
+// Both kernels settle to identical fixed points on protocol-respecting
+// circuits (enforced by the kernel-equivalence test suite); the naive
+// kernel stays available as the oracle and for debugging.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -23,9 +66,17 @@
 
 namespace mte::sim {
 
+/// Selects the settle/commit implementation of a Simulator.
+enum class KernelKind { kNaive, kEventDriven };
+
+[[nodiscard]] constexpr const char* to_string(KernelKind kind) noexcept {
+  return kind == KernelKind::kNaive ? "naive" : "event-driven";
+}
+
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(KernelKind kernel = KernelKind::kEventDriven);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -33,15 +84,40 @@ class Simulator {
   /// The change tracker shared by all wires of this simulator.
   [[nodiscard]] ChangeTracker& tracker() noexcept { return tracker_; }
 
+  /// The active settle kernel.
+  [[nodiscard]] KernelKind kernel() const noexcept { return kernel_; }
+
+  /// Switches the settle kernel. Safe at any point between steps; the
+  /// event-driven kernel re-discovers sensitivities from scratch.
+  void set_kernel(KernelKind kind);
+
   /// Registers a component. Called automatically by the Component ctor.
-  void register_component(Component& c) { components_.push_back(&c); }
+  void register_component(Component& c);
+
+  /// Unregisters a component and drops every kernel record that mentions
+  /// it. Called automatically by the Component dtor.
+  void unregister_component(Component& c) noexcept;
 
   /// Constructs a component (or any object) owned by the simulator.
-  /// Components still self-register through their constructor.
+  /// Components still self-register through their constructor — with the
+  /// simulator passed in `args`, not implicitly with `this`. Constructing
+  /// a component that registered itself with a *different* simulator is an
+  /// ownership error (its wires would feed a foreign tracker and its
+  /// eval/tick would run on a foreign clock) and throws SimulationError
+  /// instead of silently mixing trackers.
   template <typename C, typename... Args>
   C& make(Args&&... args) {
     auto obj = std::make_shared<C>(std::forward<Args>(args)...);
     C& ref = *obj;
+    if constexpr (std::is_base_of_v<Component, C>) {
+      if (&ref.sim() != this) {
+        // obj's destructor unregisters it from the foreign simulator.
+        throw SimulationError(
+            "Simulator::make: component '" + ref.name() +
+            "' registered itself with a different simulator; construct it "
+            "through that simulator's make() instead");
+      }
+    }
     owned_.push_back(std::move(obj));  // shared_ptr<void> keeps the deleter
     return ref;
   }
@@ -66,14 +142,26 @@ class Simulator {
   /// Cycles completed since reset.
   [[nodiscard]] Cycle now() const noexcept { return cycle_; }
 
-  /// Upper bound on settle iterations per cycle (default: scales with the
-  /// number of components).
+  /// Upper bound on settle work per cycle (default: scales with the number
+  /// of components). The naive kernel counts full sweeps; the event-driven
+  /// kernel counts evaluations of any single component — both exceed the
+  /// limit only when a combinational cycle fails to converge.
   void set_settle_limit(std::size_t limit) noexcept { settle_limit_ = limit; }
 
   [[nodiscard]] std::size_t component_count() const noexcept { return components_.size(); }
 
+  /// Total eval() invocations across all settle passes since construction;
+  /// the direct measure of settle work a kernel performs.
+  [[nodiscard]] std::uint64_t eval_count() const noexcept { return eval_count_; }
+
  private:
   [[nodiscard]] std::size_t effective_settle_limit() const noexcept;
+  void settle_naive();
+  void settle_event();
+  void relevelize();
+  void rebuild_sequential_cache();
+  void flush_worklist_to_buckets(std::size_t& pending, std::size_t& min_level);
+  void clear_pending() noexcept;
 
   ChangeTracker tracker_;
   std::vector<Component*> components_;
@@ -81,6 +169,21 @@ class Simulator {
   std::vector<std::function<void(Cycle)>> observers_;
   Cycle cycle_ = 0;
   std::size_t settle_limit_ = 0;  // 0 => automatic
+  KernelKind kernel_ = KernelKind::kEventDriven;
+
+  // --- event-kernel state ---------------------------------------------------
+  bool tearing_down_ = false;        // ~Simulator: skip unregister callbacks
+  bool full_eval_pending_ = true;    // evaluate everything on the next settle
+  bool seed_seq_pending_ = false;    // seed sequential comps on the next settle
+  bool levels_valid_ = false;        // levelization matches the known topology
+  bool demoted_to_naive_ = false;    // order-sensitive cycle found: use
+                                     // the reference order from now on
+  bool seq_cache_valid_ = false;     // seq_components_ matches components_
+  std::uint64_t settle_epoch_ = 0;   // distinguishes settle passes
+  std::uint64_t eval_count_ = 0;
+  std::size_t level_count_ = 0;      // acyclic levels; cyclic bucket follows
+  std::vector<Component*> seq_components_;
+  std::vector<std::vector<Component*>> buckets_;  // worklist, by level
 };
 
 }  // namespace mte::sim

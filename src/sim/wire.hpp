@@ -4,24 +4,211 @@
 // cycle. Components write wires only from eval(); every write that changes
 // the value notifies the owning ChangeTracker so the settle loop knows it
 // has not yet reached a fixed point.
+//
+// Beyond the naive "anything changed" bit, wires also carry the sensitivity
+// metadata the event-driven kernel runs on:
+//   - fanout: the components observed reading this wire from inside eval()
+//     (recorded on first read; a superset of the live read set, which is
+//     sound — a component whose last eval never read a wire cannot depend
+//     on it),
+//   - writer: the component observed driving the wire (single-writer by
+//     construction of the circuit model),
+//   - a dirty-component worklist on the ChangeTracker: a write that changes
+//     the value enqueues exactly the fanout of that wire.
 #pragma once
 
+#include <cstddef>
 #include <utility>
+#include <vector>
+
+#include "sim/component.hpp"
 
 namespace mte::sim {
 
-/// Records whether any wire changed during the current settle iteration.
-/// One tracker is owned by each Simulator and shared by all of its wires.
+class WireBase;
+
+/// The hub shared by a Simulator's wires and its settle kernel.
+///
+/// For the naive kernel it is the original one-bit change flag. For the
+/// event-driven kernel it additionally tracks which component is currently
+/// inside eval() (so wires can record readers/writers), keeps the registry
+/// of wires (the levelization pass walks writer->fanout edges), and owns
+/// the dirty-component worklist fed by wire changes.
 class ChangeTracker {
  public:
+  ChangeTracker() = default;
+  ChangeTracker(const ChangeTracker&) = delete;
+  ChangeTracker& operator=(const ChangeTracker&) = delete;
+
+  // --- fixed-point flag (naive kernel; also cleared by the event kernel) --
   void note_change() noexcept { changed_ = true; }
 
   /// Returns whether a change was noted since the last consume, and clears.
   bool consume() noexcept { return std::exchange(changed_, false); }
 
+  // --- evaluation context (sensitivity discovery) -------------------------
+  [[nodiscard]] Component* evaluating() const noexcept { return evaluating_; }
+  void begin_eval(Component& c) noexcept { evaluating_ = &c; }
+  void end_eval() noexcept { evaluating_ = nullptr; }
+
+  /// Worklist feeding is only enabled while an event-driven kernel drives
+  /// this tracker; the naive kernel keeps it off so set() stays cheap.
+  void set_event_mode(bool on) noexcept { event_mode_ = on; }
+  [[nodiscard]] bool event_mode() const noexcept { return event_mode_; }
+
+  // --- dirty-component worklist -------------------------------------------
+  /// Enqueues a component for (re-)evaluation; deduplicated via the
+  /// component's dirty flag.
+  void enqueue(Component& c) {
+    if (c.kernel_dirty_) return;
+    c.kernel_dirty_ = true;
+    worklist_.push_back(&c);
+  }
+
+  [[nodiscard]] const std::vector<Component*>& worklist() const noexcept {
+    return worklist_;
+  }
+  void clear_worklist() noexcept { worklist_.clear(); }
+
+  // --- topology -----------------------------------------------------------
+  /// Set when a wire records a previously unseen reader or writer; the
+  /// event kernel then recomputes levels before its next settle.
+  void mark_topology_dirty() noexcept { topology_dirty_ = true; }
+  bool consume_topology_dirty() noexcept { return std::exchange(topology_dirty_, false); }
+
+  [[nodiscard]] const std::vector<WireBase*>& wires() const noexcept { return wires_; }
+
+  /// Drops every sensitivity record that mentions `c` (called when a
+  /// component is destroyed or unregistered mid-run).
+  void forget(Component& c);
+
  private:
+  friend class WireBase;
+  void register_wire(WireBase& w);
+  void unregister_wire(WireBase& w) noexcept;
+
   bool changed_ = false;
+  bool event_mode_ = false;
+  bool topology_dirty_ = false;
+  Component* evaluating_ = nullptr;
+  std::vector<Component*> worklist_;
+  std::vector<WireBase*> wires_;
 };
+
+/// Type-erased wire core: sensitivity bookkeeping shared by all Wire<T>.
+class WireBase {
+ public:
+  explicit WireBase(ChangeTracker& tracker) : tracker_(&tracker) {
+    tracker_->register_wire(*this);
+  }
+
+  ~WireBase() { tracker_->unregister_wire(*this); }
+
+  WireBase(const WireBase&) = delete;
+  WireBase& operator=(const WireBase&) = delete;
+  WireBase& operator=(WireBase&&) = delete;
+
+  /// Move-constructible so wires can live in containers: the new wire
+  /// takes over the sensitivity records and registers its own address (the
+  /// moved-from wire unregisters on destruction as usual).
+  WireBase(WireBase&& other) noexcept
+      : tracker_(other.tracker_), fanout_(std::move(other.fanout_)),
+        last_reader_(other.last_reader_), writer_(other.writer_) {
+    other.fanout_.clear();
+    other.last_reader_ = nullptr;
+    other.writer_ = nullptr;
+    tracker_->register_wire(*this);
+  }
+
+  /// The component observed driving this wire (nullptr until discovered or
+  /// when the wire is driven externally, e.g. by test code).
+  [[nodiscard]] Component* writer() const noexcept { return writer_; }
+
+  /// Components observed reading this wire from inside eval().
+  [[nodiscard]] const std::vector<Component*>& fanout() const noexcept {
+    return fanout_;
+  }
+
+ protected:
+  /// Records the currently evaluating component as sensitive to this wire.
+  void record_read() const {
+    Component* c = tracker_->evaluating();
+    if (c == nullptr || c == last_reader_) return;
+    last_reader_ = c;
+    for (Component* r : fanout_) {
+      if (r == c) return;
+    }
+    fanout_.push_back(c);
+    tracker_->mark_topology_dirty();
+  }
+
+  /// Records the currently evaluating component as this wire's driver.
+  /// Only the first writer is recorded (wires are single-writer by
+  /// construction; the record feeds the levelization heuristic, while
+  /// correctness rests on the read fanout) — so the settled fast path is
+  /// one null check on a member the write touches anyway.
+  void record_write() {
+    if (writer_ != nullptr) return;
+    Component* c = tracker_->evaluating();
+    if (c != nullptr) {
+      writer_ = c;
+      tracker_->mark_topology_dirty();
+    }
+  }
+
+  /// Value changed: flag the fixed-point bit and wake the fanout.
+  void notify_changed() {
+    tracker_->note_change();
+    if (tracker_->event_mode()) {
+      for (Component* r : fanout_) tracker_->enqueue(*r);
+    }
+  }
+
+ private:
+  friend class ChangeTracker;
+
+  ChangeTracker* tracker_;
+  mutable std::vector<Component*> fanout_;
+  mutable Component* last_reader_ = nullptr;
+  Component* writer_ = nullptr;
+  std::size_t registry_index_ = 0;
+};
+
+inline void ChangeTracker::register_wire(WireBase& w) {
+  w.registry_index_ = wires_.size();
+  wires_.push_back(&w);
+}
+
+inline void ChangeTracker::unregister_wire(WireBase& w) noexcept {
+  const std::size_t i = w.registry_index_;
+  wires_[i] = wires_.back();
+  wires_[i]->registry_index_ = i;
+  wires_.pop_back();
+}
+
+inline void ChangeTracker::forget(Component& c) {
+  for (WireBase* w : wires_) {
+    if (w->writer_ == &c) w->writer_ = nullptr;
+    if (w->last_reader_ == &c) w->last_reader_ = nullptr;
+    auto& f = w->fanout_;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      if (f[i] == &c) {
+        f[i] = f.back();
+        f.pop_back();
+        break;
+      }
+    }
+  }
+  auto& wl = worklist_;
+  for (std::size_t i = 0; i < wl.size(); ++i) {
+    if (wl[i] == &c) {
+      wl.erase(wl.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (evaluating_ == &c) evaluating_ = nullptr;
+  topology_dirty_ = true;
+}
 
 /// A combinational signal carrying a value of type T.
 ///
@@ -30,25 +217,27 @@ class ChangeTracker {
 /// the loop re-runs until no write changes any wire. T must be equality
 /// comparable and cheap to copy or move.
 template <typename T>
-class Wire {
+class Wire : public WireBase {
  public:
   explicit Wire(ChangeTracker& tracker, T initial = T{})
-      : tracker_(&tracker), value_(std::move(initial)) {}
+      : WireBase(tracker), value_(std::move(initial)) {}
 
-  Wire(const Wire&) = delete;
-  Wire& operator=(const Wire&) = delete;
+  Wire(Wire&&) = default;
 
-  [[nodiscard]] const T& get() const noexcept { return value_; }
+  [[nodiscard]] const T& get() const {
+    record_read();
+    return value_;
+  }
 
   void set(const T& v) {
+    record_write();
     if (!(value_ == v)) {
       value_ = v;
-      tracker_->note_change();
+      notify_changed();
     }
   }
 
  private:
-  ChangeTracker* tracker_;
   T value_;
 };
 

@@ -1,0 +1,178 @@
+// Lockstep kernel-equivalence harness: elaborates the same netlist under
+// the naive reference kernel and the event-driven worklist kernel, drives
+// both with an identical (deterministic) workload, and asserts after every
+// cycle that all channel wires carry identical values — then, at the end
+// of the run, that cycle counters and per-channel probe statistics match.
+//
+// Shared by test_kernel_equivalence.cpp (curated circuits) and
+// test_kernel_fuzz.cpp (random netlists).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace mte::kerneltest {
+
+using netlist::Elaboration;
+using netlist::Netlist;
+using Word = netlist::Word;
+
+struct LockstepOptions {
+  sim::Cycle cycles = 2000;
+  bool channel_probes = true;
+  /// Skip (instead of fail) circuits whose settle diverges under either
+  /// kernel — used by the fuzzer, whose random structures cannot rule out
+  /// oscillating combinational cycles entirely.
+  bool allow_divergent = false;
+};
+
+/// Per-cycle wire comparison across every channel of the two elaborations.
+inline ::testing::AssertionResult channels_equal(
+    Elaboration& ref, Elaboration& dut, const std::vector<std::string>& names) {
+  for (const auto& name : names) {
+    if (ref.is_multithreaded()) {
+      auto& a = ref.mt_channel(name);
+      auto& b = dut.mt_channel(name);
+      if (a.data.get() != b.data.get()) {
+        return ::testing::AssertionFailure()
+               << "channel '" << name << "' data: naive=" << a.data.get()
+               << " event=" << b.data.get();
+      }
+      for (std::size_t t = 0; t < a.threads(); ++t) {
+        if (a.valid(t).get() != b.valid(t).get()) {
+          return ::testing::AssertionFailure()
+                 << "channel '" << name << "' valid(" << t
+                 << "): naive=" << a.valid(t).get() << " event=" << b.valid(t).get();
+        }
+        if (a.ready(t).get() != b.ready(t).get()) {
+          return ::testing::AssertionFailure()
+                 << "channel '" << name << "' ready(" << t
+                 << "): naive=" << a.ready(t).get() << " event=" << b.ready(t).get();
+        }
+      }
+    } else {
+      auto& a = ref.channel(name);
+      auto& b = dut.channel(name);
+      if (a.valid.get() != b.valid.get() || a.ready.get() != b.ready.get() ||
+          a.data.get() != b.data.get()) {
+        return ::testing::AssertionFailure()
+               << "channel '" << name << "': naive (v=" << a.valid.get()
+               << " r=" << a.ready.get() << " d=" << a.data.get()
+               << ") event (v=" << b.valid.get() << " r=" << b.ready.get()
+               << " d=" << b.data.get() << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// End-of-run probe statistics comparison (transfer counts per thread,
+/// observed cycles, backpressure wait statistics).
+inline ::testing::AssertionResult probes_equal(
+    Elaboration& ref, Elaboration& dut, const std::vector<std::string>& names) {
+  for (const auto& name : names) {
+    auto& a = ref.probe(name);
+    auto& b = dut.probe(name);
+    if (a.cycles() != b.cycles()) {
+      return ::testing::AssertionFailure()
+             << "probe '" << name << "' cycles: naive=" << a.cycles()
+             << " event=" << b.cycles();
+    }
+    for (std::size_t t = 0; t < a.threads(); ++t) {
+      if (a.count(t) != b.count(t)) {
+        return ::testing::AssertionFailure()
+               << "probe '" << name << "' count(" << t << "): naive=" << a.count(t)
+               << " event=" << b.count(t);
+      }
+    }
+    if (a.mean_wait() != b.mean_wait()) {
+      return ::testing::AssertionFailure()
+             << "probe '" << name << "' mean_wait: naive=" << a.mean_wait()
+             << " event=" << b.mean_wait();
+    }
+    if (a.throughput() != b.throughput()) {
+      return ::testing::AssertionFailure()
+             << "probe '" << name << "' throughput: naive=" << a.throughput()
+             << " event=" << b.throughput();
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Elaborates `net` under both kernels, applies `configure` to each (it
+/// must be deterministic — both elaborations need the identical workload),
+/// then runs the lockstep comparison for opt.cycles cycles.
+///
+/// Returns false when either kernel raised CombinationalLoopError and
+/// opt.allow_divergent is set: such a circuit has an oscillating
+/// combinational cycle (it is outside the equivalence contract — its fixed
+/// point depends on evaluation order), so the case is skipped rather than
+/// failed. With allow_divergent unset the error fails the test.
+inline bool run_lockstep(const Netlist& net,
+                         const std::function<void(Elaboration&)>& configure,
+                         const LockstepOptions& opt = {}) {
+  const auto registry = netlist::FunctionRegistry::with_defaults();
+  const auto factory = netlist::ComponentFactory::defaults();
+  const netlist::ElaborationOptions ref_opt{.channel_probes = opt.channel_probes,
+                                            .kernel = sim::KernelKind::kNaive};
+  const netlist::ElaborationOptions dut_opt{.channel_probes = opt.channel_probes,
+                                            .kernel = sim::KernelKind::kEventDriven};
+  auto ref = std::make_unique<Elaboration>(net, registry, factory, ref_opt);
+  auto dut = std::make_unique<Elaboration>(net, registry, factory, dut_opt);
+  EXPECT_EQ(ref->simulator().kernel(), sim::KernelKind::kNaive);
+  EXPECT_EQ(dut->simulator().kernel(), sim::KernelKind::kEventDriven);
+
+  configure(*ref);
+  configure(*dut);
+  ref->simulator().reset();
+  dut->simulator().reset();
+
+  const auto names = ref->channel_names();
+  EXPECT_EQ(names, dut->channel_names());
+  EXPECT_FALSE(names.empty());
+  if (::testing::Test::HasFailure()) return false;
+
+  for (sim::Cycle c = 0; c < opt.cycles; ++c) {
+    const char* diverged = nullptr;
+    try {
+      ref->simulator().step();
+    } catch (const sim::CombinationalLoopError&) {
+      diverged = "naive";
+    }
+    if (diverged == nullptr) {
+      try {
+        dut->simulator().step();
+      } catch (const sim::CombinationalLoopError&) {
+        diverged = "event-driven";
+      }
+    }
+    if (diverged != nullptr) {
+      if (opt.allow_divergent) return false;  // skip: outside the contract
+      ADD_FAILURE() << diverged << " kernel raised CombinationalLoopError at cycle "
+                    << c;
+      return false;
+    }
+    const auto wires = channels_equal(*ref, *dut, names);
+    if (!wires) {
+      ADD_FAILURE() << wires.message() << " at cycle " << c;
+      return false;
+    }
+  }
+  EXPECT_EQ(ref->simulator().now(), dut->simulator().now());
+  if (opt.channel_probes) {
+    const auto stats = probes_equal(*ref, *dut, names);
+    if (!stats) {
+      ADD_FAILURE() << stats.message() << " after " << opt.cycles << " cycles";
+      return false;
+    }
+  }
+  return !::testing::Test::HasFailure();
+}
+
+}  // namespace mte::kerneltest

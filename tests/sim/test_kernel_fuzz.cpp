@@ -1,0 +1,198 @@
+// Kernel-equivalence fuzzing: a seeded random-netlist generator (driving
+// the CircuitBuilder) feeds the lockstep harness across random structures
+// (buffer chains, function units, variable-latency units, fork/join
+// diamonds), random thread counts S, MEB variants and workload rates.
+// Every failure message carries the reproducing seed; set MTE_FUZZ_SEED to
+// replay a specific base seed (CI pins one for determinism).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "kernel_lockstep.hpp"
+
+namespace {
+
+using namespace mte;
+using kerneltest::run_lockstep;
+
+/// Random loop-free netlist: a frontier of open outputs is grown with
+/// random operators and finally drained into sinks.
+///
+/// Structural exclusions, chosen so every generated circuit stays inside
+/// the kernels' equivalence contract (well-formed, convergent):
+///  - no merges: a merge requires mutually exclusive inputs, which random
+///    structure and backpressure cannot guarantee;
+///  - no joins in multithreaded netlists: the M-Join derives each input's
+///    ready from the *other* input's valid while MEB arbitration makes
+///    valid depend on downstream ready, so a fork/join reconvergence can
+///    close a genuine combinational valid/ready cycle that oscillates
+///    (single-thread joins have no such coupling — buffer/source/VL valid
+///    is state-driven — and remain in the pool).
+netlist::Netlist random_netlist(std::mt19937_64& rng) {
+  netlist::CircuitBuilder b;
+  auto pick = [&rng](std::size_t n) {
+    return static_cast<std::size_t>(rng() % n);
+  };
+
+  // Half the netlists go through the paper's multithreading transform;
+  // decided up front because it constrains the structure (no joins).
+  const bool multithreaded = (rng() % 2) == 0;
+  const std::size_t s_choices[] = {1, 2, 4, 8};
+  const std::size_t threads = s_choices[pick(4)];
+  const auto kind = (rng() % 2) == 0 ? mt::MebKind::kFull : mt::MebKind::kReduced;
+
+  std::vector<netlist::NodeRef> frontier;
+  const std::size_t sources = 1 + pick(2);
+  for (std::size_t i = 0; i < sources; ++i) {
+    frontier.push_back(b.source("src" + std::to_string(i)));
+  }
+
+  int id = 0;
+  const int ops = 4 + static_cast<int>(pick(12));
+  for (int k = 0; k < ops; ++k) {
+    const std::string suffix = std::to_string(id++);
+    const std::size_t at = pick(frontier.size());
+    const netlist::NodeRef from = frontier[at];
+    switch (pick(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // buffer (the most common structural element)
+        frontier[at] = from >> b.buffer("buf" + suffix);
+        break;
+      }
+      case 4:
+      case 5: {  // function unit
+        const char* fn = (rng() % 2) == 0 ? "inc" : "double";
+        frontier[at] = from >> b.function("fn" + suffix, fn);
+        break;
+      }
+      case 6: {  // variable-latency unit
+        const unsigned lo = 1 + static_cast<unsigned>(pick(2));
+        const unsigned hi = lo + static_cast<unsigned>(pick(3));
+        frontier[at] = from >> b.var_latency("vl" + suffix, lo, hi);
+        break;
+      }
+      case 7:
+      case 8: {  // fork into two open arms
+        auto f = b.fork("fork" + suffix, 2);
+        from >> f;
+        frontier[at] = f;       // arm 0 stays open on the fork node
+        frontier.push_back(f);  // arm 1
+        break;
+      }
+      default: {  // join two frontier outputs (single-thread only)
+        if (multithreaded || frontier.size() < 2) {
+          frontier[at] = from >> b.buffer("buf" + suffix);
+          break;
+        }
+        std::size_t other = pick(frontier.size() - 1);
+        if (other >= at) ++other;
+        auto j = b.join("join" + suffix, 2);
+        frontier[at] >> j;
+        frontier[other] >> j;
+        frontier[at] = j;
+        frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(other));
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    frontier[i] >> b.sink("sink" + std::to_string(i));
+  }
+
+  if (multithreaded) b.then_multithreaded(threads, kind);
+  return b.build();
+}
+
+/// Returns true when the lockstep run compared to completion (false =
+/// skipped as divergent, which the generator's exclusions make rare).
+bool run_fuzz_case(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const netlist::Netlist net = random_netlist(rng);
+
+  // Workload parameters drawn once, applied identically to both kernels.
+  struct Rates {
+    std::vector<double> src, sink;
+    std::uint64_t seed_base;
+  } rates;
+  rates.seed_base = rng();
+  std::uniform_real_distribution<double> rate_dist(0.5, 1.0);
+  for (int i = 0; i < 4; ++i) rates.src.push_back(rate_dist(rng));
+  for (int i = 0; i < 8; ++i) rates.sink.push_back(rate_dist(rng));
+
+  const auto configure = [&net, &rates](netlist::Elaboration& e) {
+    std::size_t si = 0;
+    std::size_t ki = 0;
+    for (const auto& node : net.nodes()) {
+      if (node.type == netlist::NodeType::kSource) {
+        const double rate = rates.src[si++ % rates.src.size()];
+        if (e.is_multithreaded()) {
+          auto& src = e.mt_source(node.name);
+          for (std::size_t t = 0; t < e.threads(); ++t) {
+            src.set_generator(t, [t](std::uint64_t i) { return (t << 24) + i; });
+            src.set_rate(t, rate, rates.seed_base + 31 * t);
+          }
+        } else {
+          auto& src = e.source(node.name);
+          src.set_generator([](std::uint64_t i) { return i; });
+          src.set_rate(rate, rates.seed_base + 5);
+        }
+      } else if (node.type == netlist::NodeType::kSink) {
+        const double rate = rates.sink[ki++ % rates.sink.size()];
+        if (e.is_multithreaded()) {
+          auto& sink = e.mt_sink(node.name);
+          for (std::size_t t = 0; t < e.threads(); ++t) {
+            sink.set_rate(t, rate, rates.seed_base + 17 * t + 7);
+          }
+        } else {
+          e.sink(node.name).set_rate(rate, rates.seed_base + 11);
+        }
+      }
+    }
+  };
+
+  return run_lockstep(net, configure,
+                      {.cycles = 400, .allow_divergent = true});
+}
+
+std::uint64_t fuzz_base_seed() {
+  if (const char* env = std::getenv("MTE_FUZZ_SEED"); env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xC0FFEEu;  // fixed default: the suite is deterministic by default
+}
+
+TEST(KernelFuzz, RandomNetlistsLockstep) {
+  const std::uint64_t base = fuzz_base_seed();
+  const int cases = 64;
+  int completed = 0;
+  for (int k = 0; k < cases; ++k) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(k);
+    SCOPED_TRACE("reproduce with MTE_FUZZ_SEED=" + std::to_string(seed) +
+                 " (case " + std::to_string(k) + " of base " +
+                 std::to_string(base) + ")");
+    bool ok = false;
+    try {
+      ok = run_fuzz_case(seed);
+    } catch (const std::exception& ex) {
+      ADD_FAILURE() << "exception: " << ex.what() << " — reproduce with"
+                    << " MTE_FUZZ_SEED=" << seed;
+    }
+    if (ok) ++completed;
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr, "kernel fuzz failed at seed %llu\n",
+                   static_cast<unsigned long long>(seed));
+      return;
+    }
+  }
+  std::fprintf(stderr, "kernel fuzz: %d/%d netlists fully compared (base seed %llu)\n",
+               completed, cases, static_cast<unsigned long long>(base));
+  // The acceptance bar: at least 50 fuzzed netlists fully compared.
+  EXPECT_GE(completed, 50) << "too many cases skipped as divergent";
+}
+
+}  // namespace

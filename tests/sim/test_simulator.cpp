@@ -140,6 +140,77 @@ TEST(Simulator, MakeOwnsObjects) {
   EXPECT_EQ(q.get(), 7);
 }
 
+TEST(Simulator, MakeRejectsComponentOfForeignSimulator) {
+  // Simulator::make owns the object, but a Component registers itself with
+  // the simulator passed to its *constructor*. Mixing the two used to
+  // silently produce a component owned by one simulator and clocked (and
+  // change-tracked) by another; now it throws.
+  Simulator a;
+  Simulator b;
+  auto& d = a.make<Wire<int>>(a.tracker(), 0);
+  auto& q = a.make<Wire<int>>(a.tracker(), 0);
+  EXPECT_THROW(a.make<Reg>(b, "foreign", d, q), SimulationError);
+  // The rejected component is fully unregistered from the foreign
+  // simulator: b still works and owns nothing.
+  EXPECT_EQ(b.component_count(), 0u);
+  b.reset();
+  b.run(3);
+  EXPECT_EQ(b.now(), 3u);
+  // Constructing through the owning simulator is fine.
+  auto& reg = a.make<Reg>(a, "own", d, q);
+  EXPECT_EQ(reg.name(), "own");
+  EXPECT_EQ(a.component_count(), 1u);
+}
+
+TEST(Simulator, KernelSelectionAndSwitching) {
+  Simulator s(KernelKind::kNaive);
+  EXPECT_EQ(s.kernel(), KernelKind::kNaive);
+  Wire<int> q(s.tracker(), 0);
+  Wire<int> d(s.tracker(), 0);
+  Reg reg(s, "reg", d, q);
+  Inc inc(s, "inc", q, d);
+  s.reset();
+  s.run(4);
+  // Mid-run kernel switch keeps the architectural state.
+  s.set_kernel(KernelKind::kEventDriven);
+  EXPECT_EQ(s.kernel(), KernelKind::kEventDriven);
+  s.run(4);
+  s.settle();
+  EXPECT_EQ(q.get(), 8);
+  s.set_kernel(KernelKind::kNaive);
+  s.run(2);
+  s.settle();
+  EXPECT_EQ(q.get(), 10);
+}
+
+TEST(Simulator, EventKernelDefaultAndFewerEvals) {
+  // The event-driven kernel is the default and does strictly less settle
+  // work than the naive reference on a register pipeline.
+  Simulator ev;
+  EXPECT_EQ(ev.kernel(), KernelKind::kEventDriven);
+  Simulator nv(KernelKind::kNaive);
+  auto build = [](Simulator& s, std::vector<std::unique_ptr<Wire<int>>>& wires,
+                  std::vector<std::unique_ptr<Component>>& comps) {
+    wires.push_back(std::make_unique<Wire<int>>(s.tracker(), 0));
+    for (int i = 0; i < 8; ++i) {
+      wires.push_back(std::make_unique<Wire<int>>(s.tracker(), 0));
+      comps.push_back(std::make_unique<Inc>(s, "inc" + std::to_string(i),
+                                            *wires[wires.size() - 2], *wires.back()));
+    }
+    comps.push_back(std::make_unique<Reg>(s, "reg", *wires.back(), *wires.front()));
+  };
+  std::vector<std::unique_ptr<Wire<int>>> we, wn;
+  std::vector<std::unique_ptr<Component>> ce, cn;
+  build(ev, we, ce);
+  build(nv, wn, cn);
+  ev.reset();
+  nv.reset();
+  ev.run(50);
+  nv.run(50);
+  EXPECT_EQ(we.front()->get(), wn.front()->get());
+  EXPECT_LT(ev.eval_count(), nv.eval_count());
+}
+
 TEST(Simulator, DeepCombinationalChainSettles) {
   // 50 chained incrementers settle within the automatic limit.
   Simulator s;
