@@ -1,27 +1,68 @@
 // AREA-SWEEP: Sec. V-C scaling claim — reduced-MEB area savings as a
 // function of thread count for both Table I designs (15 % average at 8
 // threads growing above 22 % at 16 threads, approaching the (S-1)/2S
-// storage asymptote).
+// storage asymptote). Since PR 3 the sweep is one DSE campaign over
+// (workload in {md5, processor}) x (variant in {full, reduced}) x
+// (S in {2..32}); the area column comes from the report's cost-model
+// join, exactly what `mte_dse --workloads md5,processor --threads
+// 2,4,8,16,32` emits.
 #include <cstdio>
 
-#include "area/designs.hpp"
+#include "dse/campaign.hpp"
+#include "dse/report.hpp"
+
+namespace {
+
+using namespace mte;
+
+double les_of(const std::vector<dse::PointRecord>& records, const char* workload,
+              dse::MebVariant variant, std::size_t threads) {
+  for (const auto& r : records) {
+    if (r.point.workload == workload && r.point.variant == variant &&
+        r.point.threads == threads) {
+      return r.les;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main() {
-  using namespace mte::area;
-  CostModel model;
-  std::printf("AREA-SWEEP: reduced-MEB savings vs thread count\n\n");
+  using dse::MebVariant;
+
+  dse::SweepSpec spec;
+  spec.workloads = {"md5", "processor"};
+  spec.variants = {MebVariant::kFull, MebVariant::kReduced};
+  spec.threads = {2, 4, 8, 16, 32};
+  spec.seed = 1;
+
+  const dse::CampaignRunner runner;
+  const auto records = runner.run(spec, /*workers=*/0);
+  for (const auto& r : records) {
+    if (!r.ok()) {
+      std::printf("point %zu (%s) FAILED: %s\n", r.point.index,
+                  r.point.label().c_str(), r.error.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("AREA-SWEEP: reduced-MEB savings vs thread count (DSE campaign)\n\n");
   std::printf("| S  | md5 full | md5 red | md5 save%% | proc full | proc red | proc save%% | avg%% |\n");
   std::printf("|----|----------|---------|-----------|-----------|----------|------------|------|\n");
   double prev_avg = 0;
   bool monotone = true;
   double avg8 = 0, avg16 = 0;
-  for (unsigned threads : {2u, 4u, 8u, 16u, 32u}) {
-    const TableRow md5 = md5_row(model, threads);
-    const TableRow proc = processor_row(model, threads);
-    const double avg = (md5.savings_percent() + proc.savings_percent()) / 2;
-    std::printf("| %2u | %8.0f | %7.0f | %9.1f | %9.0f | %8.0f | %10.1f | %4.1f |\n",
-                threads, md5.full_les, md5.reduced_les, md5.savings_percent(),
-                proc.full_les, proc.reduced_les, proc.savings_percent(), avg);
+  for (const std::size_t threads : spec.threads) {
+    const double m_full = les_of(records, "md5", MebVariant::kFull, threads);
+    const double m_red = les_of(records, "md5", MebVariant::kReduced, threads);
+    const double p_full = les_of(records, "processor", MebVariant::kFull, threads);
+    const double p_red = les_of(records, "processor", MebVariant::kReduced, threads);
+    const double m_save = 100.0 * (m_full - m_red) / m_full;
+    const double p_save = 100.0 * (p_full - p_red) / p_full;
+    const double avg = (m_save + p_save) / 2;
+    std::printf("| %2zu | %8.0f | %7.0f | %9.1f | %9.0f | %8.0f | %10.1f | %4.1f |\n",
+                threads, m_full, m_red, m_save, p_full, p_red, p_save, avg);
     if (avg < prev_avg) monotone = false;
     prev_avg = avg;
     if (threads == 8) avg8 = avg;

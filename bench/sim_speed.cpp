@@ -135,7 +135,9 @@ Measurement measure(const Workload& w, sim::KernelKind kernel) {
   } else {
     describe_diamond(b);
   }
-  const netlist::ElaborationOptions options{.channel_probes = false, .kernel = kernel};
+  netlist::ElaborationOptions options;
+  options.channel_probes = false;
+  options.kernel = kernel;
   const auto registry = netlist::FunctionRegistry::with_defaults();
   const auto factory = netlist::ComponentFactory::defaults();
 

@@ -116,6 +116,22 @@ class CostModel {
     return p_.le_arbiter_per_thread * threads;
   }
 
+  /// Policy-aware arbiter cost (the DSE arbiter axis). Round-robin is the
+  /// reference; oblivious drops the ready-qualification logic, fixed
+  /// priority is a bare priority chain, and the matrix arbiter adds the
+  /// S(S-1)/2 order-bit upper triangle.
+  [[nodiscard]] double arbiter_les(unsigned threads, mt::ArbiterKind kind) const {
+    const double base = arbiter_les(threads);
+    switch (kind) {
+      case mt::ArbiterKind::kRoundRobin: return base;
+      case mt::ArbiterKind::kOblivious: return 0.75 * base;
+      case mt::ArbiterKind::kFixedPriority: return 0.5 * base;
+      case mt::ArbiterKind::kMatrix:
+        return base + 0.5 * threads * (threads > 0 ? threads - 1 : 0);
+    }
+    return base;
+  }
+
   /// Full MEB (paper Fig. 4): one 2-slot EB per thread + arbiter + mux.
   [[nodiscard]] AreaItem full_meb(const std::string& name, unsigned bits,
                                   unsigned threads) const {
@@ -141,6 +157,20 @@ class CostModel {
                              mt::MebKind kind) const {
     return kind == mt::MebKind::kFull ? full_meb(name, bits, threads)
                                       : reduced_meb(name, bits, threads);
+  }
+
+  /// Hybrid MEB (the capacity ablation of Sec. III-A): one main register
+  /// per thread plus a pool of K dynamically shared slots. K = 1 matches
+  /// the reduced MEB; K = S approaches the full MEB's storage with
+  /// shared-pool wiring.
+  [[nodiscard]] AreaItem hybrid_meb(const std::string& name, unsigned bits,
+                                    unsigned threads, unsigned shared_slots) const {
+    AreaItem a{name, 0, 2 + std::log2(std::max(2u, threads))};
+    a.les = threads * (1.0 * bits * p_.le_per_reg_bit + p_.le_meb_thread_control) +
+            shared_slots * (1.0 * bits * p_.le_per_reg_bit + p_.le_shared_control) +
+            bits * p_.le_per_mux2_bit +  // main-register refill mux
+            out_mux_les(bits, threads) + arbiter_les(threads);
+    return a;
   }
 
   /// Barrier (paper Fig. 8): counter + comparator + per-thread FSMs.

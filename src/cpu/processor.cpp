@@ -36,7 +36,8 @@ class FetchStage : public sim::Component {
   FetchStage(sim::Simulator& s, std::vector<ThreadArch>& arch,
              mt::MtChannel<Uop>& out, const ProcessorConfig& cfg)
       : Component(s, "fetch"), arch_(arch), out_(out), cfg_(cfg),
-        arb_(out.threads()), engines_(out.threads()), rng_(cfg.seed) {}
+        arb_(out.threads()), engines_(out.threads()), rng_(cfg.seed),
+        pending_(out.threads(), false), ready_down_(out.threads(), false) {}
 
   void reset() override {
     rng_.reseed(cfg_.seed);
@@ -56,13 +57,11 @@ class FetchStage : public sim::Component {
 
   void eval() override {
     const std::size_t n = out_.threads();
-    std::vector<bool> pending(n);
-    std::vector<bool> ready_down(n);
     for (std::size_t i = 0; i < n; ++i) {
-      pending[i] = engines_[i].state == Engine::kReady;
-      ready_down[i] = out_.ready(i).get();
+      pending_[i] = engines_[i].state == Engine::kReady;
+      ready_down_[i] = out_.ready(i).get();
     }
-    grant_ = arb_.grant(pending, ready_down);
+    grant_ = arb_.grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
     Uop u;
     if (grant_ < n) {
@@ -129,6 +128,10 @@ class FetchStage : public sim::Component {
   std::vector<Engine> engines_;
   sim::Rng rng_;
   std::size_t grant_ = 0;
+  // Arbitration scratch, sized once at construction: eval() runs per settle
+  // iteration and must not allocate.
+  std::vector<bool> pending_;
+  std::vector<bool> ready_down_;
 };
 
 // ---------------------------------------------------------------------------
@@ -333,6 +336,7 @@ class WbStage : public sim::Component {
 // Processor wrapper.
 // ---------------------------------------------------------------------------
 Processor::Processor(const ProcessorConfig& cfg) : cfg_(cfg) {
+  sim_.set_kernel(cfg.kernel);
   arch_.reserve(cfg.threads);
   for (std::size_t t = 0; t < cfg.threads; ++t) arch_.emplace_back(cfg);
 

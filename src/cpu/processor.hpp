@@ -59,6 +59,8 @@ struct ProcessorConfig {
   unsigned dcache_line_words = 4;
   std::size_t dmem_words = 1024;
   std::uint64_t seed = 1;
+  /// Settle kernel of the internal simulator (DSE kernel axis).
+  sim::KernelKind kernel = sim::KernelKind::kEventDriven;
 };
 
 /// Architectural state of one hardware thread.

@@ -1,0 +1,67 @@
+#include "dse/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace mte::dse {
+
+PointRecord CampaignRunner::run_point(const SweepPoint& point,
+                                      const SweepSpec& spec) const {
+  PointRecord rec;
+  rec.point = point;
+  rec.seed = point_seed(spec.seed, point.index);
+  try {
+    const Workload& w = workloads_.at(point.workload);
+    rec.result = w.evaluate(point, spec.cycles, rec.seed);
+    rec.les = rec.result.area.total_les();
+    rec.mhz = area::CostModel{}.frequency_mhz(rec.result.area);
+  } catch (const std::exception& ex) {
+    rec.error = ex.what();
+  } catch (...) {
+    // A non-std::exception from a user workload must still become a
+    // failed record — escaping a pool thread would std::terminate().
+    rec.error = "non-standard exception";
+  }
+  return rec;
+}
+
+std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
+                                             std::size_t workers) const {
+  const std::vector<SweepPoint> points = spec.enumerate(workloads_);
+  std::vector<PointRecord> records(points.size());
+  if (points.empty()) return records;
+
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, points.size());
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      records[i] = run_point(points[i], spec);
+    }
+    return records;
+  }
+
+  // Each worker claims the next unevaluated point and writes into its
+  // pre-assigned slot: result ordering (and content — every point is
+  // seeded from (spec.seed, index) and fully self-contained) is identical
+  // for any worker count.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      records[i] = run_point(points[i], spec);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return records;
+}
+
+}  // namespace mte::dse

@@ -1,0 +1,62 @@
+// CampaignRunner: executes every point of a SweepSpec and collects the
+// records a Report is built from.
+//
+// Points are independent simulations (each gets its own Simulator and
+// components), so the runner fans them out over a pool of host threads:
+// workers claim the next unevaluated index from an atomic counter, run it
+// to completion, and write the record into its pre-assigned slot. Results
+// are therefore ordered by point index and bit-identical for any worker
+// count — determinism comes from the per-point seed, not from scheduling.
+// A point that throws is captured as a failed record (error string set)
+// rather than aborting the campaign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/sweep_spec.hpp"
+#include "dse/workloads.hpp"
+
+namespace mte::dse {
+
+/// One evaluated (or failed) design point.
+struct PointRecord {
+  SweepPoint point;
+  WorkloadResult result;
+  std::uint64_t seed = 0;   ///< the per-point seed the workload ran with
+  double les = 0;           ///< total logic elements (area model)
+  double mhz = 0;           ///< modelled design frequency
+  std::string error;        ///< non-empty when evaluation threw
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+
+  /// Throughput per kilo-LE — the Pareto ratio metric.
+  [[nodiscard]] double throughput_per_kle() const noexcept {
+    return les > 0 ? result.throughput / (les / 1000.0) : 0.0;
+  }
+};
+
+class CampaignRunner {
+ public:
+  /// Copies the set: a runner constructed from a temporary WorkloadSet
+  /// must stay valid for its whole lifetime.
+  explicit CampaignRunner(const WorkloadSet& workloads = WorkloadSet::builtin())
+      : workloads_(workloads) {}
+
+  /// Enumerates the spec and evaluates every point on `workers` host
+  /// threads (1 = serial in the calling thread; 0 = hardware
+  /// concurrency). The returned vector is indexed by point index.
+  [[nodiscard]] std::vector<PointRecord> run(const SweepSpec& spec,
+                                             std::size_t workers = 1) const;
+
+  /// Evaluates a single already-enumerated point (the serial building
+  /// block run() parallelizes).
+  [[nodiscard]] PointRecord run_point(const SweepPoint& point,
+                                      const SweepSpec& spec) const;
+
+ private:
+  WorkloadSet workloads_;
+};
+
+}  // namespace mte::dse

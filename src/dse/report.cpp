@@ -1,0 +1,227 @@
+#include "dse/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mte::dse {
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* kernel_name(sim::KernelKind k) {
+  return k == sim::KernelKind::kNaive ? "naive" : "event";
+}
+
+/// Error strings are exception what()s and can carry quotes and newlines
+/// (BuildError renders multi-line diagnostics): quotes are doubled per
+/// RFC 4180 and newlines flattened so every record stays one line — the
+/// CI drift gate and other line-oriented consumers depend on that.
+std::string csv_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else if (c == '\n' || c == '\r') {
+      if (!out.empty() && out.back() != ' ') out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Report::Report(SweepSpec spec, std::vector<PointRecord> records)
+    : spec_(std::move(spec)), records_(std::move(records)) {
+  // Throughput-vs-area Pareto frontier over the successful records.
+  // pareto_ holds *point indices* (what is_pareto and the rendered
+  // reports speak), not vector positions — CampaignRunner happens to
+  // produce records where the two coincide, but a filtered or merged
+  // record set must not silently corrupt the frontier.
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const PointRecord& a = records_[i];
+    if (!a.ok()) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < records_.size() && !dominated; ++j) {
+      if (j == i) continue;
+      const PointRecord& b = records_[j];
+      if (!b.ok()) continue;
+      const bool no_worse = b.result.throughput >= a.result.throughput &&
+                            b.les <= a.les;
+      const bool better = b.result.throughput > a.result.throughput ||
+                          b.les < a.les;
+      // Tie-break exact duplicates by position so exactly one survives.
+      if (no_worse && (better || j < i)) dominated = true;
+    }
+    if (!dominated) pareto_.push_back(a.point.index);
+  }
+  std::sort(pareto_.begin(), pareto_.end());
+}
+
+bool Report::is_pareto(std::size_t index) const {
+  return std::binary_search(pareto_.begin(), pareto_.end(), index);
+}
+
+const PointRecord* Report::best_throughput() const {
+  const PointRecord* best = nullptr;
+  for (const auto& r : records_) {
+    if (r.ok() && (best == nullptr || r.result.throughput > best->result.throughput)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+const PointRecord* Report::cheapest() const {
+  const PointRecord* best = nullptr;
+  for (const auto& r : records_) {
+    if (r.ok() && (best == nullptr || r.les < best->les)) best = &r;
+  }
+  return best;
+}
+
+std::string Report::csv_header() {
+  return "schema_version,index,workload,variant,threads,shared_slots,"
+         "capacity_slots,arbiter,kernel,seed,cycles,tokens,throughput,"
+         "mean_wait,les,mhz,throughput_per_kle,pareto,error";
+}
+
+std::vector<std::string> Report::json_point_fields() {
+  return {"index",     "workload", "variant",   "threads",
+          "shared_slots", "capacity_slots", "arbiter", "kernel",
+          "seed",      "cycles",   "tokens",    "throughput",
+          "mean_wait", "les",      "mhz",       "throughput_per_kle",
+          "pareto",    "error"};
+}
+
+std::string Report::to_csv() const {
+  std::ostringstream os;
+  os << csv_header() << '\n';
+  for (const auto& r : records_) {
+    os << kReportSchemaVersion << ',' << r.point.index << ',' << r.point.workload
+       << ',' << to_string(r.point.variant) << ',' << r.point.threads << ','
+       << r.point.shared_slots << ',' << r.point.capacity_slots() << ','
+       << mt::to_string(r.point.arbiter) << ',' << kernel_name(r.point.kernel)
+       << ',' << r.seed << ',' << r.result.cycles << ',' << r.result.tokens << ','
+       << fmt("%.6f", r.result.throughput) << ',' << fmt("%.6f", r.result.mean_wait)
+       << ',' << fmt("%.1f", r.les) << ',' << fmt("%.3f", r.mhz) << ','
+       << fmt("%.6f", r.throughput_per_kle()) << ','
+       << (is_pareto(r.point.index) ? 1 : 0) << ',' << csv_escape(r.error)
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": " << kReportSchemaVersion << ",\n";
+  os << "  \"generator\": \"mte_dse\",\n";
+  os << "  \"campaign\": {\"seed\": " << spec_.seed << ", \"cycles\": "
+     << spec_.cycles << ", \"points\": " << records_.size() << "},\n";
+  os << "  \"points\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const PointRecord& r = records_[i];
+    os << "    {\"index\": " << r.point.index << ", \"workload\": \""
+       << json_escape(r.point.workload) << "\", \"variant\": \""
+       << to_string(r.point.variant) << "\", \"threads\": " << r.point.threads
+       << ", \"shared_slots\": " << r.point.shared_slots
+       << ", \"capacity_slots\": " << r.point.capacity_slots()
+       << ", \"arbiter\": \"" << mt::to_string(r.point.arbiter)
+       << "\", \"kernel\": \"" << kernel_name(r.point.kernel)
+       << "\", \"seed\": " << r.seed << ", \"cycles\": " << r.result.cycles
+       << ", \"tokens\": " << r.result.tokens << ", \"throughput\": "
+       << fmt("%.6f", r.result.throughput) << ", \"mean_wait\": "
+       << fmt("%.6f", r.result.mean_wait) << ", \"les\": " << fmt("%.1f", r.les)
+       << ", \"mhz\": " << fmt("%.3f", r.mhz) << ", \"throughput_per_kle\": "
+       << fmt("%.6f", r.throughput_per_kle()) << ", \"pareto\": "
+       << (is_pareto(r.point.index) ? "true" : "false") << ", \"error\": \""
+       << json_escape(r.error) << "\"}" << (i + 1 < records_.size() ? "," : "")
+       << '\n';
+  }
+  os << "  ],\n";
+  os << "  \"pareto\": [";
+  for (std::size_t i = 0; i < pareto_.size(); ++i) {
+    os << pareto_[i] << (i + 1 < pareto_.size() ? ", " : "");
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+std::string Report::to_table() const {
+  std::ostringstream os;
+  os << "| idx | workload  | variant | S  | cap | arbiter        | kernel "
+        "| throughput | mean_wait |      LEs |    MHz | t/kLE  | P |\n";
+  os << "|-----|-----------|---------|----|-----|----------------|--------"
+        "|------------|-----------|----------|--------|--------|---|\n";
+  for (const auto& r : records_) {
+    char line[256];
+    if (r.ok()) {
+      std::snprintf(line, sizeof(line),
+                    "| %3zu | %-9s | %-7s | %2zu | %3zu | %-14s | %-6s "
+                    "| %10.4f | %9.2f | %8.0f | %6.1f | %6.3f | %s |\n",
+                    r.point.index, r.point.workload.c_str(),
+                    to_string(r.point.variant), r.point.threads,
+                    r.point.capacity_slots(), mt::to_string(r.point.arbiter),
+                    kernel_name(r.point.kernel), r.result.throughput,
+                    r.result.mean_wait, r.les, r.mhz, r.throughput_per_kle(),
+                    is_pareto(r.point.index) ? "*" : " ");
+    } else {
+      std::snprintf(line, sizeof(line), "| %3zu | %-9s | FAILED: %s\n",
+                    r.point.index, r.point.workload.c_str(), r.error.c_str());
+    }
+    os << line;
+  }
+  os << "\nPareto frontier (throughput vs LEs), cheapest first:\n";
+  std::vector<const PointRecord*> by_les;
+  for (const auto& r : records_) {
+    if (is_pareto(r.point.index)) by_les.push_back(&r);
+  }
+  std::sort(by_les.begin(), by_les.end(),
+            [](const PointRecord* a, const PointRecord* b) {
+              return a->les < b->les;
+            });
+  for (const PointRecord* r : by_les) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  [%3zu] %-40s %8.0f LE  %8.4f tok/cyc\n",
+                  r->point.index, r->point.label().c_str(), r->les,
+                  r->result.throughput);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace mte::dse

@@ -1,0 +1,64 @@
+// Report: the output layer of the DSE engine.
+//
+// Joins each point's simulation metrics (throughput, backpressure wait)
+// with the analytical area model (LEs, modelled frequency), extracts the
+// throughput-vs-area Pareto frontier, and renders the whole campaign as
+// CSV and JSON. Both formats are schema-versioned and deterministic —
+// fixed field order, fixed float precision, records sorted by point
+// index — so reports diff cleanly and a golden file pins the schema in
+// CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/campaign.hpp"
+#include "dse/sweep_spec.hpp"
+
+namespace mte::dse {
+
+/// Bump when a field is added, removed, renamed or reordered in the CSV
+/// header or the JSON point objects.
+inline constexpr int kReportSchemaVersion = 1;
+
+class Report {
+ public:
+  Report(SweepSpec spec, std::vector<PointRecord> records);
+
+  [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<PointRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Indices (ascending) of the points on the throughput-vs-area Pareto
+  /// frontier: no other successful point has both >= throughput and
+  /// <= LEs with at least one strict. Failed points never qualify.
+  [[nodiscard]] const std::vector<std::size_t>& pareto() const noexcept {
+    return pareto_;
+  }
+  [[nodiscard]] bool is_pareto(std::size_t index) const;
+
+  /// The record with the highest throughput / lowest area among the
+  /// successful ones; nullptr when every point failed.
+  [[nodiscard]] const PointRecord* best_throughput() const;
+  [[nodiscard]] const PointRecord* cheapest() const;
+
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// A plain-text summary table plus the Pareto frontier, for terminals.
+  [[nodiscard]] std::string to_table() const;
+
+  /// The canonical CSV header — the schema the CI drift gate checks.
+  [[nodiscard]] static std::string csv_header();
+  /// The ordered JSON field names of one point object.
+  [[nodiscard]] static std::vector<std::string> json_point_fields();
+
+ private:
+  SweepSpec spec_;
+  std::vector<PointRecord> records_;
+  std::vector<std::size_t> pareto_;
+};
+
+}  // namespace mte::dse

@@ -1,0 +1,130 @@
+// SweepSpec: the declarative description of a design-space exploration
+// campaign (paper Table I / Fig. 5 generalized).
+//
+// A spec lists the values of each axis — workload, MEB variant, thread
+// count S, per-stage buffer capacity (shared-slot pool size K of the
+// hybrid MEB), arbiter policy, settle kernel — and enumerate() expands
+// the cross-product into concrete SweepPoints, pruning invalid
+// combinations:
+//   - structural rules: the capacity axis only varies the hybrid variant
+//     (full and reduced have fixed storage, 2S and S+1); K > S shared
+//     slots are dead area and are dropped;
+//   - workload capability rules: hand-built engines (MD5, processor) pin
+//     the axes their hardware cannot vary (no hybrid buffers, fixed
+//     round-robin arbitration);
+//   - user constraint predicates, for campaign-specific pruning.
+//
+// Points are numbered densely after pruning; the per-point RNG seed is
+// derived from (spec.seed, point.index), so a campaign is reproducible
+// from the spec alone and independent of how many host workers run it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mt/arbiter.hpp"
+#include "mt/meb_variant.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace mte::dse {
+
+class WorkloadSet;
+
+/// The MEB flavour axis: the paper's full and reduced designs plus the
+/// hybrid shared-pool generalization in between.
+enum class MebVariant { kFull, kHybrid, kReduced };
+
+[[nodiscard]] constexpr const char* to_string(MebVariant v) noexcept {
+  switch (v) {
+    case MebVariant::kFull: return "full";
+    case MebVariant::kHybrid: return "hybrid";
+    case MebVariant::kReduced: return "reduced";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<MebVariant> parse_meb_variant(std::string_view name);
+
+/// One fully resolved design point of a campaign.
+struct SweepPoint {
+  std::size_t index = 0;  ///< dense index in the pruned enumeration
+  std::string workload;
+  MebVariant variant = MebVariant::kFull;
+  std::size_t threads = 1;
+  std::size_t shared_slots = 0;  ///< hybrid pool size K; 0 for full/reduced
+  mt::ArbiterKind arbiter = mt::ArbiterKind::kRoundRobin;
+  sim::KernelKind kernel = sim::KernelKind::kEventDriven;
+
+  /// Storage slots per buffered stage: 2S (full), S+1 (reduced), S+K
+  /// (hybrid).
+  [[nodiscard]] std::size_t capacity_slots() const noexcept {
+    switch (variant) {
+      case MebVariant::kFull: return 2 * threads;
+      case MebVariant::kReduced: return threads + 1;
+      case MebVariant::kHybrid: return threads + shared_slots;
+    }
+    return 0;
+  }
+
+  /// "fig5/full/s4/k0/round_robin/event-driven" — stable human-readable id.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Deterministic per-point seed: splitmix64 over (campaign seed, index).
+[[nodiscard]] std::uint64_t point_seed(std::uint64_t campaign_seed,
+                                       std::size_t point_index);
+
+struct SweepSpec {
+  std::vector<std::string> workloads{"fig5"};
+  std::vector<MebVariant> variants{MebVariant::kFull, MebVariant::kReduced};
+  std::vector<std::size_t> threads{1, 2, 4, 8};
+  std::vector<std::size_t> shared_slots{0, 1};
+  std::vector<mt::ArbiterKind> arbiters{mt::ArbiterKind::kRoundRobin};
+  std::vector<sim::KernelKind> kernels{sim::KernelKind::kEventDriven};
+
+  /// Cycles per point for run-for-N-cycles workloads (the hand-built
+  /// engines run to completion and report their own cycle count).
+  sim::Cycle cycles = 2000;
+  std::uint64_t seed = 1;
+
+  /// User predicates; a point must satisfy all of them to survive.
+  using Constraint = std::function<bool(const SweepPoint&)>;
+  std::vector<Constraint> constraints;
+
+  SweepSpec& constrain(Constraint c) {
+    constraints.push_back(std::move(c));
+    return *this;
+  }
+
+  /// Expands the axes against the capability traits of `workloads`;
+  /// throws std::invalid_argument for an unknown workload name or an
+  /// empty axis.
+  [[nodiscard]] std::vector<SweepPoint> enumerate(const WorkloadSet& set) const;
+
+  /// enumerate() against the built-in workload set.
+  [[nodiscard]] std::vector<SweepPoint> enumerate() const;
+
+  /// Round-trips with parse(): one "key value..." line per axis.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses the small text format (# comments, blank lines ignored):
+  ///   workloads fig1 fig5
+  ///   variants full hybrid reduced
+  ///   threads 1 2 4 8
+  ///   shared_slots 0 1
+  ///   arbiters round_robin matrix
+  ///   kernels event naive
+  ///   cycles 2000
+  ///   seed 42
+  /// Unknown keys or values throw std::invalid_argument. A bare axis key
+  /// empties that axis (serialize() round-trips it); enumerate() then
+  /// rejects the spec if the axis is actually required.
+  [[nodiscard]] static SweepSpec parse(const std::string& text);
+};
+
+}  // namespace mte::dse

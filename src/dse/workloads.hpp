@@ -1,0 +1,82 @@
+// DSE workload registry: the circuits a campaign can sweep.
+//
+// A Workload bundles (1) capability traits — which sweep axes its
+// hardware can actually vary — and (2) an evaluate function that builds
+// the design point, runs it, and returns simulation metrics joined with
+// the analytical area estimate. The built-in set covers the paper's four
+// experiment shapes:
+//
+//   fig1        one-MEB channel under fractional per-thread injection
+//               (Fig. 1 utilization argument)
+//   fig5        two-stage MEB pipeline with the all-but-one-thread
+//               blocked window (Fig. 5 corner case: full keeps the
+//               survivor at ~100 %, reduced caps it at ~50 %)
+//   md5         the complete multithreaded elastic MD5 engine (Sec. V-A),
+//               run to digest completion
+//   processor   the multithreaded pipelined elastic processor (Sec. V-B)
+//               on barrel programs, run to halt
+//
+// The netlist workloads (fig1, fig5) elaborate through CircuitBuilder /
+// ComponentFactory, so every axis — variant, capacity, arbiter, kernel —
+// applies; the hand-built engines pin what their construction fixes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "area/cost_model.hpp"
+#include "dse/sweep_spec.hpp"
+#include "sim/types.hpp"
+
+namespace mte::dse {
+
+/// Simulation metrics of one evaluated point, joined with the structural
+/// area estimate of the elaborated design.
+struct WorkloadResult {
+  double throughput = 0;   ///< tokens (blocks, instructions) per cycle
+  double mean_wait = 0;    ///< mean backpressure wait at the measured channel
+  std::uint64_t tokens = 0;
+  sim::Cycle cycles = 0;   ///< cycles actually simulated
+  area::DesignEstimate area;
+};
+
+/// Which sweep axes a workload's hardware can vary. enumerate() pins the
+/// unsupported axes to their canonical value instead of multiplying
+/// meaningless duplicates into the campaign.
+struct WorkloadTraits {
+  bool supports_hybrid = true;   ///< capacity axis (hybrid shared pool)
+  bool supports_arbiter = true;  ///< arbiter-policy axis
+  bool supports_kernel = true;   ///< settle-kernel axis
+};
+
+struct Workload {
+  std::string name;
+  std::string description;
+  WorkloadTraits traits;
+  /// Deterministic: equal (point, cycles, seed) must produce bit-equal
+  /// results regardless of the host thread it runs on.
+  std::function<WorkloadResult(const SweepPoint&, sim::Cycle cycles,
+                               std::uint64_t seed)>
+      evaluate;
+};
+
+class WorkloadSet {
+ public:
+  WorkloadSet& add(Workload w);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Throws std::invalid_argument for unknown names.
+  [[nodiscard]] const Workload& at(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// fig1, fig5, md5, processor.
+  [[nodiscard]] static const WorkloadSet& builtin();
+
+ private:
+  std::map<std::string, Workload> by_name_;
+};
+
+}  // namespace mte::dse

@@ -60,31 +60,32 @@ class Fork : public sim::Component {
   Fork(sim::Simulator& s, std::string name, Channel<T>& in,
        std::vector<Channel<T>*> outs)
       : Component(s, std::move(name)), in_(in), outs_(std::move(outs)),
-        ctrl_(outs_.size()) {}
+        ctrl_(outs_.size()), rin_(outs_.size(), false) {}
 
   void reset() override { ctrl_.reset(); }
 
   void eval() override {
     const bool vin = in_.valid.get();
-    std::vector<bool> rin(outs_.size());
     for (std::size_t i = 0; i < outs_.size(); ++i) {
-      rin[i] = outs_[i]->ready.get();
+      rin_[i] = outs_[i]->ready.get();
       outs_[i]->valid.set(ctrl_.valid_out(vin, i));
       outs_[i]->data.set(in_.data.get());
     }
-    in_.ready.set(ctrl_.ready_out(rin));
+    in_.ready.set(ctrl_.ready_out(rin_));
   }
 
   void tick() override {
-    std::vector<bool> rin(outs_.size());
-    for (std::size_t i = 0; i < outs_.size(); ++i) rin[i] = outs_[i]->ready.get();
-    ctrl_.commit(in_.valid.get(), rin);
+    for (std::size_t i = 0; i < outs_.size(); ++i) rin_[i] = outs_[i]->ready.get();
+    ctrl_.commit(in_.valid.get(), rin_);
   }
 
  private:
   Channel<T>& in_;
   std::vector<Channel<T>*> outs_;
   ForkControl ctrl_;
+  // Handshake scratch, sized once at construction: eval() runs per settle
+  // iteration and must not allocate.
+  std::vector<bool> rin_;
 };
 
 }  // namespace mte::elastic

@@ -75,18 +75,17 @@ class JoinN : public sim::Component {
   JoinN(sim::Simulator& s, std::string name, std::vector<Channel<T>*> ins,
         Channel<T>& out, Combiner combine)
       : Component(s, std::move(name)), ins_(std::move(ins)), out_(out),
-        combine_(std::move(combine)) {}
+        combine_(std::move(combine)), v_(ins_.size(), false),
+        data_(ins_.size()) {}
 
   void eval() override {
-    std::vector<bool> v(ins_.size());
-    for (std::size_t i = 0; i < ins_.size(); ++i) v[i] = ins_[i]->valid.get();
-    out_.valid.set(JoinControl::valid_out(v));
+    for (std::size_t i = 0; i < ins_.size(); ++i) v_[i] = ins_[i]->valid.get();
+    out_.valid.set(JoinControl::valid_out(v_));
     for (std::size_t i = 0; i < ins_.size(); ++i) {
-      ins_[i]->ready.set(JoinControl::ready_out(v, out_.ready.get(), i));
+      ins_[i]->ready.set(JoinControl::ready_out(v_, out_.ready.get(), i));
     }
-    std::vector<T> data(ins_.size());
-    for (std::size_t i = 0; i < ins_.size(); ++i) data[i] = ins_[i]->data.get();
-    out_.data.set(combine_(data));
+    for (std::size_t i = 0; i < ins_.size(); ++i) data_[i] = ins_[i]->data.get();
+    out_.data.set(combine_(data_));
   }
 
   void tick() override {}
@@ -98,6 +97,10 @@ class JoinN : public sim::Component {
   std::vector<Channel<T>*> ins_;
   Channel<T>& out_;
   Combiner combine_;
+  // Handshake/data scratch, sized once at construction: eval() runs per
+  // settle iteration and must not allocate.
+  std::vector<bool> v_;
+  std::vector<T> data_;
 };
 
 }  // namespace mte::elastic

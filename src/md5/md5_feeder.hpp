@@ -30,7 +30,8 @@ class Md5Feeder : public sim::Component {
             mt::MtChannel<Md5Token>& in)
       : Component(s, std::move(name)), out_(out), in_(in),
         arb_(std::make_unique<mt::RoundRobinArbiter>(out.threads())),
-        per_thread_(out.threads()) {
+        per_thread_(out.threads()),
+        pending_(out.threads(), false), ready_down_(out.threads(), false) {
     if (out.threads() != in.threads()) {
       throw sim::SimulationError("Md5Feeder '" + this->name() +
                                  "': channel thread counts differ");
@@ -61,15 +62,13 @@ class Md5Feeder : public sim::Component {
 
   void eval() override {
     const std::size_t n = threads();
-    std::vector<bool> pending(n);
-    std::vector<bool> ready_down(n);
     for (std::size_t i = 0; i < n; ++i) {
       const auto& t = per_thread_[i];
-      pending[i] = !t.awaiting && t.issued < total_blocks_;
-      ready_down[i] = out_.ready(i).get();
+      pending_[i] = !t.awaiting && t.issued < total_blocks_;
+      ready_down_[i] = out_.ready(i).get();
       in_.ready(i).set(true);  // returning digests are always absorbed
     }
-    grant_ = arb_->grant(pending, ready_down);
+    grant_ = arb_->grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
     out_.data.set(grant_ < n ? make_token(grant_) : Md5Token{});
   }
@@ -163,6 +162,10 @@ class Md5Feeder : public sim::Component {
   std::vector<PerThread> per_thread_;
   std::size_t total_blocks_ = 0;
   std::size_t grant_ = 0;
+  // Arbitration scratch, sized once at construction: eval() runs per settle
+  // iteration and must not allocate.
+  std::vector<bool> pending_;
+  std::vector<bool> ready_down_;
 };
 
 }  // namespace mte::md5

@@ -15,6 +15,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace mte::mt {
@@ -95,6 +98,42 @@ class RoundRobinArbiter : public Arbiter {
 
  private:
   std::size_t ptr_ = 0;
+};
+
+/// Ready-oblivious time-division arbiter: thread `cycle mod S` owns the
+/// channel each cycle (a slot is granted only if that thread is pending,
+/// and is otherwise left idle — never reassigned). The paper's arbiters
+/// are ready-aware; this is the "non-speculative mode" alternative.
+/// Because the grant — and therefore every MEB/source valid — is
+/// independent of ready, circuits whose ready derives from valid (M-Join
+/// inputs, barriers) stay combinationally acyclic by construction:
+/// fork/join reconvergence and join-adjacent arbitration become safe.
+/// The schedule must be *globally phase-locked*, not per-channel state:
+/// every instance starts at slot 0 and advances exactly once per clock
+/// edge, so the two channels feeding an M-Join always offer the same
+/// thread. (A pending-dependent rotation here livelocks: two saturated
+/// channels whose pointers fall out of phase offer mismatched threads
+/// forever, and the join never fires.) The price is TDM's: a slot whose
+/// thread has nothing to send, or whose consumer is stalled, is wasted.
+class ObliviousArbiter : public Arbiter {
+ public:
+  explicit ObliviousArbiter(std::size_t threads) : Arbiter(threads) {}
+
+  [[nodiscard]] std::size_t grant(const std::vector<bool>& pending,
+                                  const std::vector<bool>& /*ready*/) const override {
+    return pending[slot_] ? slot_ : n_;
+  }
+
+  void update(std::size_t /*granted*/, bool /*fired*/) override {
+    // Unconditional: the barrel turns every cycle, keeping all oblivious
+    // arbiters in the design phase-locked.
+    slot_ = (slot_ + 1) % n_;
+  }
+
+  void reset() override { slot_ = 0; }
+
+ private:
+  std::size_t slot_ = 0;
 };
 
 /// Fixed priority (lowest index wins). Starves high indices under load;
@@ -178,5 +217,41 @@ class MatrixArbiter : public Arbiter {
   std::vector<std::vector<bool>> older_;
   std::size_t spec_ptr_ = 0;
 };
+
+/// Value-level selector for the arbiter policies above — the form the
+/// elaboration options and the DSE sweep axes traffic in.
+enum class ArbiterKind { kRoundRobin, kOblivious, kFixedPriority, kMatrix };
+
+[[nodiscard]] constexpr const char* to_string(ArbiterKind kind) noexcept {
+  switch (kind) {
+    case ArbiterKind::kRoundRobin: return "round_robin";
+    case ArbiterKind::kOblivious: return "oblivious";
+    case ArbiterKind::kFixedPriority: return "fixed_priority";
+    case ArbiterKind::kMatrix: return "matrix";
+  }
+  return "?";
+}
+
+/// Parses the to_string() spelling; nullopt for anything else.
+[[nodiscard]] inline std::optional<ArbiterKind> parse_arbiter_kind(
+    std::string_view name) noexcept {
+  if (name == "round_robin") return ArbiterKind::kRoundRobin;
+  if (name == "oblivious") return ArbiterKind::kOblivious;
+  if (name == "fixed_priority") return ArbiterKind::kFixedPriority;
+  if (name == "matrix") return ArbiterKind::kMatrix;
+  return std::nullopt;
+}
+
+[[nodiscard]] inline std::unique_ptr<Arbiter> make_arbiter(ArbiterKind kind,
+                                                           std::size_t threads) {
+  switch (kind) {
+    case ArbiterKind::kOblivious: return std::make_unique<ObliviousArbiter>(threads);
+    case ArbiterKind::kFixedPriority:
+      return std::make_unique<FixedPriorityArbiter>(threads);
+    case ArbiterKind::kMatrix: return std::make_unique<MatrixArbiter>(threads);
+    case ArbiterKind::kRoundRobin: break;
+  }
+  return std::make_unique<RoundRobinArbiter>(threads);
+}
 
 }  // namespace mte::mt

@@ -29,7 +29,8 @@ class FullMeb : public sim::Component {
         arb_(arbiter ? std::move(arbiter)
                      : std::make_unique<RoundRobinArbiter>(in.threads())),
         ctrl_(in.threads()), head_(in.threads()), aux_(in.threads()),
-        in_count_(in.threads(), 0), out_count_(in.threads(), 0) {
+        in_count_(in.threads(), 0), out_count_(in.threads(), 0),
+        pending_(in.threads(), false), ready_down_(in.threads(), false) {
     if (in.threads() != out.threads()) {
       throw sim::SimulationError("FullMeb '" + this->name() +
                                  "': input/output thread counts differ");
@@ -48,14 +49,12 @@ class FullMeb : public sim::Component {
 
   void eval() override {
     const std::size_t n = threads();
-    std::vector<bool> pending(n);
-    std::vector<bool> ready_down(n);
     for (std::size_t i = 0; i < n; ++i) {
       in_.ready(i).set(ctrl_[i].can_accept());
-      pending[i] = ctrl_[i].has_data();
-      ready_down[i] = out_.ready(i).get();
+      pending_[i] = ctrl_[i].has_data();
+      ready_down_[i] = out_.ready(i).get();
     }
-    grant_ = arb_->grant(pending, ready_down);
+    grant_ = arb_->grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
     out_.data.set(grant_ < n ? head_[grant_] : T{});
   }
@@ -109,6 +108,10 @@ class FullMeb : public sim::Component {
   std::size_t grant_ = 0;
   std::vector<std::uint64_t> in_count_;
   std::vector<std::uint64_t> out_count_;
+  // Arbitration scratch, sized once at construction: eval() runs per settle
+  // iteration and must not allocate.
+  std::vector<bool> pending_;
+  std::vector<bool> ready_down_;
 };
 
 }  // namespace mte::mt

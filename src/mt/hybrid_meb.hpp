@@ -38,7 +38,8 @@ class HybridMeb : public sim::Component {
         state_(in.threads(), elastic::EbState::kEmpty), main_(in.threads()),
         shared_(shared_slots), shared_owner_(shared_slots, in.threads()),
         claimed_slot_(in.threads(), shared_slots),
-        out_count_(in.threads(), 0) {
+        out_count_(in.threads(), 0),
+        pending_(in.threads(), false), ready_down_(in.threads(), false) {
     if (in.threads() != out.threads()) {
       throw sim::SimulationError("HybridMeb '" + this->name() +
                                  "': input/output thread counts differ");
@@ -59,14 +60,12 @@ class HybridMeb : public sim::Component {
 
   void eval() override {
     const std::size_t n = threads();
-    std::vector<bool> pending(n);
-    std::vector<bool> ready_down(n);
     for (std::size_t i = 0; i < n; ++i) {
       in_.ready(i).set(ready_out(i));
-      pending[i] = state_[i] != elastic::EbState::kEmpty;
-      ready_down[i] = out_.ready(i).get();
+      pending_[i] = state_[i] != elastic::EbState::kEmpty;
+      ready_down_[i] = out_.ready(i).get();
     }
-    grant_ = arb_->grant(pending, ready_down);
+    grant_ = arb_->grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
     out_.data.set(grant_ < n ? main_[grant_] : T{});
   }
@@ -154,6 +153,10 @@ class HybridMeb : public sim::Component {
   std::size_t shared_used_ = 0;
   std::size_t grant_ = 0;
   std::vector<std::uint64_t> out_count_;
+  // Arbitration scratch, sized once at construction: eval() runs per settle
+  // iteration and must not allocate.
+  std::vector<bool> pending_;
+  std::vector<bool> ready_down_;
 };
 
 }  // namespace mte::mt

@@ -21,7 +21,8 @@ class MFork : public sim::Component {
  public:
   MFork(sim::Simulator& s, std::string name, MtChannel<T>& in,
         std::vector<MtChannel<T>*> outs)
-      : Component(s, std::move(name)), in_(in), outs_(std::move(outs)) {
+      : Component(s, std::move(name)), in_(in), outs_(std::move(outs)),
+        rin_(outs_.size(), false) {
     for (std::size_t i = 0; i < in_.threads(); ++i) {
       ctrl_.emplace_back(outs_.size());
     }
@@ -35,12 +36,11 @@ class MFork : public sim::Component {
     const std::size_t n = in_.threads();
     for (std::size_t i = 0; i < n; ++i) {
       const bool vin = in_.valid(i).get();
-      std::vector<bool> rin(outs_.size());
       for (std::size_t k = 0; k < outs_.size(); ++k) {
-        rin[k] = outs_[k]->ready(i).get();
+        rin_[k] = outs_[k]->ready(i).get();
         outs_[k]->valid(i).set(ctrl_[i].valid_out(vin, k));
       }
-      in_.ready(i).set(ctrl_[i].ready_out(rin));
+      in_.ready(i).set(ctrl_[i].ready_out(rin_));
     }
     for (auto* out : outs_) out->data.set(in_.data.get());
   }
@@ -48,17 +48,19 @@ class MFork : public sim::Component {
   void tick() override {
     const std::size_t active = in_.active_thread();  // checks the invariant
     if (active >= in_.threads()) return;
-    std::vector<bool> rin(outs_.size());
     for (std::size_t k = 0; k < outs_.size(); ++k) {
-      rin[k] = outs_[k]->ready(active).get();
+      rin_[k] = outs_[k]->ready(active).get();
     }
-    ctrl_[active].commit(true, rin);
+    ctrl_[active].commit(true, rin_);
   }
 
  private:
   MtChannel<T>& in_;
   std::vector<MtChannel<T>*> outs_;
   std::vector<elastic::ForkControl> ctrl_;
+  // Handshake scratch, sized once at construction: eval() runs per settle
+  // iteration and must not allocate.
+  std::vector<bool> rin_;
 };
 
 }  // namespace mte::mt

@@ -31,7 +31,8 @@ class MtSource : public sim::Component {
       : Component(s, std::move(name)), out_(out),
         arb_(arbiter ? std::move(arbiter)
                      : std::make_unique<RoundRobinArbiter>(out.threads())),
-        per_thread_(out.threads()) {}
+        per_thread_(out.threads()),
+        pending_(out.threads(), false), ready_down_(out.threads(), false) {}
 
   void set_tokens(std::size_t thread, std::vector<T> tokens) {
     per_thread_.at(thread).tokens = std::move(tokens);
@@ -64,13 +65,11 @@ class MtSource : public sim::Component {
 
   void eval() override {
     const std::size_t n = threads();
-    std::vector<bool> pending(n);
-    std::vector<bool> ready_down(n);
     for (std::size_t i = 0; i < n; ++i) {
-      pending[i] = offerable(i);
-      ready_down[i] = out_.ready(i).get();
+      pending_[i] = offerable(i);
+      ready_down_[i] = out_.ready(i).get();
     }
-    grant_ = arb_->grant(pending, ready_down);
+    grant_ = arb_->grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
     if (grant_ < n) {
       out_.data.set(*current(grant_));
@@ -144,6 +143,10 @@ class MtSource : public sim::Component {
   std::unique_ptr<Arbiter> arb_;
   std::vector<PerThread> per_thread_;
   std::size_t grant_ = 0;
+  // Arbitration scratch, sized once at construction: eval() runs per settle
+  // iteration and must not allocate.
+  std::vector<bool> pending_;
+  std::vector<bool> ready_down_;
 };
 
 }  // namespace mte::mt

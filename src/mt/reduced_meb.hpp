@@ -33,7 +33,8 @@ class ReducedMeb : public sim::Component {
         arb_(arbiter ? std::move(arbiter)
                      : std::make_unique<RoundRobinArbiter>(in.threads())),
         ctrl_(in.threads()), main_(in.threads()),
-        in_count_(in.threads(), 0), out_count_(in.threads(), 0) {
+        in_count_(in.threads(), 0), out_count_(in.threads(), 0),
+        pending_(in.threads(), false), ready_down_(in.threads(), false) {
     if (in.threads() != out.threads()) {
       throw sim::SimulationError("ReducedMeb '" + this->name() +
                                  "': input/output thread counts differ");
@@ -52,14 +53,12 @@ class ReducedMeb : public sim::Component {
 
   void eval() override {
     const std::size_t n = threads();
-    std::vector<bool> pending(n);
-    std::vector<bool> ready_down(n);
     for (std::size_t i = 0; i < n; ++i) {
       in_.ready(i).set(ctrl_.ready_out(i));
-      pending[i] = ctrl_.has_data(i);
-      ready_down[i] = out_.ready(i).get();
+      pending_[i] = ctrl_.has_data(i);
+      ready_down_[i] = out_.ready(i).get();
     }
-    grant_ = arb_->grant(pending, ready_down);
+    grant_ = arb_->grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
     // Output data always comes from the granted thread's main register;
     // the shared slot only ever refills a main register.
@@ -112,6 +111,10 @@ class ReducedMeb : public sim::Component {
   std::size_t grant_ = 0;
   std::vector<std::uint64_t> in_count_;
   std::vector<std::uint64_t> out_count_;
+  // Arbitration scratch, sized once at construction: eval() runs per settle
+  // iteration and must not allocate.
+  std::vector<bool> pending_;
+  std::vector<bool> ready_down_;
 };
 
 }  // namespace mte::mt

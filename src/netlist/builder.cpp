@@ -244,29 +244,51 @@ CircuitBuilder& CircuitBuilder::then_multithreaded(std::size_t threads,
   return *this;
 }
 
-Netlist CircuitBuilder::build() const {
+Netlist CircuitBuilder::build() const { return build_checked(true); }
+
+Netlist CircuitBuilder::build_checked(bool reject_reconvergence) const {
   const auto problems = netlist_.validate();
   if (!problems.empty()) {
     std::string message = "netlist invalid:";
     for (const auto& p : problems) message += "\n  - " + p;
     throw BuildError(message);
   }
-  if (multithreaded_) return netlist_.to_multithreaded(threads_, meb_kind_);
+  if (multithreaded_) {
+    Netlist multi = netlist_.to_multithreaded(threads_, meb_kind_);
+    if (reject_reconvergence) {
+      const auto hazards = multi.mt_reconvergence_hazards();
+      if (!hazards.empty()) {
+        std::string message = "multithreaded netlist is combinationally cyclic:";
+        for (const auto& h : hazards) message += "\n  - " + h.describe();
+        message +=
+            "\n(elaborate with ElaborationOptions{.arbiter = "
+            "mt::ArbiterKind::kOblivious} to make fork/join reconvergence "
+            "safe by construction)";
+        throw BuildError(message);
+      }
+    }
+    return multi;
+  }
   return netlist_;
 }
 
+// The elaborate() overloads skip build()'s reconvergence rejection: the
+// Elaboration constructor is the single authority on that hazard (it
+// knows the arbiter — under the oblivious TDM arbiter reconvergence is
+// legal), and running the ancestor scan once instead of twice matters
+// for DSE campaigns that elaborate thousands of points.
 Elaboration CircuitBuilder::elaborate() const {
-  return Elaboration(build(), FunctionRegistry::with_defaults());
+  return Elaboration(build_checked(false), FunctionRegistry::with_defaults());
 }
 
 Elaboration CircuitBuilder::elaborate(const FunctionRegistry& registry) const {
-  return Elaboration(build(), registry);
+  return Elaboration(build_checked(false), registry);
 }
 
 Elaboration CircuitBuilder::elaborate(const FunctionRegistry& registry,
                                       const ComponentFactory& factory,
                                       ElaborationOptions options) const {
-  return Elaboration(build(), registry, factory, options);
+  return Elaboration(build_checked(false), registry, factory, options);
 }
 
 CircuitBuilder CircuitBuilder::from(const Netlist& netlist) {

@@ -164,6 +164,10 @@ class CircuitBuilder {
  private:
   NodeRef add(Node spec);
   void check_ref(const PortRef& ref) const;
+  /// build() with the MT reconvergence rejection optional: the oblivious
+  /// arbiter makes reconvergent structures legal, so elaborate() defers
+  /// that decision to Elaboration when it knows the arbiter.
+  [[nodiscard]] Netlist build_checked(bool reject_reconvergence) const;
 
   Netlist netlist_;
   std::map<std::string, std::size_t> by_name_;

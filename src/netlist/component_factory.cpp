@@ -111,7 +111,9 @@ ComponentFactory ComponentFactory::with_defaults() {
 
   // --- multithreaded primitives (mt::) ------------------------------------
   f.register_mt(NodeType::kSource, [](const MtContext& ctx) {
-    auto& src = ctx.sim.make<mt::MtSource<Word>>(ctx.sim, ctx.node.name, ctx.out(0));
+    auto& src = ctx.sim.make<mt::MtSource<Word>>(
+        ctx.sim, ctx.node.name, ctx.out(0),
+        mt::make_arbiter(ctx.elab.options().arbiter, ctx.threads()));
     for (std::size_t t = 0; t < ctx.threads(); ++t) {
       src.set_rate(t, ctx.node.rate, 17 + ctx.node.id);
     }
@@ -125,9 +127,19 @@ ComponentFactory ComponentFactory::with_defaults() {
     ctx.elab.expose_mt_sink(ctx.node.name, snk);
   });
   f.register_mt(NodeType::kBuffer, [](const MtContext& ctx) {
-    ctx.elab.expose_meb(ctx.node.name,
-                        mt::AnyMeb<Word>::create(ctx.sim, ctx.node.name, ctx.in(0),
-                                                 ctx.out(0), ctx.meb_kind()));
+    const ElaborationOptions& opt = ctx.elab.options();
+    auto arbiter = mt::make_arbiter(opt.arbiter, ctx.threads());
+    if (opt.meb_shared_slots.has_value()) {
+      ctx.elab.expose_meb(ctx.node.name, mt::AnyMeb<Word>::create_hybrid(
+                                             ctx.sim, ctx.node.name, ctx.in(0),
+                                             ctx.out(0), *opt.meb_shared_slots,
+                                             std::move(arbiter)));
+    } else {
+      ctx.elab.expose_meb(ctx.node.name, mt::AnyMeb<Word>::create(
+                                             ctx.sim, ctx.node.name, ctx.in(0),
+                                             ctx.out(0), ctx.meb_kind(),
+                                             std::move(arbiter)));
+    }
   });
   f.register_mt(NodeType::kFork, [](const MtContext& ctx) {
     std::vector<mt::MtChannel<Word>*> outs;

@@ -51,6 +51,20 @@ Elaboration::Elaboration(const Netlist& netlist, const FunctionRegistry& registr
   if (!problems.empty()) {
     throw ElaborationError("netlist invalid: " + problems.front());
   }
+  // Reconvergence hazards are cycles through *speculative* (ready-aware)
+  // arbitration; the oblivious TDM arbiter's grants are independent of
+  // ready, so under it the structure is acyclic and legal.
+  if (options.arbiter != mt::ArbiterKind::kOblivious) {
+    const auto hazards = netlist.mt_reconvergence_hazards();
+    if (!hazards.empty()) {
+      throw ElaborationError(
+          "multithreaded netlist is combinationally cyclic: " +
+          hazards.front().describe() +
+          " (elaborate with ArbiterKind::kOblivious to make fork/join "
+          "reconvergence safe by construction)");
+    }
+  }
+  options_ = options;
   sim_.set_kernel(options.kernel);
   threads_ = netlist.threads();
   multithreaded_ = netlist.is_multithreaded();

@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -67,6 +68,16 @@ struct ElaborationOptions {
   /// event-driven worklist kernel; select sim::KernelKind::kNaive to run
   /// on the reference kernel (e.g. as the oracle in equivalence tests).
   sim::KernelKind kernel = sim::KernelKind::kEventDriven;
+
+  /// Arbitration policy instantiated in every arbitrated multithreaded
+  /// component (MEBs, MtSource). One of the DSE sweep axes.
+  mt::ArbiterKind arbiter = mt::ArbiterKind::kRoundRobin;
+
+  /// When set, every buffer node of a multithreaded netlist elaborates to
+  /// a HybridMeb with this many dynamically shared slots (S main + K
+  /// shared) instead of the netlist's full/reduced MEB kind — the
+  /// per-stage buffer-capacity axis of the DSE engine.
+  std::optional<std::size_t> meb_shared_slots;
 };
 
 /// The elaborated design: owns the simulator and exposes uniform handles —
@@ -83,6 +94,10 @@ class Elaboration {
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
   [[nodiscard]] bool is_multithreaded() const noexcept { return multithreaded_; }
+
+  /// The options this design was elaborated with; node builders consult
+  /// them (arbiter policy, hybrid-MEB capacity override).
+  [[nodiscard]] const ElaborationOptions& options() const noexcept { return options_; }
 
   // Single-thread boundary handles (!is_multithreaded()).
   [[nodiscard]] elastic::Source<Word>& source(const std::string& name);
@@ -135,6 +150,7 @@ class Elaboration {
   [[nodiscard]] const std::string& resolve_channel(const std::string& name) const;
 
   sim::Simulator sim_;
+  ElaborationOptions options_;
   std::size_t threads_ = 1;
   bool multithreaded_ = false;
   std::map<std::string, elastic::Source<Word>*> sources_;

@@ -75,6 +75,23 @@ struct Edge {
   unsigned to_port = 0;
 };
 
+/// A fork whose arms reconverge at a join in a *multithreaded* netlist.
+/// The M-Join derives each input's ready from the peer input's valid
+/// (lazy join) while speculative MEB/source arbitration makes valid
+/// depend on downstream ready, so two paths from one fork meeting at one
+/// join close a genuine combinational valid/ready cycle that can
+/// oscillate. Single-thread netlists have no such coupling (buffer and
+/// source valids are state-driven), so the pattern is only diagnosed
+/// after to_multithreaded().
+struct ReconvergenceHazard {
+  std::size_t fork_id = 0;
+  std::size_t join_id = 0;
+  std::string fork;  ///< node names, ready for diagnostics
+  std::string join;
+
+  [[nodiscard]] std::string describe() const;
+};
+
 class Netlist {
  public:
   /// The single construction entry point: appends a fully described node
@@ -113,6 +130,12 @@ class Netlist {
 
   /// Structural validation; returns human-readable problems (empty = OK).
   [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Fork/join reconvergence diagnosis for multithreaded netlists (always
+  /// empty before to_multithreaded()). One entry per (fork, join) pair
+  /// with two or more distinct connecting paths. CircuitBuilder::build()
+  /// and Elaboration refuse netlists with hazards.
+  [[nodiscard]] std::vector<ReconvergenceHazard> mt_reconvergence_hazards() const;
 
   /// Number of nodes of a given type.
   [[nodiscard]] std::size_t count(NodeType type) const;

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dse/campaign.hpp"
+#include "dse/report.hpp"
+#include "dse/sweep_spec.hpp"
+
+namespace mte::dse {
+namespace {
+
+PointRecord make_record(std::size_t index, double throughput, double les,
+                        std::string error = "") {
+  PointRecord r;
+  r.point.index = index;
+  r.point.workload = "fig5";
+  r.point.threads = 4;
+  r.result.throughput = throughput;
+  r.result.tokens = static_cast<std::uint64_t>(throughput * 1000);
+  r.result.cycles = 1000;
+  r.les = les;
+  r.mhz = 100.0;
+  r.error = std::move(error);
+  return r;
+}
+
+TEST(Report, ParetoFrontierKeepsOnlyUndominatedPoints) {
+  // (throughput, les): 2 dominates 1 (more throughput, fewer LEs);
+  // 0 and 2 trade off; 3 is strictly worst.
+  const Report report(SweepSpec{}, {
+                                       make_record(0, 0.9, 500),
+                                       make_record(1, 0.5, 400),
+                                       make_record(2, 0.7, 300),
+                                       make_record(3, 0.1, 900),
+                                   });
+  EXPECT_EQ(report.pareto(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_TRUE(report.is_pareto(0));
+  EXPECT_FALSE(report.is_pareto(1));
+  EXPECT_TRUE(report.is_pareto(2));
+  EXPECT_FALSE(report.is_pareto(3));
+  EXPECT_EQ(report.best_throughput()->point.index, 0u);
+  EXPECT_EQ(report.cheapest()->point.index, 2u);
+}
+
+TEST(Report, ExactDuplicatesKeepExactlyOneFrontierPoint) {
+  const Report report(SweepSpec{}, {
+                                       make_record(0, 0.5, 400),
+                                       make_record(1, 0.5, 400),
+                                   });
+  EXPECT_EQ(report.pareto(), (std::vector<std::size_t>{0}));
+}
+
+TEST(Report, FailedPointsNeverQualifyForTheFrontier) {
+  const Report report(SweepSpec{}, {
+                                       make_record(0, 9.9, 1, "boom"),
+                                       make_record(1, 0.5, 400),
+                                   });
+  EXPECT_EQ(report.pareto(), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(report.best_throughput()->point.index, 1u);
+}
+
+TEST(Report, AllPointsFailedMeansNoBest) {
+  const Report report(SweepSpec{}, {make_record(0, 1.0, 100, "boom")});
+  EXPECT_TRUE(report.pareto().empty());
+  EXPECT_EQ(report.best_throughput(), nullptr);
+  EXPECT_EQ(report.cheapest(), nullptr);
+}
+
+TEST(Report, ParetoSpeaksPointIndicesNotVectorPositions) {
+  // A filtered / merged record set has point indices that don't coincide
+  // with vector positions; the frontier and renders must follow the
+  // indices (regression: pareto_ used to store positions while the
+  // renderers queried is_pareto(point.index)).
+  const Report report(SweepSpec{}, {
+                                       make_record(7, 0.9, 500),
+                                       make_record(3, 0.7, 300),
+                                   });
+  EXPECT_EQ(report.pareto(), (std::vector<std::size_t>{3, 7}));
+  EXPECT_TRUE(report.is_pareto(3));
+  EXPECT_TRUE(report.is_pareto(7));
+  EXPECT_FALSE(report.is_pareto(0));
+  EXPECT_NE(report.to_json().find("\"pareto\": [3, 7]"), std::string::npos)
+      << report.to_json();
+}
+
+TEST(Report, CsvEscapesQuotesAndNewlinesInErrors) {
+  // BuildError what()s are multi-line and can quote node names; every CSV
+  // record must still be exactly one well-formed line.
+  const Report report(
+      SweepSpec{},
+      {make_record(0, 0.0, 0.0, "cyclic:\n- fork \"f\" -> join \"j\"")});
+  const std::string csv = report.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2)  // header + 1 record
+      << csv;
+  EXPECT_NE(csv.find("\"cyclic: - fork \"\"f\"\" -> join \"\"j\"\"\""),
+            std::string::npos)
+      << csv;
+}
+
+TEST(Report, CsvSchemaIsPinned) {
+  // Adding/renaming/reordering a column must bump kReportSchemaVersion —
+  // this test and the committed golden files are the drift gate.
+  EXPECT_EQ(Report::csv_header(),
+            "schema_version,index,workload,variant,threads,shared_slots,"
+            "capacity_slots,arbiter,kernel,seed,cycles,tokens,throughput,"
+            "mean_wait,les,mhz,throughput_per_kle,pareto,error");
+  EXPECT_EQ(Report::json_point_fields().size(), 18u);
+  EXPECT_EQ(kReportSchemaVersion, 1);
+}
+
+// --- the golden 6-point campaign --------------------------------------------
+
+/// The spec behind tests/dse/golden/campaign6.{csv,json}. Regenerate with
+/// (one line):
+///   mte_dse --workloads fig1 --variants full,reduced --threads 1,2,4
+///           --arbiters round_robin --kernels event --cycles 300 --seed 7
+///           --quiet --csv tests/dse/golden/campaign6.csv
+///                   --json tests/dse/golden/campaign6.json
+SweepSpec golden_spec() {
+  SweepSpec spec;
+  spec.workloads = {"fig1"};
+  spec.variants = {MebVariant::kFull, MebVariant::kReduced};
+  spec.threads = {1, 2, 4};
+  spec.cycles = 300;
+  spec.seed = 7;
+  return spec;
+}
+
+std::string read_golden(const std::string& name) {
+  const std::string path = std::string(MTE_SOURCE_DIR) + "/tests/dse/golden/" + name;
+  std::ifstream in(path);
+  if (!in) ADD_FAILURE() << "missing golden file " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(Report, GoldenCampaignCsvMatches) {
+  const SweepSpec spec = golden_spec();
+  ASSERT_EQ(spec.enumerate().size(), 6u);
+  const Report report(spec, CampaignRunner{}.run(spec, 1));
+  EXPECT_EQ(report.to_csv(), read_golden("campaign6.csv"))
+      << "report CSV drifted from the golden file; if the change is "
+         "intentional, bump kReportSchemaVersion and regenerate (command in "
+         "golden_spec() above)";
+}
+
+TEST(Report, GoldenCampaignJsonMatches) {
+  const SweepSpec spec = golden_spec();
+  const Report report(spec, CampaignRunner{}.run(spec, 1));
+  EXPECT_EQ(report.to_json(), read_golden("campaign6.json"))
+      << "report JSON drifted from the golden file; if the change is "
+         "intentional, bump kReportSchemaVersion and regenerate (command in "
+         "golden_spec() above)";
+}
+
+}  // namespace
+}  // namespace mte::dse

@@ -157,9 +157,10 @@ TEST(Builder, ParserRejectsBadPortCounts) {
 TEST(Builder, ProbesCanBeDisabled) {
   CircuitBuilder b;
   b.source("src") >> b.buffer("b0") >> b.sink("snk");
+  ElaborationOptions no_probes;
+  no_probes.channel_probes = false;
   Elaboration e = b.elaborate(FunctionRegistry::with_defaults(),
-                              ComponentFactory::defaults(),
-                              {.channel_probes = false});
+                              ComponentFactory::defaults(), no_probes);
   e.source("src").set_tokens({1, 2});
   e.simulator().reset();
   e.simulator().run(20);
@@ -392,6 +393,161 @@ TEST(Builder, StProbesAndMebHandles) {
   EXPECT_EQ(multi.meb("b0").kind(), mt::MebKind::kReduced);
   EXPECT_NO_THROW((void)multi.mt_channel("b0"));
   EXPECT_THROW((void)multi.channel("b0"), ElaborationError);
+}
+
+// --- MT fork/join reconvergence diagnosis ----------------------------------
+
+CircuitBuilder reconvergent_diamond() {
+  CircuitBuilder b;
+  auto f = b.source("src") >> b.fork("f", 2);
+  f >> b.buffer("ba") >> b.join("j", 2);
+  f >> b.buffer("bb") >> b.node("j");
+  b.node("j") >> b.sink("snk");
+  return b;
+}
+
+TEST(Builder, ReconvergentDiamondBuildsSingleThread) {
+  // The hazard is specific to the multithreaded primitives; the same
+  // structure is a perfectly good single-thread elastic diamond.
+  CircuitBuilder b = reconvergent_diamond();
+  EXPECT_NO_THROW((void)b.build());
+  EXPECT_TRUE(b.build().mt_reconvergence_hazards().empty());
+}
+
+TEST(Builder, ReconvergentDiamondRejectedMultithreaded) {
+  CircuitBuilder b = reconvergent_diamond();
+  b.then_multithreaded(4, mt::MebKind::kFull);
+  try {
+    (void)b.build();
+    FAIL() << "build() accepted a reconvergent multithreaded fork/join";
+  } catch (const BuildError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("fork 'f'"), std::string::npos) << what;
+    EXPECT_NE(what.find("join 'j'"), std::string::npos) << what;
+    EXPECT_NE(what.find("valid/ready cycle"), std::string::npos) << what;
+  }
+}
+
+TEST(Builder, ReconvergenceHazardIsStructured) {
+  CircuitBuilder b = reconvergent_diamond();
+  const Netlist multi =
+      b.netlist().to_multithreaded(2, mt::MebKind::kReduced);
+  const auto hazards = multi.mt_reconvergence_hazards();
+  ASSERT_EQ(hazards.size(), 1u);
+  EXPECT_EQ(hazards[0].fork, "f");
+  EXPECT_EQ(hazards[0].join, "j");
+  EXPECT_EQ(multi.node(hazards[0].fork_id).name, "f");
+  EXPECT_EQ(multi.node(hazards[0].join_id).name, "j");
+
+  // Elaborating the hazardous netlist directly is refused too.
+  EXPECT_THROW(Elaboration(multi, FunctionRegistry::with_defaults()),
+               ElaborationError);
+}
+
+TEST(Builder, ReconvergenceThroughIntermediateNodesIsDetected) {
+  // The reconvergent paths may be arbitrarily deep.
+  CircuitBuilder b;
+  auto f = b.source("src") >> b.buffer("b0") >> b.fork("f", 2);
+  f >> b.buffer("ba") >> b.function("fa", "inc") >> b.buffer("ba2") >> b.join("j", 2);
+  f >> b.var_latency("vl", 1, 2) >> b.buffer("bb") >> b.node("j");
+  b.node("j") >> b.sink("snk");
+  b.then_multithreaded(2, mt::MebKind::kFull);
+  EXPECT_THROW((void)b.build(), BuildError);
+}
+
+TEST(Builder, ReconvergentDiamondLegalUnderObliviousArbiter) {
+  // The hazard is a cycle through *speculative* (ready-aware)
+  // arbitration; the oblivious TDM arbiter's grants are independent of
+  // ready, so the same structure elaborates, simulates, and moves tokens.
+  constexpr std::size_t kThreads = 2;
+  CircuitBuilder b = reconvergent_diamond();
+  b.then_multithreaded(kThreads, mt::MebKind::kFull);
+  ElaborationOptions options;
+  options.arbiter = mt::ArbiterKind::kOblivious;
+  auto design = b.elaborate(FunctionRegistry::with_defaults(),
+                            ComponentFactory::defaults(), options);
+  auto& src = design.mt_source("src");
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    src.set_generator(t, [t](std::uint64_t i) { return t * 100 + i; });
+  }
+  design.simulator().reset();
+  design.simulator().run(300);
+  auto& sink = design.mt_sink("snk");
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_GT(sink.count(t), 10u) << "thread " << t << " starved";
+  }
+
+  // Direct elaboration of the hazardous netlist follows the same rule.
+  const Netlist multi = reconvergent_diamond().netlist().to_multithreaded(
+      kThreads, mt::MebKind::kReduced);
+  EXPECT_NO_THROW(Elaboration(multi, FunctionRegistry::with_defaults(),
+                              ComponentFactory::defaults(), options));
+}
+
+TEST(Builder, ObliviousArbitersDoNotLivelockAnMtJoin) {
+  // Regression: per-channel pending-dependent rotation let the two
+  // arbiters feeding an M-Join fall permanently out of phase (each
+  // non-firing cycle rotated both by one, preserving the mismatch), so
+  // the join never saw both valids on the same thread again. The TDM
+  // barrel is globally phase-locked; tokens must flow on every thread
+  // even when one source starts empty.
+  constexpr std::size_t kThreads = 4;
+  CircuitBuilder b;
+  b.source("s0") >> b.buffer("b0") >> b.join("j", 2);
+  b.source("s1") >> b.buffer("b1") >> b.node("j");
+  b.node("j") >> b.sink("snk");
+  b.then_multithreaded(kThreads, mt::MebKind::kFull);
+  ElaborationOptions options;
+  options.arbiter = mt::ArbiterKind::kOblivious;
+  auto design = b.elaborate(FunctionRegistry::with_defaults(),
+                            ComponentFactory::defaults(), options);
+  auto& s0 = design.mt_source("s0");
+  auto& s1 = design.mt_source("s1");
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    s0.set_generator(t, [](std::uint64_t i) { return i; });
+    // One side idles for a long prefix: the phase perturbation that used
+    // to wedge the old per-channel rotation.
+    s1.set_generator(t, [](std::uint64_t i) { return 2 * i; });
+    s1.add_stall_window(t, 0, 40 + 7 * t);
+  }
+  design.simulator().reset();
+  design.simulator().run(600);
+  auto& sink = design.mt_sink("snk");
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_GT(sink.count(t), 20u) << "thread " << t << " starved";
+  }
+}
+
+TEST(Builder, IndependentJoinArmsStayLegalMultithreaded) {
+  // A join over arms with no shared fork ancestry is not reconvergent and
+  // must keep building (the M-Join itself is a supported primitive).
+  CircuitBuilder b;
+  b.source("s0") >> b.buffer("b0") >> b.join("j", 2);
+  b.source("s1") >> b.buffer("b1") >> b.node("j");
+  b.node("j") >> b.sink("snk");
+  b.then_multithreaded(2, mt::MebKind::kFull);
+  EXPECT_NO_THROW((void)b.build());
+  EXPECT_TRUE(b.build().mt_reconvergence_hazards().empty());
+}
+
+TEST(Builder, TwoForksTwoJoinsReportEveryHazard) {
+  CircuitBuilder b;
+  auto f0 = b.source("s0") >> b.fork("f0", 2);
+  f0 >> b.buffer("a0") >> b.join("j0", 2);
+  f0 >> b.buffer("a1") >> b.node("j0");
+  auto f1 = b.node("j0") >> b.buffer("mid") >> b.fork("f1", 2);
+  f1 >> b.buffer("c0") >> b.join("j1", 2);
+  f1 >> b.buffer("c1") >> b.node("j1");
+  b.node("j1") >> b.sink("snk");
+  const Netlist multi = b.netlist().to_multithreaded(2, mt::MebKind::kFull);
+  const auto hazards = multi.mt_reconvergence_hazards();
+  // f0 reconverges at j0; f0 and f1 both reach j1 (f0 through j0's single
+  // output is one path only, so only f1 reconverges there).
+  ASSERT_EQ(hazards.size(), 2u);
+  EXPECT_EQ(hazards[0].fork, "f0");
+  EXPECT_EQ(hazards[0].join, "j0");
+  EXPECT_EQ(hazards[1].fork, "f1");
+  EXPECT_EQ(hazards[1].join, "j1");
 }
 
 }  // namespace

@@ -30,6 +30,12 @@ struct LockstepOptions {
   /// kernel — used by the fuzzer, whose random structures cannot rule out
   /// oscillating combinational cycles entirely.
   bool allow_divergent = false;
+  /// Arbitration policy for both elaborations. Netlists with M-Joins need
+  /// ArbiterKind::kOblivious to stay inside the equivalence contract:
+  /// ready-aware arbitration against the M-Join's cross-input ready
+  /// coupling yields multiple combinational fixed points, so the two
+  /// kernels can legally settle to different ones.
+  mt::ArbiterKind arbiter = mt::ArbiterKind::kRoundRobin;
 };
 
 /// Per-cycle wire comparison across every channel of the two elaborations.
@@ -119,10 +125,12 @@ inline bool run_lockstep(const Netlist& net,
                          const LockstepOptions& opt = {}) {
   const auto registry = netlist::FunctionRegistry::with_defaults();
   const auto factory = netlist::ComponentFactory::defaults();
-  const netlist::ElaborationOptions ref_opt{.channel_probes = opt.channel_probes,
-                                            .kernel = sim::KernelKind::kNaive};
-  const netlist::ElaborationOptions dut_opt{.channel_probes = opt.channel_probes,
-                                            .kernel = sim::KernelKind::kEventDriven};
+  netlist::ElaborationOptions ref_opt;
+  ref_opt.channel_probes = opt.channel_probes;
+  ref_opt.kernel = sim::KernelKind::kNaive;
+  ref_opt.arbiter = opt.arbiter;
+  netlist::ElaborationOptions dut_opt = ref_opt;
+  dut_opt.kernel = sim::KernelKind::kEventDriven;
   auto ref = std::make_unique<Elaboration>(net, registry, factory, ref_opt);
   auto dut = std::make_unique<Elaboration>(net, registry, factory, dut_opt);
   EXPECT_EQ(ref->simulator().kernel(), sim::KernelKind::kNaive);

@@ -1,0 +1,305 @@
+// mte_dse: the design-space exploration CLI.
+//
+// Runs a sweep campaign described by flags, a spec file, or a named
+// preset; executes the points in parallel on host threads; and emits the
+// schema-versioned CSV/JSON report plus a terminal summary with the
+// throughput-vs-area Pareto frontier.
+//
+//   mte_dse                         # default campaign (64 points)
+//   mte_dse --preset table1         # the paper's Table I, one command
+//   mte_dse --preset smoke --json report.json
+//   mte_dse --workloads fig5 --variants full,hybrid,reduced
+//           --threads 1,2,4,8 --shared-slots 0,1,2 --workers 4   (one line)
+//   mte_dse --spec campaign.dse --csv out.csv
+//   mte_dse --print-schema          # CI drift gate input
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dse/campaign.hpp"
+#include "dse/report.hpp"
+#include "dse/sweep_spec.hpp"
+#include "dse/workloads.hpp"
+
+namespace {
+
+using namespace mte;
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "mte_dse — design-space exploration over the multithreaded elastic "
+      "primitives\n\n"
+      "axes (comma-separated lists):\n"
+      "  --workloads fig1,fig5,md5,processor\n"
+      "  --variants full,hybrid,reduced\n"
+      "  --threads 1,2,4,8\n"
+      "  --shared-slots 0,1,2      hybrid-MEB pool sizes (capacity axis)\n"
+      "  --arbiters round_robin,oblivious,fixed_priority,matrix\n"
+      "  --kernels event,naive\n"
+      "campaign:\n"
+      "  --cycles N                cycles per fig* point (default 2000)\n"
+      "  --seed N                  campaign seed (default 1)\n"
+      "  --workers N               host threads (default hardware, 0 = auto)\n"
+      "  --spec FILE               read axes from a spec file (overrides axis flags)\n"
+      "  --preset NAME             default | smoke | table1 | capacity | arbiter\n"
+      "outputs:\n"
+      "  --csv FILE | -            write CSV (- = stdout)\n"
+      "  --json FILE | -           write JSON (- = stdout)\n"
+      "  --quiet                   suppress the terminal table\n"
+      "other:\n"
+      "  --print-schema            print schema version + CSV header and exit\n"
+      "  --print-spec              print the resolved spec and exit\n"
+      "  --list-workloads          list workloads and exit\n"
+      "  --help\n");
+  std::exit(code);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  for (std::string item; std::getline(is, item, ',');) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& v, const char* flag) {
+  std::size_t used = 0;
+  unsigned long long n = 0;
+  try {
+    n = std::stoull(v, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != v.size()) {
+    std::fprintf(stderr, "mte_dse: bad number '%s' for %s\n", v.c_str(), flag);
+    std::exit(2);
+  }
+  return n;
+}
+
+dse::SweepSpec preset_spec(const std::string& name) {
+  dse::SweepSpec spec;
+  if (name == "default") {
+    // The broad campaign: every netlist axis against both fig workloads.
+    spec.workloads = {"fig1", "fig5"};
+    spec.variants = {dse::MebVariant::kFull, dse::MebVariant::kHybrid,
+                     dse::MebVariant::kReduced};
+    spec.threads = {1, 2, 4, 8};
+    spec.shared_slots = {0, 1};
+    spec.arbiters = {mt::ArbiterKind::kRoundRobin, mt::ArbiterKind::kOblivious};
+  } else if (name == "smoke") {
+    // <= 12 quick points with full CSV/JSON coverage, for CI.
+    spec.workloads = {"fig1", "fig5"};
+    spec.variants = {dse::MebVariant::kFull, dse::MebVariant::kReduced};
+    spec.threads = {2, 4};
+    spec.cycles = 600;
+  } else if (name == "table1") {
+    // The paper's Table I shape: both Sec. V engines, full vs reduced,
+    // 8 threads plus the 16-thread scaling extension.
+    spec.workloads = {"md5", "processor"};
+    spec.variants = {dse::MebVariant::kFull, dse::MebVariant::kReduced};
+    spec.threads = {8, 16};
+  } else if (name == "capacity") {
+    // The hybrid shared-pool ablation (ABL-SLOTS as a campaign).
+    spec.workloads = {"fig5"};
+    spec.variants = {dse::MebVariant::kFull, dse::MebVariant::kHybrid,
+                     dse::MebVariant::kReduced};
+    spec.threads = {4, 8};
+    spec.shared_slots = {0, 1, 2, 4, 8};
+  } else if (name == "arbiter") {
+    spec.workloads = {"fig1", "fig5"};
+    spec.variants = {dse::MebVariant::kFull, dse::MebVariant::kReduced};
+    spec.threads = {4, 8};
+    spec.arbiters = {mt::ArbiterKind::kRoundRobin, mt::ArbiterKind::kOblivious,
+                     mt::ArbiterKind::kFixedPriority, mt::ArbiterKind::kMatrix};
+  } else {
+    std::fprintf(stderr, "mte_dse: unknown preset '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  return spec;
+}
+
+void write_output(const std::string& path, const std::string& content,
+                  const char* what) {
+  if (path == "-") {
+    std::fputs(content.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "mte_dse: cannot write %s to '%s'\n", what, path.c_str());
+    std::exit(2);
+  }
+  out << content;
+  std::fprintf(stderr, "mte_dse: wrote %s to %s\n", what, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dse::SweepSpec spec = preset_spec("default");
+  std::size_t workers = 0;  // auto
+  std::string csv_path;
+  std::string json_path;
+  bool quiet = false;
+  bool print_spec = false;
+
+  const auto arg_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mte_dse: %s needs a value\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  // Pass 1: base spec selection (--preset / --spec) applies first no
+  // matter where it appears, so `--seed 5 --preset smoke` doesn't
+  // silently discard the seed; axis flags then refine the base.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--preset") {
+      spec = preset_spec(arg_value(i));
+    } else if (arg == "--spec") {
+      const std::string path = arg_value(i);
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "mte_dse: cannot read spec '%s'\n", path.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      try {
+        spec = dse::SweepSpec::parse(text.str());
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "mte_dse: %s\n", ex.what());
+        return 2;
+      }
+    }
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--list-workloads") {
+      for (const auto& name : dse::WorkloadSet::builtin().names()) {
+        std::printf("%-10s %s\n", name.c_str(),
+                    dse::WorkloadSet::builtin().at(name).description.c_str());
+      }
+      return 0;
+    } else if (arg == "--print-schema") {
+      std::printf("schema_version %d\n%s\n", dse::kReportSchemaVersion,
+                  dse::Report::csv_header().c_str());
+      return 0;
+    } else if (arg == "--print-spec") {
+      print_spec = true;
+    } else if (arg == "--preset" || arg == "--spec") {
+      ++i;  // handled in pass 1
+    } else if (arg == "--workloads") {
+      spec.workloads = split_csv(arg_value(i));
+    } else if (arg == "--variants") {
+      spec.variants.clear();
+      for (const auto& v : split_csv(arg_value(i))) {
+        const auto parsed = dse::parse_meb_variant(v);
+        if (!parsed) {
+          std::fprintf(stderr, "mte_dse: unknown variant '%s'\n", v.c_str());
+          return 2;
+        }
+        spec.variants.push_back(*parsed);
+      }
+    } else if (arg == "--threads") {
+      spec.threads.clear();
+      for (const auto& v : split_csv(arg_value(i))) {
+        spec.threads.push_back(parse_u64(v, "--threads"));
+      }
+    } else if (arg == "--shared-slots") {
+      spec.shared_slots.clear();
+      for (const auto& v : split_csv(arg_value(i))) {
+        spec.shared_slots.push_back(parse_u64(v, "--shared-slots"));
+      }
+    } else if (arg == "--arbiters") {
+      spec.arbiters.clear();
+      for (const auto& v : split_csv(arg_value(i))) {
+        const auto parsed = mt::parse_arbiter_kind(v);
+        if (!parsed) {
+          std::fprintf(stderr, "mte_dse: unknown arbiter '%s'\n", v.c_str());
+          return 2;
+        }
+        spec.arbiters.push_back(*parsed);
+      }
+    } else if (arg == "--kernels") {
+      spec.kernels.clear();
+      for (const auto& v : split_csv(arg_value(i))) {
+        if (v == "naive") {
+          spec.kernels.push_back(sim::KernelKind::kNaive);
+        } else if (v == "event" || v == "event-driven") {
+          spec.kernels.push_back(sim::KernelKind::kEventDriven);
+        } else {
+          std::fprintf(stderr, "mte_dse: unknown kernel '%s'\n", v.c_str());
+          return 2;
+        }
+      }
+    } else if (arg == "--cycles") {
+      spec.cycles = parse_u64(arg_value(i), "--cycles");
+    } else if (arg == "--seed") {
+      spec.seed = parse_u64(arg_value(i), "--seed");
+    } else if (arg == "--workers") {
+      workers = parse_u64(arg_value(i), "--workers");
+    } else if (arg == "--csv") {
+      csv_path = arg_value(i);
+    } else if (arg == "--json") {
+      json_path = arg_value(i);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "mte_dse: unknown flag '%s'\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  if (print_spec) {
+    std::fputs(spec.serialize().c_str(), stdout);
+    return 0;
+  }
+
+  try {
+    const auto points = spec.enumerate();
+    if (points.empty()) {
+      std::fprintf(stderr,
+                   "mte_dse: the spec enumerates no points (every "
+                   "combination was pruned) — nothing to run\n");
+      return 2;
+    }
+    std::fprintf(stderr, "mte_dse: %zu points, seed %llu\n", points.size(),
+                 static_cast<unsigned long long>(spec.seed));
+
+    const dse::CampaignRunner runner;
+    const auto start = std::chrono::steady_clock::now();
+    const auto records = runner.run(spec, workers);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    const dse::Report report(spec, std::move(records));
+    std::size_t failed = 0;
+    for (const auto& r : report.records()) {
+      if (!r.ok()) ++failed;
+    }
+    std::fprintf(stderr, "mte_dse: evaluated %zu points in %.2fs (%zu failed)\n",
+                 report.records().size(), secs, failed);
+
+    if (!quiet) std::fputs(report.to_table().c_str(), stdout);
+    if (!csv_path.empty()) write_output(csv_path, report.to_csv(), "CSV");
+    if (!json_path.empty()) write_output(json_path, report.to_json(), "JSON");
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "mte_dse: %s\n", ex.what());
+    return 2;
+  }
+}
