@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <stdexcept>
 #include <thread>
 
 namespace mte::dse {
@@ -28,8 +29,19 @@ PointRecord CampaignRunner::run_point(const SweepPoint& point,
 }
 
 std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
-                                             std::size_t workers) const {
-  const std::vector<SweepPoint> points = spec.enumerate(workloads_);
+                                             std::size_t workers,
+                                             const Shard& shard) const {
+  if (shard.count == 0 || shard.index >= std::max<std::size_t>(shard.count, 1)) {
+    throw std::invalid_argument("CampaignRunner: shard index " +
+                                std::to_string(shard.index) + " outside 0.." +
+                                std::to_string(shard.count) + "-1");
+  }
+  std::vector<SweepPoint> points = spec.enumerate(workloads_);
+  if (shard.count > 1) {
+    std::erase_if(points, [&shard](const SweepPoint& p) {
+      return !shard.covers(p.index);
+    });
+  }
   std::vector<PointRecord> records(points.size());
   if (points.empty()) return records;
 

@@ -37,6 +37,20 @@ struct PointRecord {
   }
 };
 
+/// Selects a 1/count slice of a campaign: the points whose dense index i
+/// satisfies i % count == index. Because every point is self-seeded from
+/// (campaign seed, index), a shard needs nothing but this filter — shard
+/// reports carry the original indices and dse::merge_* reassembles them
+/// into the byte-identical unsharded report.
+struct Shard {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  [[nodiscard]] bool covers(std::size_t point_index) const noexcept {
+    return count <= 1 || point_index % count == index;
+  }
+};
+
 class CampaignRunner {
  public:
   /// Copies the set: a runner constructed from a temporary WorkloadSet
@@ -44,11 +58,14 @@ class CampaignRunner {
   explicit CampaignRunner(const WorkloadSet& workloads = WorkloadSet::builtin())
       : workloads_(workloads) {}
 
-  /// Enumerates the spec and evaluates every point on `workers` host
-  /// threads (1 = serial in the calling thread; 0 = hardware
-  /// concurrency). The returned vector is indexed by point index.
+  /// Enumerates the spec and evaluates every point of `shard` (default:
+  /// all of them) on `workers` host threads (1 = serial in the calling
+  /// thread; 0 = hardware concurrency). The returned vector is ordered by
+  /// point index; with a non-trivial shard it contains only that shard's
+  /// points (their .point.index values keep the campaign-wide numbering).
   [[nodiscard]] std::vector<PointRecord> run(const SweepSpec& spec,
-                                             std::size_t workers = 1) const;
+                                             std::size_t workers = 1,
+                                             const Shard& shard = {}) const;
 
   /// Evaluates a single already-enumerated point (the serial building
   /// block run() parallelizes).

@@ -1,0 +1,252 @@
+#include "dse/merge.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "dse/report.hpp"
+
+namespace mte::dse {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("dse::merge: " + what);
+}
+
+/// One parsed shard record: the verbatim rendered line plus the fields
+/// the global frontier needs.
+struct Line {
+  std::size_t index = 0;
+  double throughput = 0.0;
+  double les = 0.0;
+  bool ok = false;
+  std::string text;
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  return lines;
+}
+
+/// Recomputes the throughput-vs-LE Pareto frontier with the SAME rule
+/// Report::Report uses (shared pareto_membership; records must already be
+/// ordered by index, which matches the unsharded record order — the
+/// positional tie-break then agrees too).
+std::vector<bool> global_pareto(const std::vector<Line>& recs) {
+  std::vector<ParetoInput> inputs(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    inputs[i] = {recs[i].throughput, recs[i].les, recs[i].ok};
+  }
+  return pareto_membership(inputs);
+}
+
+void check_dense_indices(const std::vector<Line>& recs) {
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].index != i) {
+      if (i > 0 && recs[i].index == recs[i - 1].index) {
+        fail("point index " + std::to_string(recs[i].index) +
+             " appears in more than one shard (overlapping shards?)");
+      }
+      fail("point index " + std::to_string(i) +
+           " missing from the shard set (expected a dense 0..n-1 campaign; "
+           "did a shard file get dropped?)");
+    }
+  }
+}
+
+// --- CSV --------------------------------------------------------------------
+
+/// Splits the leading `count` comma-separated fields; everything after
+/// them is the quoted error tail (which may itself contain commas).
+std::vector<std::string> leading_fields(const std::string& line, std::size_t count) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) fail("malformed CSV record: " + line);
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  fields.push_back(line.substr(start));  // the tail (pareto was field count-1)
+  return fields;
+}
+
+constexpr std::size_t kCsvIndexField = 1;
+constexpr std::size_t kCsvThroughputField = 12;
+constexpr std::size_t kCsvLesField = 14;
+constexpr std::size_t kCsvParetoField = 17;
+
+Line parse_csv_record(const std::string& line) {
+  const auto fields = leading_fields(line, kCsvParetoField + 1);
+  Line rec;
+  rec.index = std::strtoull(fields[kCsvIndexField].c_str(), nullptr, 10);
+  rec.throughput = std::strtod(fields[kCsvThroughputField].c_str(), nullptr);
+  rec.les = std::strtod(fields[kCsvLesField].c_str(), nullptr);
+  rec.ok = fields[kCsvParetoField + 1] == "\"\"";  // empty quoted error
+  rec.text = line;
+  return rec;
+}
+
+std::string set_csv_pareto(const std::string& line, bool pareto) {
+  auto fields = leading_fields(line, kCsvParetoField + 1);
+  std::string out;
+  for (std::size_t k = 0; k < kCsvParetoField; ++k) {
+    out += fields[k];
+    out += ',';
+  }
+  out += pareto ? '1' : '0';
+  out += ',';
+  out += fields[kCsvParetoField + 1];
+  return out;
+}
+
+// --- JSON -------------------------------------------------------------------
+
+/// Extracts the value following `"key": ` on a one-point-per-line record.
+std::string json_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) fail("JSON point lacks \"" + key + "\": " + line);
+  const std::size_t start = at + needle.size();
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(start, end - start);
+}
+
+Line parse_json_point(const std::string& raw) {
+  std::string line = raw;
+  // Strip indentation and the inter-record comma.
+  while (!line.empty() && (line.back() == ',' || line.back() == ' ')) line.pop_back();
+  Line rec;
+  rec.index = std::strtoull(json_field(line, "index").c_str(), nullptr, 10);
+  rec.throughput = std::strtod(json_field(line, "throughput").c_str(), nullptr);
+  rec.les = std::strtod(json_field(line, "les").c_str(), nullptr);
+  // `"error": ""}` terminates every successful record (the error field
+  // is rendered last).
+  const std::string ok_tail = "\"error\": \"\"}";
+  rec.ok = line.size() >= ok_tail.size() &&
+           line.compare(line.size() - ok_tail.size(), ok_tail.size(), ok_tail) == 0;
+  rec.text = line;
+  return rec;
+}
+
+std::string set_json_pareto(const std::string& line, bool pareto) {
+  const std::string t = "\"pareto\": true";
+  const std::string f = "\"pareto\": false";
+  std::string out = line;
+  std::size_t at = out.find(t);
+  if (at != std::string::npos) {
+    if (!pareto) out.replace(at, t.size(), f);
+    return out;
+  }
+  at = out.find(f);
+  if (at == std::string::npos) fail("JSON point lacks a pareto field: " + line);
+  if (pareto) out.replace(at, f.size(), t);
+  return out;
+}
+
+}  // namespace
+
+std::string merge_csv(const std::vector<std::string>& shard_csvs) {
+  if (shard_csvs.empty()) fail("no CSV shards to merge");
+  std::string header;
+  std::vector<Line> recs;
+  for (const std::string& csv : shard_csvs) {
+    const auto lines = split_lines(csv);
+    if (lines.empty()) fail("empty CSV shard");
+    if (header.empty()) {
+      header = lines[0];
+    } else if (lines[0] != header) {
+      fail("CSV shard headers differ (mixed schema versions?)");
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (lines[i].empty()) continue;
+      recs.push_back(parse_csv_record(lines[i]));
+    }
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Line& a, const Line& b) { return a.index < b.index; });
+  check_dense_indices(recs);
+  const std::vector<bool> pareto = global_pareto(recs);
+
+  std::string out = header + '\n';
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    out += set_csv_pareto(recs[i].text, pareto[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string merge_json(const std::vector<std::string>& shard_jsons) {
+  if (shard_jsons.empty()) fail("no JSON shards to merge");
+  std::string schema_line;
+  std::string generator_line;
+  std::string seed_cycles;  // `"seed": S, "cycles": C` — must match everywhere
+  std::vector<Line> recs;
+  for (const std::string& json : shard_jsons) {
+    const auto lines = split_lines(json);
+    bool in_points = false;
+    for (const std::string& line : lines) {
+      if (line.rfind("  \"schema_version\":", 0) == 0) {
+        if (schema_line.empty()) {
+          schema_line = line;
+        } else if (line != schema_line) {
+          fail("JSON shard schema versions differ");
+        }
+      } else if (line.rfind("  \"generator\":", 0) == 0) {
+        if (generator_line.empty()) {
+          generator_line = line;
+        } else if (line != generator_line) {
+          fail("JSON shard generator stamps differ");
+        }
+      } else if (line.rfind("  \"campaign\":", 0) == 0) {
+        const std::size_t pts = line.find(", \"points\":");
+        if (pts == std::string::npos) fail("malformed campaign header: " + line);
+        const std::string sc = line.substr(0, pts);
+        if (seed_cycles.empty()) {
+          seed_cycles = sc;
+        } else if (sc != seed_cycles) {
+          fail("JSON shards come from different campaigns (seed/cycles differ)");
+        }
+      } else if (line == "  \"points\": [") {
+        in_points = true;
+      } else if (in_points && line.rfind("    {\"index\":", 0) == 0) {
+        recs.push_back(parse_json_point(line));
+      } else if (line == "  ],") {
+        in_points = false;
+      }
+    }
+  }
+  if (schema_line.empty() || seed_cycles.empty()) {
+    fail("shard inputs do not look like mte_dse JSON reports");
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Line& a, const Line& b) { return a.index < b.index; });
+  check_dense_indices(recs);
+  const std::vector<bool> pareto = global_pareto(recs);
+
+  std::ostringstream os;
+  os << "{\n" << schema_line << "\n" << generator_line << "\n";
+  os << seed_cycles << ", \"points\": " << recs.size() << "},\n";
+  os << "  \"points\": [\n";
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    os << set_json_pareto(recs[i].text, pareto[i])
+       << (i + 1 < recs.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n";
+  os << "  \"pareto\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (!pareto[i]) continue;
+    os << (first ? "" : ", ") << recs[i].index;
+    first = false;
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace mte::dse

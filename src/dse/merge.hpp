@@ -1,0 +1,32 @@
+// Shard-report merging: the scale-out half of DSE sharding.
+//
+// A campaign sharded with `mte_dse --shard i/n` produces n reports, each
+// carrying a disjoint slice of the densely indexed points (original
+// indices preserved, every point self-seeded from (campaign seed,
+// index)). merge_csv / merge_json join those rendered reports back into
+// ONE report that is byte-identical to the unsharded run: records are
+// re-ordered by point index, the throughput-vs-LE Pareto frontier is
+// recomputed globally (shard-local frontiers are meaningless), and the
+// JSON campaign header's point count is re-totalled. Everything else is
+// reassembled verbatim from the shard lines, so no precision is lost —
+// which works because Report decides domination on the reported
+// precision in the first place.
+//
+// Inputs are validated: matching CSV headers / JSON schema and campaign
+// parameters, and a dense, non-overlapping index set (a missing or
+// duplicated shard is an error, not a silent gap). std::invalid_argument
+// carries the diagnosis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mte::dse {
+
+/// Merges rendered CSV shard reports (Report::to_csv output).
+[[nodiscard]] std::string merge_csv(const std::vector<std::string>& shard_csvs);
+
+/// Merges rendered JSON shard reports (Report::to_json output).
+[[nodiscard]] std::string merge_json(const std::vector<std::string>& shard_jsons);
+
+}  // namespace mte::dse

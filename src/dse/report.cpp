@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace mte::dse {
@@ -64,6 +65,25 @@ std::string csv_escape(const std::string& s) {
 
 }  // namespace
 
+std::vector<bool> pareto_membership(const std::vector<ParetoInput>& recs) {
+  std::vector<bool> member(recs.size(), false);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (!recs[i].ok) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < recs.size() && !dominated; ++j) {
+      if (j == i || !recs[j].ok) continue;
+      const bool no_worse =
+          recs[j].throughput >= recs[i].throughput && recs[j].les <= recs[i].les;
+      const bool better =
+          recs[j].throughput > recs[i].throughput || recs[j].les < recs[i].les;
+      // Tie-break exact duplicates by position so exactly one survives.
+      if (no_worse && (better || j < i)) dominated = true;
+    }
+    member[i] = !dominated;
+  }
+  return member;
+}
+
 Report::Report(SweepSpec spec, std::vector<PointRecord> records)
     : spec_(std::move(spec)), records_(std::move(records)) {
   // Throughput-vs-area Pareto frontier over the successful records.
@@ -71,22 +91,16 @@ Report::Report(SweepSpec spec, std::vector<PointRecord> records)
   // reports speak), not vector positions — CampaignRunner happens to
   // produce records where the two coincide, but a filtered or merged
   // record set must not silently corrupt the frontier.
+  std::vector<ParetoInput> inputs(records_.size());
   for (std::size_t i = 0; i < records_.size(); ++i) {
-    const PointRecord& a = records_[i];
-    if (!a.ok()) continue;
-    bool dominated = false;
-    for (std::size_t j = 0; j < records_.size() && !dominated; ++j) {
-      if (j == i) continue;
-      const PointRecord& b = records_[j];
-      if (!b.ok()) continue;
-      const bool no_worse = b.result.throughput >= a.result.throughput &&
-                            b.les <= a.les;
-      const bool better = b.result.throughput > a.result.throughput ||
-                          b.les < a.les;
-      // Tie-break exact duplicates by position so exactly one survives.
-      if (no_worse && (better || j < i)) dominated = true;
-    }
-    if (!dominated) pareto_.push_back(a.point.index);
+    inputs[i].throughput =
+        std::strtod(fmt("%.6f", records_[i].result.throughput).c_str(), nullptr);
+    inputs[i].les = std::strtod(fmt("%.1f", records_[i].les).c_str(), nullptr);
+    inputs[i].ok = records_[i].ok();
+  }
+  const std::vector<bool> member = pareto_membership(inputs);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (member[i]) pareto_.push_back(records_[i].point.index);
   }
   std::sort(pareto_.begin(), pareto_.end());
 }

@@ -22,6 +22,22 @@ namespace mte::dse {
 /// header or the JSON point objects.
 inline constexpr int kReportSchemaVersion = 1;
 
+/// One record's inputs to the throughput-vs-LE Pareto rule, at the
+/// precision the decision is made at (the REPORTED precision — %.6f
+/// throughput, %.1f LEs — so the frontier is a pure function of the
+/// rendered report and shard merging can reproduce it exactly).
+struct ParetoInput {
+  double throughput = 0.0;
+  double les = 0.0;
+  bool ok = false;
+};
+
+/// The one domination rule shared by Report and the shard merger:
+/// record i is on the frontier iff no other ok record has >= throughput
+/// and <= LEs with one strict (exact duplicates tie-break by position,
+/// keeping the first). Failed records never qualify.
+[[nodiscard]] std::vector<bool> pareto_membership(const std::vector<ParetoInput>& recs);
+
 class Report {
  public:
   Report(SweepSpec spec, std::vector<PointRecord> records);

@@ -14,9 +14,22 @@
 
 namespace mte::elastic {
 
-/// Handshake-only branch logic (stateless).
+/// Handshake-only branch logic (stateless). The two handshake directions
+/// are exposed separately — forward() and backward() are the projections
+/// the two-phase components evaluate independently — and compute() is
+/// their composition; all three share this single set of equations.
 class BranchControl {
  public:
+  struct ForwardOutputs {
+    bool valid_true = false;
+    bool valid_false = false;
+  };
+
+  struct BackwardOutputs {
+    bool ready_data = false;
+    bool ready_cond = false;
+  };
+
   struct Outputs {
     bool valid_true = false;
     bool valid_false = false;
@@ -24,45 +37,66 @@ class BranchControl {
     bool ready_cond = false;
   };
 
+  /// Valid steering: the token appears on the selected output only when
+  /// data and condition are both valid (independent of any ready).
+  [[nodiscard]] static ForwardOutputs forward(bool valid_data, bool valid_cond,
+                                              bool cond) {
+    const bool both = valid_data && valid_cond;
+    return {both && cond, both && !cond};
+  }
+
+  /// Input acks: each input's ack additionally requires the other input
+  /// to be valid (join semantics) and the selected output to be ready.
+  [[nodiscard]] static BackwardOutputs backward(bool valid_data, bool valid_cond,
+                                                bool cond, bool ready_true,
+                                                bool ready_false) {
+    const bool sel_ready = cond ? ready_true : ready_false;
+    return {valid_cond && sel_ready, valid_data && sel_ready};
+  }
+
   [[nodiscard]] static Outputs compute(bool valid_data, bool valid_cond, bool cond,
                                        bool ready_true, bool ready_false) {
-    Outputs o;
-    const bool both = valid_data && valid_cond;
-    o.valid_true = both && cond;
-    o.valid_false = both && !cond;
-    const bool sel_ready = cond ? ready_true : ready_false;
-    // Each input's ack additionally requires the other input to be valid
-    // (join semantics) and the selected output to be ready.
-    o.ready_data = valid_cond && sel_ready;
-    o.ready_cond = valid_data && sel_ready;
-    return o;
+    const ForwardOutputs f = forward(valid_data, valid_cond, cond);
+    const BackwardOutputs b =
+        backward(valid_data, valid_cond, cond, ready_true, ready_false);
+    return {f.valid_true, f.valid_false, b.ready_data, b.ready_cond};
   }
 };
 
+/// Two-phase: the forward process steers valid/data to the selected
+/// output (independent of downstream ready), the backward process acks
+/// the data/condition inputs (reads the selected output's ready).
 template <typename T>
-class Branch : public sim::Component {
+class Branch : public sim::TwoPhaseComponent<Branch<T>> {
+  friend sim::TwoPhaseComponent<Branch<T>>;
  public:
   Branch(sim::Simulator& s, std::string name, Channel<T>& data, Channel<bool>& cond,
          Channel<T>& out_true, Channel<T>& out_false)
-      : Component(s, std::move(name)), data_(data), cond_(cond),
+      : sim::TwoPhaseComponent<Branch<T>>(s, std::move(name)), data_(data), cond_(cond),
         out_true_(out_true), out_false_(out_false) {}
 
-  void eval() override {
-    const auto o = BranchControl::compute(data_.valid.get(), cond_.valid.get(),
-                                          cond_.data.get(), out_true_.ready.get(),
-                                          out_false_.ready.get());
-    out_true_.valid.set(o.valid_true);
-    out_false_.valid.set(o.valid_false);
-    data_.ready.set(o.ready_data);
-    cond_.ready.set(o.ready_cond);
+  void tick() override {}
+
+  /// Pure combinational: eval is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
+ protected:
+  void eval_forward() {
+    const auto f = BranchControl::forward(data_.valid.get(), cond_.valid.get(),
+                                          cond_.data.get());
+    out_true_.valid.set(f.valid_true);
+    out_false_.valid.set(f.valid_false);
     out_true_.data.set(data_.data.get());
     out_false_.data.set(data_.data.get());
   }
 
-  void tick() override {}
-
-  /// Pure combinational: eval() is a function of the channel wires only.
-  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+  void eval_backward() {
+    const auto b = BranchControl::backward(data_.valid.get(), cond_.valid.get(),
+                                           cond_.data.get(), out_true_.ready.get(),
+                                           out_false_.ready.get());
+    data_.ready.set(b.ready_data);
+    cond_.ready.set(b.ready_cond);
+  }
 
  private:
   Channel<T>& data_;

@@ -1,6 +1,14 @@
 // ElasticBuffer<T>: the 2-slot elastic buffer (EB) of the baseline elastic
 // protocol (paper Sec. II, Fig. 2). Sustains 100 % throughput; forward and
 // backward handshake latency of one cycle.
+//
+// Both buffers are two-phase components: the forward process drives
+// out.valid/out.data from registered state, the backward process drives
+// in.ready from registered state. Neither process reads a wire, so under
+// the event kernel they re-run only when a clock edge actually changes
+// the state they publish (set_tick_touched), and a buffer whose
+// settled handshake implies no transfer skips its clock edge entirely
+// (tick_quiescent).
 #pragma once
 
 #include <string>
@@ -13,10 +21,11 @@
 namespace mte::elastic {
 
 template <typename T>
-class ElasticBuffer : public sim::Component {
+class ElasticBuffer : public sim::TwoPhaseComponent<ElasticBuffer<T>> {
+  friend sim::TwoPhaseComponent<ElasticBuffer<T>>;
  public:
   ElasticBuffer(sim::Simulator& s, std::string name, Channel<T>& in, Channel<T>& out)
-      : Component(s, std::move(name)), in_(in), out_(out) {}
+      : sim::TwoPhaseComponent<ElasticBuffer<T>>(s, std::move(name)), in_(in), out_(out) {}
 
   void reset() override {
     ctrl_.reset();
@@ -24,24 +33,44 @@ class ElasticBuffer : public sim::Component {
     aux_ = T{};
   }
 
-  void eval() override {
-    in_.ready.set(ctrl_.can_accept());
-    out_.valid.set(ctrl_.has_data());
-    out_.data.set(head_);
-  }
-
   void tick() override {
     const EbDecision d = ctrl_.decide(in_.valid.get(), out_.ready.get());
+    const bool could_accept = ctrl_.can_accept();
     if (d.shift_aux_to_head) head_ = aux_;
     if (d.load_head_from_in) head_ = in_.data.get();
     if (d.load_aux_from_in) aux_ = in_.data.get();
     ctrl_.commit(d);
+    // Forward outputs (valid/data) change when the head slot or the
+    // has_data flag does; backward (ready) only when occupancy crosses
+    // the FULL boundary.
+    std::uint32_t touched = 0;
+    if (d.out_fire || d.load_head_from_in || d.shift_aux_to_head) {
+      touched |= sim::kForwardBit;
+    }
+    if (could_accept != ctrl_.can_accept()) touched |= sim::kBackwardBit;
+    this->set_tick_touched(touched);
+    this->set_tick_idle_hint(!d.in_fire && !d.out_fire);
+  }
+
+  /// No transfer fires on the settled handshake: the clock edge would
+  /// commit the identity.
+  [[nodiscard]] bool tick_quiescent() const override {
+    const EbDecision d = ctrl_.decide(in_.valid.get(), out_.ready.get());
+    return !d.in_fire && !d.out_fire;
   }
 
   [[nodiscard]] EbState state() const noexcept { return ctrl_.state(); }
   [[nodiscard]] int occupancy() const noexcept { return ctrl_.occupancy(); }
   [[nodiscard]] const T& head() const noexcept { return head_; }
   [[nodiscard]] const T& aux() const noexcept { return aux_; }
+
+ protected:
+  void eval_forward() {
+    out_.valid.set(ctrl_.has_data());
+    out_.data.set(head_);
+  }
+
+  void eval_backward() { in_.ready.set(ctrl_.can_accept()); }
 
  private:
   Channel<T>& in_;
@@ -55,30 +84,47 @@ class ElasticBuffer : public sim::Component {
 /// but cannot sustain 100 % throughput (it alternates accept/emit under
 /// continuous flow). Provided for capacity-ablation experiments.
 template <typename T>
-class HalfBuffer : public sim::Component {
+class HalfBuffer : public sim::TwoPhaseComponent<HalfBuffer<T>> {
+  friend sim::TwoPhaseComponent<HalfBuffer<T>>;
  public:
   HalfBuffer(sim::Simulator& s, std::string name, Channel<T>& in, Channel<T>& out)
-      : Component(s, std::move(name)), in_(in), out_(out) {}
+      : sim::TwoPhaseComponent<HalfBuffer<T>>(s, std::move(name)), in_(in), out_(out) {}
 
   void reset() override {
     full_ = false;
     slot_ = T{};
   }
 
-  void eval() override {
-    in_.ready.set(!full_);
-    out_.valid.set(full_);
-    out_.data.set(slot_);
-  }
-
   void tick() override {
     const bool in_fire = in_.valid.get() && !full_;
     const bool out_fire = full_ && out_.ready.get();
     if (in_fire) slot_ = in_.data.get();
+    const bool was_full = full_;
     full_ = (full_ && !out_fire) || in_fire;
+    // One slot: valid and ready are both functions of full_ (and the slot
+    // word feeds out.data), so any fire touches both directions.
+    std::uint32_t touched = 0;
+    if (in_fire || full_ != was_full) touched |= sim::kForwardBit;
+    if (full_ != was_full) touched |= sim::kBackwardBit;
+    this->set_tick_touched(touched);
+    this->set_tick_idle_hint(!in_fire && !out_fire);
+  }
+
+  [[nodiscard]] bool tick_quiescent() const override {
+    const bool in_fire = in_.valid.get() && !full_;
+    const bool out_fire = full_ && out_.ready.get();
+    return !in_fire && !out_fire;
   }
 
   [[nodiscard]] bool full() const noexcept { return full_; }
+
+ protected:
+  void eval_forward() {
+    out_.valid.set(full_);
+    out_.data.set(slot_);
+  }
+
+  void eval_backward() { in_.ready.set(!full_); }
 
  private:
   Channel<T>& in_;

@@ -1,6 +1,13 @@
 // FunctionUnit: a zero-latency combinational computation between two
 // elastic channels. Handshake passes straight through; in real designs a
 // function unit is followed by an elastic buffer that cuts the path.
+//
+// Neither handshake direction is logic at all — in hardware the
+// operator's input and output ready are the same wire, as are the two
+// valids — so both are declared as wire forwards (out.ready feeds
+// in.ready, in.valid feeds out.valid) rather than evaluated: no kernel
+// ever schedules an eval to copy them. What remains is a single process
+// computing out.data, re-run only when the input data changes.
 #pragma once
 
 #include <functional>
@@ -20,17 +27,16 @@ class FunctionUnit : public sim::Component {
 
   FunctionUnit(sim::Simulator& s, std::string name, Channel<In>& in,
                Channel<Out>& out, Fn fn)
-      : Component(s, std::move(name)), in_(in), out_(out), fn_(std::move(fn)) {}
-
-  void eval() override {
-    out_.valid.set(in_.valid.get());
-    in_.ready.set(out_.ready.get());
-    out_.data.set(fn_(in_.data.get()));
+      : Component(s, std::move(name)), in_(in), out_(out), fn_(std::move(fn)) {
+    out_.ready.forward_to(in_.ready);
+    in_.valid.forward_to(out_.valid);
   }
+
+  void eval() override { out_.data.set(fn_(in_.data.get())); }
 
   void tick() override {}
 
-  /// Pure combinational: eval() is a function of the channel wires only.
+  /// Pure combinational: eval is a function of the channel wires only.
   [[nodiscard]] bool is_sequential() const noexcept override { return false; }
 
  private:

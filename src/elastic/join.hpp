@@ -36,28 +36,38 @@ class JoinControl {
 };
 
 /// Two-input join with heterogeneous payload types and a user combiner.
+/// Two-phase: forward = output valid/data (reads input valids/data),
+/// backward = input readys (reads input valids and the output ready —
+/// lazy-join acks couple the two directions, so the backward process is
+/// sensitive to the peer's valid, but it still never waits on data).
 template <typename A, typename B, typename Out>
-class Join2 : public sim::Component {
+class Join2 : public sim::TwoPhaseComponent<Join2<A, B, Out>> {
+  friend sim::TwoPhaseComponent<Join2<A, B, Out>>;
  public:
   using Combiner = std::function<Out(const A&, const B&)>;
 
   Join2(sim::Simulator& s, std::string name, Channel<A>& a, Channel<B>& b,
         Channel<Out>& out, Combiner combine)
-      : Component(s, std::move(name)), a_(a), b_(b), out_(out),
+      : sim::TwoPhaseComponent<Join2<A, B, Out>>(s, std::move(name)), a_(a), b_(b), out_(out),
         combine_(std::move(combine)) {}
-
-  void eval() override {
-    const std::vector<bool> v{a_.valid.get(), b_.valid.get()};
-    out_.valid.set(JoinControl::valid_out(v));
-    a_.ready.set(JoinControl::ready_out(v, out_.ready.get(), 0));
-    b_.ready.set(JoinControl::ready_out(v, out_.ready.get(), 1));
-    out_.data.set(combine_(a_.data.get(), b_.data.get()));
-  }
 
   void tick() override {}
 
-  /// Pure combinational: eval() is a function of the channel wires only.
+  /// Pure combinational: eval is a function of the channel wires only.
   [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
+ protected:
+  void eval_forward() {
+    const std::vector<bool> v{a_.valid.get(), b_.valid.get()};
+    out_.valid.set(JoinControl::valid_out(v));
+    out_.data.set(combine_(a_.data.get(), b_.data.get()));
+  }
+
+  void eval_backward() {
+    const std::vector<bool> v{a_.valid.get(), b_.valid.get()};
+    a_.ready.set(JoinControl::ready_out(v, out_.ready.get(), 0));
+    b_.ready.set(JoinControl::ready_out(v, out_.ready.get(), 1));
+  }
 
  private:
   Channel<A>& a_;
@@ -66,32 +76,39 @@ class Join2 : public sim::Component {
   Combiner combine_;
 };
 
-/// N-input join over a homogeneous payload type.
+/// N-input join over a homogeneous payload type. Two-phase exactly like
+/// Join2.
 template <typename T>
-class JoinN : public sim::Component {
+class JoinN : public sim::TwoPhaseComponent<JoinN<T>> {
+  friend sim::TwoPhaseComponent<JoinN<T>>;
  public:
   using Combiner = std::function<T(const std::vector<T>&)>;
 
   JoinN(sim::Simulator& s, std::string name, std::vector<Channel<T>*> ins,
         Channel<T>& out, Combiner combine)
-      : Component(s, std::move(name)), ins_(std::move(ins)), out_(out),
+      : sim::TwoPhaseComponent<JoinN<T>>(s, std::move(name)), ins_(std::move(ins)), out_(out),
         combine_(std::move(combine)), v_(ins_.size(), false),
         data_(ins_.size()) {}
 
-  void eval() override {
+  void tick() override {}
+
+  /// Pure combinational: eval is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
+ protected:
+  void eval_forward() {
     for (std::size_t i = 0; i < ins_.size(); ++i) v_[i] = ins_[i]->valid.get();
     out_.valid.set(JoinControl::valid_out(v_));
-    for (std::size_t i = 0; i < ins_.size(); ++i) {
-      ins_[i]->ready.set(JoinControl::ready_out(v_, out_.ready.get(), i));
-    }
     for (std::size_t i = 0; i < ins_.size(); ++i) data_[i] = ins_[i]->data.get();
     out_.data.set(combine_(data_));
   }
 
-  void tick() override {}
-
-  /// Pure combinational: eval() is a function of the channel wires only.
-  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+  void eval_backward() {
+    for (std::size_t i = 0; i < ins_.size(); ++i) v_[i] = ins_[i]->valid.get();
+    for (std::size_t i = 0; i < ins_.size(); ++i) {
+      ins_[i]->ready.set(JoinControl::ready_out(v_, out_.ready.get(), i));
+    }
+  }
 
  private:
   std::vector<Channel<T>*> ins_;

@@ -45,6 +45,19 @@ class Arbiter {
   /// for none); `fired` tells whether that grant completed a transfer.
   virtual void update(std::size_t granted, bool fired) = 0;
 
+  /// True when update(granted, fired) would leave the arbiter's state —
+  /// and therefore every future grant() — unchanged. Queried by MEB tick
+  /// elision: a stalled buffer may only skip its clock edge if its
+  /// arbiter would not have rotated. Conservative default for the
+  /// rotating-pointer arbiters (round-robin, fixed-priority, matrix):
+  /// a no-grant edge never rotates, and with a single thread every
+  /// rotation is the identity. Overridden by arbiters with different
+  /// update behavior (ObliviousArbiter rotates unconditionally).
+  [[nodiscard]] virtual bool update_is_noop(std::size_t granted,
+                                            bool fired) const noexcept {
+    return n_ == 1 || (!fired && granted == n_);
+  }
+
   virtual void reset() {}
 
  protected:
@@ -128,6 +141,12 @@ class ObliviousArbiter : public Arbiter {
     // Unconditional: the barrel turns every cycle, keeping all oblivious
     // arbiters in the design phase-locked.
     slot_ = (slot_ + 1) % n_;
+  }
+
+  /// The barrel turns on every edge, so only S == 1 is ever a no-op.
+  [[nodiscard]] bool update_is_noop(std::size_t /*granted*/,
+                                    bool /*fired*/) const noexcept override {
+    return n_ == 1;
   }
 
   void reset() override { slot_ = 0; }

@@ -3,6 +3,16 @@
 // One private 2-slot elastic buffer per thread, an output arbiter and a
 // data multiplexer: 2*S storage slots for S threads. Every thread always
 // sees two private slots, so a stalled thread never affects the others.
+//
+// Two-phase component: the forward process arbitrates and drives the
+// output valids/data (reading the downstream readys), the backward
+// process drives the per-thread input readys from the EB states alone.
+// The split makes MEB -> operator ready-passthrough chains acyclic in
+// the event kernel's process graph. Tick elision: with no transfer
+// possible on the settled handshake and an arbiter whose update would
+// not rotate, the clock edge is skipped entirely; otherwise the tick
+// reports which processes to reseed (the backward process only when some
+// thread's can_accept actually changed).
 #pragma once
 
 #include <cstdint>
@@ -21,11 +31,12 @@
 namespace mte::mt {
 
 template <typename T>
-class FullMeb : public sim::Component {
+class FullMeb : public sim::TwoPhaseComponent<FullMeb<T>> {
+  friend sim::TwoPhaseComponent<FullMeb<T>>;
  public:
   FullMeb(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out,
           std::unique_ptr<Arbiter> arbiter = nullptr)
-      : Component(s, std::move(name)), in_(in), out_(out),
+      : sim::TwoPhaseComponent<FullMeb<T>>(s, std::move(name)), in_(in), out_(out),
         arb_(arbiter ? std::move(arbiter)
                      : std::make_unique<RoundRobinArbiter>(in.threads())),
         ctrl_(in.threads()), head_(in.threads()), aux_(in.threads()),
@@ -47,22 +58,17 @@ class FullMeb : public sim::Component {
     std::fill(out_count_.begin(), out_count_.end(), 0);
   }
 
-  void eval() override {
-    const std::size_t n = threads();
-    for (std::size_t i = 0; i < n; ++i) {
-      in_.ready(i).set(ctrl_[i].can_accept());
-      pending_[i] = ctrl_[i].has_data();
-      ready_down_[i] = out_.ready(i).get();
-    }
-    grant_ = arb_->grant(pending_, ready_down_);
-    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
-    out_.data.set(grant_ < n ? head_[grant_] : T{});
-  }
-
   void tick() override {
     const std::size_t n = threads();
     const std::size_t in_thread = in_.active_thread();  // checks the invariant
     const bool out_fired = grant_ < n && out_.ready(grant_).get();
+
+    // Any non-elided edge may change the arbitration inputs (EB states,
+    // head words) or the arbiter pointer itself, so the forward process
+    // always reseeds; the backward (ready) process reseeds only when a
+    // committed thread's can_accept crossed the FULL boundary.
+    std::uint32_t touched = sim::kForwardBit;
+    bool fired_any = false;
 
     // Only the arriving thread and the granted thread can move this cycle;
     // for every other thread decide(false, false) commits the identity, so
@@ -71,16 +77,38 @@ class FullMeb : public sim::Component {
       const bool vin = (i == in_thread) && in_.valid(i).get();
       const bool rin = (i == grant_) && out_fired;
       const elastic::EbDecision d = ctrl_[i].decide(vin, rin);
+      const bool could_accept = ctrl_[i].can_accept();
       if (d.shift_aux_to_head) head_[i] = aux_[i];
       if (d.load_head_from_in) head_[i] = in_.data.get();
       if (d.load_aux_from_in) aux_[i] = in_.data.get();
       ctrl_[i].commit(d);
+      if (ctrl_[i].can_accept() != could_accept) touched |= sim::kBackwardBit;
+      fired_any = fired_any || d.in_fire || d.out_fire;
       if (d.in_fire) ++in_count_[i];
       if (d.out_fire) ++out_count_[i];
     };
     if (in_thread < n) commit_thread(in_thread);
     if (grant_ < n && grant_ != in_thread) commit_thread(grant_);
+    this->set_tick_touched(touched);
+    this->set_tick_idle_hint(!fired_any && arb_->update_is_noop(grant_, out_fired));
     arb_->update(grant_, out_fired);
+  }
+
+  /// No thread can complete a transfer on the settled handshake and the
+  /// arbiter would not rotate: the edge is the identity. Multiple
+  /// asserted valids defer to tick(), whose active_thread() call owes
+  /// the channel its single-valid protocol check.
+  [[nodiscard]] bool tick_quiescent() const override {
+    const std::size_t n = threads();
+    if (grant_ < n && out_.ready(grant_).get()) return false;   // output fires
+    if (!arb_->update_is_noop(grant_, false)) return false;     // pointer turns
+    std::size_t valids = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_.valid(i).get()) continue;
+      if (++valids > 1) return false;                           // protocol check
+      if (ctrl_[i].can_accept()) return false;                  // input fires
+    }
+    return true;
   }
 
   [[nodiscard]] std::size_t threads() const noexcept { return ctrl_.size(); }
@@ -97,6 +125,25 @@ class FullMeb : public sim::Component {
   [[nodiscard]] std::uint64_t out_count(std::size_t i) const { return out_count_.at(i); }
   /// Storage slots instantiated by this buffer (2 per thread).
   [[nodiscard]] std::size_t capacity() const noexcept { return 2 * threads(); }
+
+ protected:
+  void eval_forward() {
+    const std::size_t n = threads();
+    for (std::size_t i = 0; i < n; ++i) {
+      pending_[i] = ctrl_[i].has_data();
+      ready_down_[i] = out_.ready(i).get();
+    }
+    grant_ = arb_->grant(pending_, ready_down_);
+    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
+    out_.data.set(grant_ < n ? head_[grant_] : T{});
+  }
+
+  void eval_backward() {
+    const std::size_t n = threads();
+    for (std::size_t i = 0; i < n; ++i) {
+      in_.ready(i).set(ctrl_[i].can_accept());
+    }
+  }
 
  private:
   MtChannel<T>& in_;

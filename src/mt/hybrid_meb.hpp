@@ -27,12 +27,15 @@
 
 namespace mte::mt {
 
+/// Two-phase component (see FullMeb): forward = arbitration + output
+/// valids/data, backward = per-thread input readys from control state.
 template <typename T>
-class HybridMeb : public sim::Component {
+class HybridMeb : public sim::TwoPhaseComponent<HybridMeb<T>> {
+  friend sim::TwoPhaseComponent<HybridMeb<T>>;
  public:
   HybridMeb(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out,
             std::size_t shared_slots, std::unique_ptr<Arbiter> arbiter = nullptr)
-      : Component(s, std::move(name)), in_(in), out_(out),
+      : sim::TwoPhaseComponent<HybridMeb<T>>(s, std::move(name)), in_(in), out_(out),
         arb_(arbiter ? std::move(arbiter)
                      : std::make_unique<RoundRobinArbiter>(in.threads())),
         state_(in.threads(), elastic::EbState::kEmpty), main_(in.threads()),
@@ -58,23 +61,19 @@ class HybridMeb : public sim::Component {
     grant_ = threads();
   }
 
-  void eval() override {
-    const std::size_t n = threads();
-    for (std::size_t i = 0; i < n; ++i) {
-      in_.ready(i).set(ready_out(i));
-      pending_[i] = state_[i] != elastic::EbState::kEmpty;
-      ready_down_[i] = out_.ready(i).get();
-    }
-    grant_ = arb_->grant(pending_, ready_down_);
-    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
-    out_.data.set(grant_ < n ? main_[grant_] : T{});
-  }
-
   void tick() override {
     const std::size_t n = threads();
     const std::size_t active = in_.active_thread();  // checks the invariant
     const bool in_fired = active < n && in_.ready(active).get();
     const bool out_fired = grant_ < n && out_.ready(grant_).get();
+
+    // Reseed decision (see FullMeb): forward always; backward only when
+    // some thread's ready_out changed — through the two committed
+    // threads' FSMs or the shared-pool occupancy (a pool-occupancy change
+    // moves every HALF thread's ready at once).
+    const std::size_t shared_before = shared_used_;
+    const bool rin_before = in_fired && ready_out(active);
+    const bool rout_before = out_fired && ready_out(grant_);
 
     if (out_fired) {
       auto& st = state_[grant_];
@@ -107,7 +106,7 @@ class HybridMeb : public sim::Component {
           }
         }
         if (slot == shared_.size()) {
-          throw sim::ProtocolError("HybridMeb '" + name() +
+          throw sim::ProtocolError("HybridMeb '" + this->name() +
                                    "': accepted without a free shared slot");
         }
         shared_[slot] = in_.data.get();
@@ -116,10 +115,37 @@ class HybridMeb : public sim::Component {
         ++shared_used_;
         st = elastic::EbState::kFull;
       } else {
-        throw sim::ProtocolError("HybridMeb '" + name() + "': FULL thread accepted");
+        throw sim::ProtocolError("HybridMeb '" + this->name() + "': FULL thread accepted");
       }
     }
+
+    std::uint32_t touched = sim::kForwardBit;
+    if (shared_used_ != shared_before ||
+        (in_fired && ready_out(active) != rin_before) ||
+        (out_fired && ready_out(grant_) != rout_before)) {
+      touched |= sim::kBackwardBit;
+    }
+    this->set_tick_touched(touched);
+    this->set_tick_idle_hint(!in_fired && !out_fired &&
+                       arb_->update_is_noop(grant_, out_fired));
     arb_->update(grant_, out_fired);
+  }
+
+  /// No transfer can fire on the settled handshake and the arbiter would
+  /// not rotate: the edge is the identity. Multiple asserted valids defer
+  /// to tick(), whose active_thread() call owes the channel its
+  /// single-valid protocol check.
+  [[nodiscard]] bool tick_quiescent() const override {
+    const std::size_t n = threads();
+    if (grant_ < n && out_.ready(grant_).get()) return false;
+    if (!arb_->update_is_noop(grant_, false)) return false;
+    std::size_t valids = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_.valid(i).get()) continue;
+      if (++valids > 1) return false;  // protocol check belongs to tick()
+      if (in_.ready(i).get()) return false;
+    }
+    return true;
   }
 
   [[nodiscard]] std::size_t threads() const noexcept { return state_.size(); }
@@ -130,6 +156,25 @@ class HybridMeb : public sim::Component {
   /// Total storage slots (S main + K shared).
   [[nodiscard]] std::size_t capacity() const noexcept {
     return threads() + shared_.size();
+  }
+
+ protected:
+  void eval_forward() {
+    const std::size_t n = threads();
+    for (std::size_t i = 0; i < n; ++i) {
+      pending_[i] = state_[i] != elastic::EbState::kEmpty;
+      ready_down_[i] = out_.ready(i).get();
+    }
+    grant_ = arb_->grant(pending_, ready_down_);
+    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
+    out_.data.set(grant_ < n ? main_[grant_] : T{});
+  }
+
+  void eval_backward() {
+    const std::size_t n = threads();
+    for (std::size_t i = 0; i < n; ++i) {
+      in_.ready(i).set(ready_out(i));
+    }
   }
 
  private:

@@ -16,34 +16,48 @@
 
 namespace mte::mt {
 
+/// Two-phase: forward steers the per-thread valids and the data bus,
+/// backward acks the data/condition inputs (reads the selected output's
+/// per-thread ready plus both inputs' valids).
 template <typename T>
-class MBranch : public sim::Component {
+class MBranch : public sim::TwoPhaseComponent<MBranch<T>> {
+  friend sim::TwoPhaseComponent<MBranch<T>>;
  public:
   MBranch(sim::Simulator& s, std::string name, MtChannel<T>& data,
           MtChannel<bool>& cond, MtChannel<T>& out_true, MtChannel<T>& out_false)
-      : Component(s, std::move(name)), data_(data), cond_(cond),
+      : sim::TwoPhaseComponent<MBranch<T>>(s, std::move(name)), data_(data), cond_(cond),
         out_true_(out_true), out_false_(out_false) {}
-
-  void eval() override {
-    const std::size_t n = data_.threads();
-    const bool cond_bit = cond_.data.get();
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto o = elastic::BranchControl::compute(
-          data_.valid(i).get(), cond_.valid(i).get(), cond_bit,
-          out_true_.ready(i).get(), out_false_.ready(i).get());
-      out_true_.valid(i).set(o.valid_true);
-      out_false_.valid(i).set(o.valid_false);
-      data_.ready(i).set(o.ready_data);
-      cond_.ready(i).set(o.ready_cond);
-    }
-    out_true_.data.set(data_.data.get());
-    out_false_.data.set(data_.data.get());
-  }
 
   void tick() override {
     // Validate the channel invariants on settled state.
     (void)data_.active_thread();
     (void)cond_.active_thread();
+  }
+
+ protected:
+  void eval_forward() {
+    const std::size_t n = data_.threads();
+    const bool cond_bit = cond_.data.get();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto f = elastic::BranchControl::forward(data_.valid(i).get(),
+                                                     cond_.valid(i).get(), cond_bit);
+      out_true_.valid(i).set(f.valid_true);
+      out_false_.valid(i).set(f.valid_false);
+    }
+    out_true_.data.set(data_.data.get());
+    out_false_.data.set(data_.data.get());
+  }
+
+  void eval_backward() {
+    const std::size_t n = data_.threads();
+    const bool cond_bit = cond_.data.get();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto b = elastic::BranchControl::backward(
+          data_.valid(i).get(), cond_.valid(i).get(), cond_bit,
+          out_true_.ready(i).get(), out_false_.ready(i).get());
+      data_.ready(i).set(b.ready_data);
+      cond_.ready(i).set(b.ready_cond);
+    }
   }
 
  private:

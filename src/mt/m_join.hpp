@@ -19,32 +19,44 @@
 
 namespace mte::mt {
 
+/// Two-phase: forward = per-thread output valids + combined data bus;
+/// backward = per-thread input acks (lazy-join acks read the peer input's
+/// valid, so the backward process stays sensitive to both inputs' valids
+/// — the genuine cross-input coupling of the M-Join survives the split,
+/// as it must).
 template <typename A, typename B, typename Out>
-class MJoin : public sim::Component {
+class MJoin : public sim::TwoPhaseComponent<MJoin<A, B, Out>> {
+  friend sim::TwoPhaseComponent<MJoin<A, B, Out>>;
  public:
   using Combiner = std::function<Out(const A&, const B&)>;
 
   MJoin(sim::Simulator& s, std::string name, MtChannel<A>& a, MtChannel<B>& b,
         MtChannel<Out>& out, Combiner combine)
-      : Component(s, std::move(name)), a_(a), b_(b), out_(out),
+      : sim::TwoPhaseComponent<MJoin<A, B, Out>>(s, std::move(name)), a_(a), b_(b), out_(out),
         combine_(std::move(combine)) {}
 
-  void eval() override {
+  void tick() override {}
+
+  /// Pure combinational: eval is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
+ protected:
+  void eval_forward() {
     const std::size_t n = out_.threads();
     for (std::size_t i = 0; i < n; ++i) {
-      const bool va = a_.valid(i).get();
-      const bool vb = b_.valid(i).get();
-      out_.valid(i).set(va && vb);
-      a_.ready(i).set(out_.ready(i).get() && vb);
-      b_.ready(i).set(out_.ready(i).get() && va);
+      out_.valid(i).set(a_.valid(i).get() && b_.valid(i).get());
     }
     out_.data.set(combine_(a_.data.get(), b_.data.get()));
   }
 
-  void tick() override {}
-
-  /// Pure combinational: eval() is a function of the channel wires only.
-  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+  void eval_backward() {
+    const std::size_t n = out_.threads();
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool ro = out_.ready(i).get();
+      a_.ready(i).set(ro && b_.valid(i).get());
+      b_.ready(i).set(ro && a_.valid(i).get());
+    }
+  }
 
  private:
   MtChannel<A>& a_;

@@ -2,6 +2,13 @@
 // multithreaded elastic channel. Per-thread handshakes pass straight
 // through; the data bus is transformed. Follow with an MEB to cut the
 // combinational path, exactly as with the single-thread FunctionUnit.
+//
+// Both per-thread handshake directions are declared as wire forwards
+// (out.ready(i) feeds in.ready(i), in.valid(i) feeds out.valid(i) — in
+// hardware each pair is one wire), so no eval is ever scheduled to copy
+// them; the remaining process transforms the data bus and re-runs only
+// when the input data changes. This is what breaks the MEB -> operator
+// 2-node SCC in the event kernel's dependency graph.
 #pragma once
 
 #include <functional>
@@ -21,19 +28,18 @@ class MtFunctionUnit : public sim::Component {
 
   MtFunctionUnit(sim::Simulator& s, std::string name, MtChannel<In>& in,
                  MtChannel<Out>& out, Fn fn)
-      : Component(s, std::move(name)), in_(in), out_(out), fn_(std::move(fn)) {}
-
-  void eval() override {
+      : Component(s, std::move(name)), in_(in), out_(out), fn_(std::move(fn)) {
     for (std::size_t i = 0; i < in_.threads(); ++i) {
-      out_.valid(i).set(in_.valid(i).get());
-      in_.ready(i).set(out_.ready(i).get());
+      out_.ready(i).forward_to(in_.ready(i));
+      in_.valid(i).forward_to(out_.valid(i));
     }
-    out_.data.set(fn_(in_.data.get()));
   }
+
+  void eval() override { out_.data.set(fn_(in_.data.get())); }
 
   void tick() override {}
 
-  /// Pure combinational: eval() is a function of the channel wires only.
+  /// Pure combinational: eval is a function of the channel wires only.
   [[nodiscard]] bool is_sequential() const noexcept override { return false; }
 
  private:

@@ -131,7 +131,11 @@ class MtSource : public sim::Component {
 
   [[nodiscard]] bool offerable(std::size_t i) const {
     const auto& t = per_thread_[i];
-    if (!current(i).has_value() || !t.gate) return false;
+    // Availability test without materializing the token: offerable() runs
+    // per thread per eval, and invoking the generator here would be a
+    // std::function call whose result is thrown away.
+    const bool has_token = t.index < t.tokens.size() || t.generator != nullptr;
+    if (!has_token || !t.gate) return false;
     const sim::Cycle now = sim().now();
     for (const auto& [start, end] : t.stalls) {
       if (now >= start && now < end) return false;

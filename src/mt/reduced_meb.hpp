@@ -7,6 +7,9 @@
 // with the full MEB; the only divergence is the characterized corner case
 // (Fig. 5b) where all threads but one are blocked all the way back to the
 // source, capping the surviving thread at 50 % throughput.
+//
+// Two-phase component (see FullMeb): forward = arbitration + output
+// valids/data, backward = per-thread input readys from control state.
 #pragma once
 
 #include <cstdint>
@@ -25,11 +28,12 @@
 namespace mte::mt {
 
 template <typename T>
-class ReducedMeb : public sim::Component {
+class ReducedMeb : public sim::TwoPhaseComponent<ReducedMeb<T>> {
+  friend sim::TwoPhaseComponent<ReducedMeb<T>>;
  public:
   ReducedMeb(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out,
              std::unique_ptr<Arbiter> arbiter = nullptr)
-      : Component(s, std::move(name)), in_(in), out_(out),
+      : sim::TwoPhaseComponent<ReducedMeb<T>>(s, std::move(name)), in_(in), out_(out),
         arb_(arbiter ? std::move(arbiter)
                      : std::make_unique<RoundRobinArbiter>(in.threads())),
         ctrl_(in.threads()), main_(in.threads()),
@@ -51,20 +55,6 @@ class ReducedMeb : public sim::Component {
     std::fill(out_count_.begin(), out_count_.end(), 0);
   }
 
-  void eval() override {
-    const std::size_t n = threads();
-    for (std::size_t i = 0; i < n; ++i) {
-      in_.ready(i).set(ctrl_.ready_out(i));
-      pending_[i] = ctrl_.has_data(i);
-      ready_down_[i] = out_.ready(i).get();
-    }
-    grant_ = arb_->grant(pending_, ready_down_);
-    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
-    // Output data always comes from the granted thread's main register;
-    // the shared slot only ever refills a main register.
-    out_.data.set(grant_ < n ? main_[grant_] : T{});
-  }
-
   void tick() override {
     const std::size_t n = threads();
     const std::size_t active = in_.active_thread();  // checks the invariant
@@ -72,6 +62,15 @@ class ReducedMeb : public sim::Component {
     const std::size_t in_thread = in_fired ? active : n;
     const bool out_fired = grant_ < n && out_.ready(grant_).get();
     const std::size_t out_thread = out_fired ? grant_ : n;
+
+    // Reseed decision: the forward process always (arbitration inputs /
+    // pointer may change); the backward process only when some thread's
+    // ready_out actually changed — which can only happen through the two
+    // committed threads' FSMs or the shared-slot flag (a shared-flag flip
+    // moves every HALF thread's ready at once).
+    const bool shared_before = ctrl_.shared_full();
+    const bool rin_before = in_thread < n && ctrl_.ready_out(in_thread);
+    const bool rout_before = out_thread < n && ctrl_.ready_out(out_thread);
 
     const T data_in = in_.data.get();
     const ReducedMebOps ops = ctrl_.commit(in_thread, out_thread);
@@ -83,9 +82,36 @@ class ReducedMeb : public sim::Component {
     if (ops.store_main) main_[ops.in_thread] = data_in;
     if (ops.store_shared) shared_ = data_in;
 
+    std::uint32_t touched = sim::kForwardBit;
+    if (ctrl_.shared_full() != shared_before ||
+        (in_thread < n && ctrl_.ready_out(in_thread) != rin_before) ||
+        (out_thread < n && ctrl_.ready_out(out_thread) != rout_before)) {
+      touched |= sim::kBackwardBit;
+    }
+    this->set_tick_touched(touched);
+    this->set_tick_idle_hint(!in_fired && !out_fired &&
+                       arb_->update_is_noop(grant_, out_fired));
+
     if (in_fired) ++in_count_[in_thread];
     if (out_fired) ++out_count_[out_thread];
     arb_->update(grant_, out_fired);
+  }
+
+  /// No transfer can fire on the settled handshake and the arbiter would
+  /// not rotate: the edge is the identity. Multiple asserted valids defer
+  /// to tick(), whose active_thread() call owes the channel its
+  /// single-valid protocol check.
+  [[nodiscard]] bool tick_quiescent() const override {
+    const std::size_t n = threads();
+    if (grant_ < n && out_.ready(grant_).get()) return false;
+    if (!arb_->update_is_noop(grant_, false)) return false;
+    std::size_t valids = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_.valid(i).get()) continue;
+      if (++valids > 1) return false;  // protocol check belongs to tick()
+      if (in_.ready(i).get()) return false;
+    }
+    return true;
   }
 
   [[nodiscard]] std::size_t threads() const noexcept { return ctrl_.threads(); }
@@ -100,6 +126,27 @@ class ReducedMeb : public sim::Component {
   [[nodiscard]] std::uint64_t out_count(std::size_t i) const { return out_count_.at(i); }
   /// Storage slots instantiated by this buffer (S main + 1 shared).
   [[nodiscard]] std::size_t capacity() const noexcept { return threads() + 1; }
+
+ protected:
+  void eval_forward() {
+    const std::size_t n = threads();
+    for (std::size_t i = 0; i < n; ++i) {
+      pending_[i] = ctrl_.has_data(i);
+      ready_down_[i] = out_.ready(i).get();
+    }
+    grant_ = arb_->grant(pending_, ready_down_);
+    for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
+    // Output data always comes from the granted thread's main register;
+    // the shared slot only ever refills a main register.
+    out_.data.set(grant_ < n ? main_[grant_] : T{});
+  }
+
+  void eval_backward() {
+    const std::size_t n = threads();
+    for (std::size_t i = 0; i < n; ++i) {
+      in_.ready(i).set(ctrl_.ready_out(i));
+    }
+  }
 
  private:
   MtChannel<T>& in_;

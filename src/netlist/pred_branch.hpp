@@ -2,6 +2,11 @@
 // true/false output according to a predicate evaluated on the token
 // itself. This is the paper's branch with its condition channel driven
 // by a function of the data (the common synthesis pattern for loops).
+//
+// Both are two-phase components: the forward process steers valid/data,
+// the backward process routes the selected output's ready upstream. Note
+// the backward process reads the input *data* too (the predicate selects
+// which ready to pass), so it correctly re-runs when the token changes.
 #pragma once
 
 #include <functional>
@@ -16,29 +21,35 @@
 namespace mte::netlist {
 
 template <typename T>
-class PredBranch : public sim::Component {
+class PredBranch : public sim::TwoPhaseComponent<PredBranch<T>> {
+  friend sim::TwoPhaseComponent<PredBranch<T>>;
  public:
   using Pred = std::function<bool(const T&)>;
 
   PredBranch(sim::Simulator& s, std::string name, elastic::Channel<T>& in,
              elastic::Channel<T>& out_true, elastic::Channel<T>& out_false, Pred pred)
-      : Component(s, std::move(name)), in_(in), out_true_(out_true),
+      : sim::TwoPhaseComponent<PredBranch<T>>(s, std::move(name)), in_(in), out_true_(out_true),
         out_false_(out_false), pred_(std::move(pred)) {}
 
-  void eval() override {
+  void tick() override {}
+
+  /// Pure combinational: eval is a function of the channel wires only.
+  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+
+ protected:
+  void eval_forward() {
     const bool taken = pred_(in_.data.get());
     const bool v = in_.valid.get();
     out_true_.valid.set(v && taken);
     out_false_.valid.set(v && !taken);
-    in_.ready.set(taken ? out_true_.ready.get() : out_false_.ready.get());
     out_true_.data.set(in_.data.get());
     out_false_.data.set(in_.data.get());
   }
 
-  void tick() override {}
-
-  /// Pure combinational: eval() is a function of the channel wires only.
-  [[nodiscard]] bool is_sequential() const noexcept override { return false; }
+  void eval_backward() {
+    const bool taken = pred_(in_.data.get());
+    in_.ready.set(taken ? out_true_.ready.get() : out_false_.ready.get());
+  }
 
  private:
   elastic::Channel<T>& in_;
@@ -48,28 +59,36 @@ class PredBranch : public sim::Component {
 };
 
 template <typename T>
-class MtPredBranch : public sim::Component {
+class MtPredBranch : public sim::TwoPhaseComponent<MtPredBranch<T>> {
+  friend sim::TwoPhaseComponent<MtPredBranch<T>>;
  public:
   using Pred = std::function<bool(const T&)>;
 
   MtPredBranch(sim::Simulator& s, std::string name, mt::MtChannel<T>& in,
                mt::MtChannel<T>& out_true, mt::MtChannel<T>& out_false, Pred pred)
-      : Component(s, std::move(name)), in_(in), out_true_(out_true),
+      : sim::TwoPhaseComponent<MtPredBranch<T>>(s, std::move(name)), in_(in), out_true_(out_true),
         out_false_(out_false), pred_(std::move(pred)) {}
 
-  void eval() override {
+  void tick() override { (void)in_.active_thread(); }
+
+ protected:
+  void eval_forward() {
     const bool taken = pred_(in_.data.get());
     for (std::size_t i = 0; i < in_.threads(); ++i) {
       const bool v = in_.valid(i).get();
       out_true_.valid(i).set(v && taken);
       out_false_.valid(i).set(v && !taken);
-      in_.ready(i).set(taken ? out_true_.ready(i).get() : out_false_.ready(i).get());
     }
     out_true_.data.set(in_.data.get());
     out_false_.data.set(in_.data.get());
   }
 
-  void tick() override { (void)in_.active_thread(); }
+  void eval_backward() {
+    const bool taken = pred_(in_.data.get());
+    for (std::size_t i = 0; i < in_.threads(); ++i) {
+      in_.ready(i).set(taken ? out_true_.ready(i).get() : out_false_.ready(i).get());
+    }
+  }
 
  private:
   mt::MtChannel<T>& in_;

@@ -13,6 +13,12 @@ Component::~Component() {
   if (sim_ != nullptr) sim_->unregister_component(*this);
 }
 
+void Component::set_process_split(bool enabled) {
+  if (process_split_ == enabled) return;
+  process_split_ = enabled;
+  if (sim_ != nullptr) sim_->invalidate_processes(*this);
+}
+
 Simulator::Simulator(KernelKind kernel) : kernel_(kernel) {
   tracker_.set_event_mode(kernel_ == KernelKind::kEventDriven);
 }
@@ -50,11 +56,37 @@ void Simulator::unregister_component(Component& c) noexcept {
   if (tearing_down_) return;
   const auto it = std::find(components_.begin(), components_.end(), &c);
   if (it != components_.end()) components_.erase(it);
-  tracker_.forget(c);
-  c.kernel_dirty_ = false;
+  invalidate_processes(c);
   seq_cache_valid_ = false;
+}
+
+void Simulator::invalidate_processes(Component& c) noexcept {
+  // Pending bucket entries may point into c's slots: drain them first
+  // (forget() only scrubs the tracker-side worklist).
+  clear_pending();
+  tracker_.forget(c);
+  c.kernel_procs_.reset();
+  c.kernel_proc_count_ = 0;
+  c.kernel_seed_mask_ = Component::kAllProcesses;
   levels_valid_ = false;
   full_eval_pending_ = true;
+}
+
+void Simulator::ensure_processes(Component& c) {
+  if (c.kernel_procs_) return;
+  const std::size_t n = c.process_count();
+  if (n < 1 || n > Component::kMaxProcesses) {
+    throw SimulationError("component '" + c.name() + "': process_count() " +
+                          std::to_string(n) + " outside [1, " +
+                          std::to_string(Component::kMaxProcesses) + "]");
+  }
+  c.kernel_procs_ = std::make_unique<Process[]>(n);
+  c.kernel_proc_count_ = static_cast<std::uint32_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.kernel_procs_[i].owner = &c;
+    c.kernel_procs_[i].index = static_cast<std::uint32_t>(i);
+    c.kernel_procs_[i].work = 1.0 / static_cast<double>(n);
+  }
 }
 
 std::size_t Simulator::effective_settle_limit() const noexcept {
@@ -83,17 +115,30 @@ void Simulator::settle_naive() {
           "settle loop did not converge after " + std::to_string(limit) +
           " iterations; the circuit most likely contains a combinational cycle");
     }
-    for (Component* c : components_) c->eval();
+    for (Component* c : components_) {
+      c->eval();
+      ++c->eval_calls_;
+    }
     eval_count_ += components_.size();
+    settle_work_ += static_cast<double>(components_.size());
   } while (tracker_.consume());
+}
+
+void Simulator::seed_process(Process& p, std::size_t& pending, std::size_t& min_level) {
+  if (p.dirty) return;  // already enqueued by an external write
+  p.dirty = true;
+  const std::size_t level = std::min<std::size_t>(p.level, level_count_);
+  buckets_[level].push_back(&p);
+  ++pending;
+  if (level < min_level) min_level = level;
 }
 
 void Simulator::flush_worklist_to_buckets(std::size_t& pending, std::size_t& min_level) {
   const auto& worklist = tracker_.worklist();
   if (worklist.empty()) return;
-  for (Component* c : worklist) {
-    const std::size_t level = std::min<std::size_t>(c->kernel_level_, level_count_);
-    buckets_[level].push_back(c);
+  for (Process* p : worklist) {
+    const std::size_t level = std::min<std::size_t>(p->level, level_count_);
+    buckets_[level].push_back(p);
     ++pending;
     if (level < min_level) min_level = level;
   }
@@ -104,13 +149,14 @@ void Simulator::settle_event() {
   if (!levels_valid_ || tracker_.consume_topology_dirty()) relevelize();
 
   // Genuinely order-sensitive combinational cycles (detected below by the
-  // per-component eval cap) permanently demote this simulator's settles to
+  // per-process eval cap) permanently demote this simulator's settles to
   // the naive reference order: different evaluation orders can oscillate
   // or pick different fixed points there, and the naive order is the
   // semantic reference. Component-level cycles that are acyclic at wire
   // granularity (e.g. an MEB arbitrating on a downstream ready while the
-  // downstream operator passes that ready through) never trip the cap —
-  // the worklist just iterates them to their unique fixed point.
+  // downstream operator passes that ready through) either disappear
+  // entirely at process granularity (split components) or never trip the
+  // cap — the worklist just iterates them to their unique fixed point.
   if (demoted_to_naive_) {
     clear_pending();
     full_eval_pending_ = false;
@@ -119,8 +165,12 @@ void Simulator::settle_event() {
     return;
   }
 
-  ++settle_epoch_;
-  const std::size_t limit = effective_settle_limit();
+  // Runaway guard: a settle that dispatches more evaluations than the
+  // naive kernel's own bound (limit sweeps x all components) has an
+  // order-sensitive combinational cycle on its hands.
+  const std::size_t eval_cap =
+      effective_settle_limit() * std::max<std::size_t>(components_.size(), 1);
+  std::size_t evals_this_settle = 0;
 
   std::size_t pending = 0;
   std::size_t min_level = level_count_ + 1;
@@ -128,36 +178,64 @@ void Simulator::settle_event() {
   if (full_eval_pending_) {
     full_eval_pending_ = false;
     seed_seq_pending_ = false;
-    for (Component* c : components_) tracker_.enqueue(*c);
-  } else if (seed_seq_pending_) {
-    // The per-cycle seeding: sequential components go straight into their
-    // level buckets (their levels are current — relevelize ran above).
-    seed_seq_pending_ = false;
-    if (!seq_cache_valid_) rebuild_sequential_cache();
-    for (Component* c : seq_components_) {
-      if (c->kernel_dirty_) continue;  // already enqueued by an external write
-      c->kernel_dirty_ = true;
-      const std::size_t level = std::min<std::size_t>(c->kernel_level_, level_count_);
-      buckets_[level].push_back(c);
-      ++pending;
-      if (level < min_level) min_level = level;
+    for (Component* c : components_) {
+      for (std::uint32_t i = 0; i < c->kernel_proc_count_; ++i) {
+        tracker_.enqueue(c->kernel_procs_[i]);
+      }
     }
   }
-  flush_worklist_to_buckets(pending, min_level);
 
   try {
+    if (seed_seq_pending_) {
+      // The per-cycle seeding: sequential components go straight into
+      // their level buckets (their levels are current — relevelize ran
+      // above). Only the processes the component's tick reported as
+      // touched participate; a component whose tick was elided has mask 0.
+      //
+      // State-only processes — never observed reading any wire, e.g. a
+      // buffer's ready (backward) phase or a sink's rate gate — are not
+      // scheduled at all: their outputs depend on nothing the sweep will
+      // compute, so they are evaluated right here, before the ordered
+      // sweep. Their wire writes enqueue reader processes exactly like
+      // any other change, and because they run first, every reader then
+      // evaluates once at its proper level (no mid-sweep re-wakes).
+      seed_seq_pending_ = false;
+      if (!seq_cache_valid_) rebuild_sequential_cache();
+      for (Component* c : seq_components_) {
+        const std::uint32_t mask = c->kernel_seed_mask_;
+        if (mask == 0) continue;
+        const std::uint32_t n = c->kernel_proc_count_;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (n > 1 && ((mask >> i) & 1u) == 0) continue;
+          Process& p = c->kernel_procs_[i];
+          if (p.dirty) continue;  // already enqueued by an external write
+          if (p.reads_wires) {
+            seed_process(p, pending, min_level);
+            continue;
+          }
+          ++eval_count_;
+          ++c->eval_calls_;
+          settle_work_ += p.work;
+          tracker_.begin_eval(p);
+          c->eval_process(i);
+          tracker_.end_eval();
+          // A first-ever wire read during this early eval means its output
+          // may predate inputs the sweep computes: re-run it in order.
+          if (p.reads_wires) tracker_.enqueue(p);
+        }
+      }
+    }
+    flush_worklist_to_buckets(pending, min_level);
+
     while (pending > 0) {
       while (min_level < buckets_.size() && buckets_[min_level].empty()) ++min_level;
       auto& bucket = buckets_[min_level];
-      Component* c = bucket.back();
+      Process* p = bucket.back();
       bucket.pop_back();
       --pending;
-      c->kernel_dirty_ = false;
-      if (c->settle_epoch_ != settle_epoch_) {
-        c->settle_epoch_ = settle_epoch_;
-        c->settle_evals_ = 0;
-      }
-      if (++c->settle_evals_ > limit) {
+      Component& owner = *p->owner;
+      p->dirty = false;
+      if (++evals_this_settle > eval_cap) {
         // An order-sensitive combinational cycle: the worklist order is
         // not converging. Demote to the reference order, which either
         // converges (order-dependent fixed point) or raises
@@ -172,8 +250,10 @@ void Simulator::settle_event() {
         return;
       }
       ++eval_count_;
-      tracker_.begin_eval(*c);
-      c->eval();
+      ++owner.eval_calls_;
+      settle_work_ += p->work;
+      tracker_.begin_eval(*p);
+      owner.eval_process(p->index);
       tracker_.end_eval();
       // Changed wires enqueued their fanout; newly discovered edges can
       // enqueue below the sweep point and pull it back down.
@@ -189,29 +269,38 @@ void Simulator::settle_event() {
 }
 
 void Simulator::relevelize() {
-  const std::size_t n = components_.size();
-  // Temporarily repurpose kernel_level_ as the component's index.
-  for (std::size_t i = 0; i < n; ++i) {
-    components_[i]->kernel_level_ = static_cast<std::uint32_t>(i);
+  // Materialize process slots first: process_count() is virtual, so this
+  // is the earliest point (post-construction) the layout is trustworthy.
+  std::size_t n = 0;
+  for (Component* c : components_) {
+    ensure_processes(*c);
+    c->kernel_proc_base_ = static_cast<std::uint32_t>(n);
+    n += c->kernel_proc_count_;
   }
+  const auto proc_id = [](const Process* p) {
+    return p->owner->kernel_proc_base_ + p->index;
+  };
 
   // Combinational dependency graph from the discovered wire topology:
-  // writer -> reader for every (writer, fanout) pair.
+  // writer -> reader for every (writer, fanout) pair, at process
+  // granularity. Split components contribute no forward->backward edge of
+  // their own, which is exactly what makes ready-passthrough chains
+  // acyclic.
   std::vector<std::vector<std::uint32_t>> succ(n);
   for (const WireBase* w : tracker_.wires()) {
-    const Component* writer = w->writer();
+    const Process* writer = w->writer();
     if (writer == nullptr) continue;  // externally driven
-    const std::uint32_t wi = writer->kernel_level_;
-    for (const Component* reader : w->fanout()) {
-      succ[wi].push_back(reader->kernel_level_);
+    const std::uint32_t wi = proc_id(writer);
+    for (const Process* reader : w->fanout()) {
+      succ[wi].push_back(proc_id(reader));
     }
   }
 
   // Strongly connected components (iterative Tarjan), then longest-path
-  // levels over the condensation DAG. Components of the same SCC (e.g. an
-  // MEB arbitrating on a ready its downstream operator passes through)
-  // share a level and iterate there to their fixed point; everything else
-  // settles in one topologically ordered sweep.
+  // levels over the condensation DAG. Processes of the same SCC (e.g. the
+  // cross-coupled ready/valid of an M-Join and its feeding MEBs) share a
+  // level and iterate there to their fixed point; everything else settles
+  // in one topologically ordered sweep.
   constexpr std::uint32_t kUnvisited = 0xffffffffu;
   std::vector<std::uint32_t> dfs_index(n, kUnvisited);
   std::vector<std::uint32_t> lowlink(n, 0);
@@ -276,8 +365,11 @@ void Simulator::relevelize() {
   }
 
   level_count_ = n == 0 ? 0 : static_cast<std::size_t>(max_level) + 1;
-  for (std::size_t i = 0; i < n; ++i) {
-    components_[i]->kernel_level_ = scc_level[scc[i]];
+  for (Component* c : components_) {
+    for (std::uint32_t i = 0; i < c->kernel_proc_count_; ++i) {
+      const std::uint32_t id = c->kernel_proc_base_ + i;
+      c->kernel_procs_[i].level = scc_level[scc[id]];
+    }
   }
   buckets_.resize(level_count_ + 1);  // buckets are empty between settles
   levels_valid_ = true;
@@ -293,17 +385,21 @@ void Simulator::rebuild_sequential_cache() {
 }
 
 void Simulator::clear_pending() noexcept {
-  for (Component* c : tracker_.worklist()) c->kernel_dirty_ = false;
+  for (Process* p : tracker_.worklist()) p->dirty = false;
   tracker_.clear_worklist();
   for (auto& bucket : buckets_) {
-    for (Component* c : bucket) c->kernel_dirty_ = false;
+    for (Process* p : bucket) p->dirty = false;
     bucket.clear();
   }
 }
 
 void Simulator::reset() {
   cycle_ = 0;
-  for (Component* c : components_) c->reset();
+  for (Component* c : components_) {
+    c->reset();
+    c->kernel_seed_mask_ = Component::kAllProcesses;
+    c->tick_idle_hint_ = false;
+  }
   clear_pending();
   full_eval_pending_ = true;
 }
@@ -312,12 +408,31 @@ void Simulator::step() {
   settle();
   for (const auto& fn : observers_) fn(cycle_);
   if (kernel_ == KernelKind::kNaive) {
-    for (Component* c : components_) c->tick();
+    for (Component* c : components_) {
+      c->tick();
+      ++c->tick_calls_;
+    }
   } else {
     if (!seq_cache_valid_) rebuild_sequential_cache();
-    for (Component* c : seq_components_) c->tick();
-    // Sequential state may have changed: those components' eval() outputs
-    // are stale, so they seed the next settle (directly into the buckets).
+    for (Component* c : seq_components_) {
+      // Tick elision: a component whose idle hint is raised and which
+      // reports (on this settled state) that its tick would be a no-op
+      // is neither ticked nor reseeded. The query then runs every cycle,
+      // so the component wakes the cycle its inputs change — and any
+      // wire change still reaches its processes through the normal
+      // fanout worklist.
+      if (c->tick_idle_hint_ && c->tick_quiescent()) {
+        c->kernel_seed_mask_ = 0;
+        ++elided_tick_count_;
+        continue;
+      }
+      // Sequential state may change at this edge: the processes the tick
+      // declares touched (set_tick_touched; default all) have stale
+      // eval() outputs and seed the next settle.
+      c->kernel_seed_mask_ = Component::kAllProcesses;
+      c->tick();
+      ++c->tick_calls_;
+    }
     seed_seq_pending_ = true;
   }
   ++cycle_;

@@ -18,34 +18,55 @@
 //                             every component. O(components x iterations)
 //                             per cycle, trivially correct.
 //
-//   KernelKind::kEventDriven  The worklist kernel (default): wires record
-//                             their fanout as components read them, so a
-//                             settle pass evaluates only components whose
-//                             inputs actually changed. A levelization pass
-//                             over the discovered combinational graph
+//   KernelKind::kEventDriven  The worklist kernel (default): its
+//                             scheduling unit is the PROCESS (sim::Process)
+//                             — a component's whole eval() by default, or
+//                             one phase of a component split into a
+//                             forward (valid/data) and a backward (ready)
+//                             process. Wires record their fanout as
+//                             processes read them, so a settle pass
+//                             evaluates only processes whose inputs
+//                             actually changed. A Tarjan-SCC levelization
+//                             pass over the discovered process graph
 //                             orders the worklist topologically, so
 //                             acyclic regions settle in one ordered sweep
-//                             and wire-acyclic feedback (e.g. arbitration
-//                             on a passed-through ready) iterates to its
-//                             unique fixed point. A circuit whose worklist
-//                             fails to converge (an order-sensitive
-//                             combinational cycle) permanently demotes the
-//                             simulator: every subsequent settle runs the
-//                             exact naive algorithm (including
-//                             CombinationalLoopError on divergence). Note
-//                             the fixed points of order-sensitive cycles
-//                             are order-dependent by nature — the settle
-//                             in which demotion triggers resumes from
-//                             partially updated wires, and such a cycle
-//                             that happens to converge under worklist
-//                             order keeps its own fixed point — so select
-//                             kNaive up front when a cyclic circuit must
-//                             match the reference trace exactly.
-//                             Each cycle seeds the worklist with the
-//                             sequential components (their tick() may have
-//                             changed state); tick() runs only on
-//                             components that declare sequential state
-//                             (Component::is_sequential).
+//                             — and because split components decouple the
+//                             two handshake directions, MEB -> operator
+//                             ready-passthrough chains that are cyclic at
+//                             component granularity become genuinely
+//                             acyclic here. Wire-acyclic feedback that
+//                             remains (e.g. M-Join cross-input coupling)
+//                             iterates to its unique fixed point. A
+//                             circuit whose worklist fails to converge (an
+//                             order-sensitive combinational cycle)
+//                             permanently demotes the simulator: every
+//                             subsequent settle runs the exact naive
+//                             algorithm (including CombinationalLoopError
+//                             on divergence). Note the fixed points of
+//                             order-sensitive cycles are order-dependent
+//                             by nature — the settle in which demotion
+//                             triggers resumes from partially updated
+//                             wires, and such a cycle that happens to
+//                             converge under worklist order keeps its own
+//                             fixed point — so select kNaive up front when
+//                             a cyclic circuit must match the reference
+//                             trace exactly.
+//                             Each cycle commits and reseeds only the
+//                             sequential components (Component::
+//                             is_sequential), with three refinements:
+//                             a component reporting tick_quiescent() is
+//                             neither ticked nor reseeded that cycle
+//                             (tick elision — a fully stalled elastic
+//                             buffer costs nothing); a ticked component
+//                             reseeds only the processes its tick named
+//                             via set_tick_touched (a buffer whose
+//                             can_accept didn't change does not reseed
+//                             its ready process); and touched processes
+//                             that read no wires at all are evaluated
+//                             inline at settle start instead of being
+//                             scheduled — their writes wake readers at
+//                             the proper levels with no mid-sweep
+//                             re-evaluation.
 //
 // Both kernels settle to identical fixed points on protocol-respecting
 // circuits (enforced by the kernel-equivalence test suite); the naive
@@ -98,6 +119,16 @@ class Simulator {
   /// it. Called automatically by the Component dtor.
   void unregister_component(Component& c) noexcept;
 
+  /// Drops the materialized process slots (and every sensitivity record)
+  /// of `c` so the next settle re-materializes them — called when a
+  /// component's process layout changes (Component::set_process_split).
+  void invalidate_processes(Component& c) noexcept;
+
+  /// The registered components, in registration order.
+  [[nodiscard]] const std::vector<Component*>& components() const noexcept {
+    return components_;
+  }
+
   /// Constructs a component (or any object) owned by the simulator.
   /// Components still self-register through their constructor — with the
   /// simulator passed in `args`, not implicitly with `this`. Constructing
@@ -144,22 +175,41 @@ class Simulator {
 
   /// Upper bound on settle work per cycle (default: scales with the number
   /// of components). The naive kernel counts full sweeps; the event-driven
-  /// kernel counts evaluations of any single component — both exceed the
+  /// kernel counts evaluations of any single process — both exceed the
   /// limit only when a combinational cycle fails to converge.
   void set_settle_limit(std::size_t limit) noexcept { settle_limit_ = limit; }
 
   [[nodiscard]] std::size_t component_count() const noexcept { return components_.size(); }
 
-  /// Total eval() invocations across all settle passes since construction;
-  /// the direct measure of settle work a kernel performs.
+  /// Total evaluations across all settle passes since construction — the
+  /// number of units the settle scheduler dispatched. The naive kernel
+  /// counts whole-component eval() calls; the event-driven kernel counts
+  /// scheduled units: merged/full evals and individual process
+  /// evaluations alike (a split component's forward and backward phases
+  /// count separately, each being a fraction of the full eval's work).
   [[nodiscard]] std::uint64_t eval_count() const noexcept { return eval_count_; }
+
+  /// Settle work in component-equivalent evals: a full (or merged) eval
+  /// counts 1, an individual process eval counts 1/process_count. This is
+  /// the metric comparable across kernel granularities — raw eval_count()
+  /// inflates under the process-granular kernel because its units are
+  /// fractions of a component eval.
+  [[nodiscard]] double settle_work() const noexcept { return settle_work_; }
+
+  /// Clock-edge commits skipped by tick elision (quiescent components)
+  /// since construction; 0 under the naive kernel.
+  [[nodiscard]] std::uint64_t elided_tick_count() const noexcept {
+    return elided_tick_count_;
+  }
 
  private:
   [[nodiscard]] std::size_t effective_settle_limit() const noexcept;
+  void ensure_processes(Component& c);
   void settle_naive();
   void settle_event();
   void relevelize();
   void rebuild_sequential_cache();
+  void seed_process(Process& p, std::size_t& pending, std::size_t& min_level);
   void flush_worklist_to_buckets(std::size_t& pending, std::size_t& min_level);
   void clear_pending() noexcept;
 
@@ -179,11 +229,12 @@ class Simulator {
   bool demoted_to_naive_ = false;    // order-sensitive cycle found: use
                                      // the reference order from now on
   bool seq_cache_valid_ = false;     // seq_components_ matches components_
-  std::uint64_t settle_epoch_ = 0;   // distinguishes settle passes
   std::uint64_t eval_count_ = 0;
+  double settle_work_ = 0.0;
+  std::uint64_t elided_tick_count_ = 0;
   std::size_t level_count_ = 0;      // acyclic levels; cyclic bucket follows
   std::vector<Component*> seq_components_;
-  std::vector<std::vector<Component*>> buckets_;  // worklist, by level
+  std::vector<std::vector<Process*>> buckets_;  // worklist, by level
 };
 
 }  // namespace mte::sim

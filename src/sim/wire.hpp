@@ -6,14 +6,17 @@
 // has not yet reached a fixed point.
 //
 // Beyond the naive "anything changed" bit, wires also carry the sensitivity
-// metadata the event-driven kernel runs on:
-//   - fanout: the components observed reading this wire from inside eval()
-//     (recorded on first read; a superset of the live read set, which is
-//     sound — a component whose last eval never read a wire cannot depend
+// metadata the event-driven kernel runs on. Sensitivity is recorded at
+// PROCESS granularity (sim::Process — a component's whole eval() by
+// default, or one phase of a split component):
+//   - fanout: the processes observed reading this wire from inside their
+//     eval (recorded on first read; a superset of the live read set, which
+//     is sound — a process whose last eval never read a wire cannot depend
 //     on it),
-//   - writer: the component observed driving the wire (single-writer by
-//     construction of the circuit model),
-//   - a dirty-component worklist on the ChangeTracker: a write that changes
+//   - writer: the process observed driving the wire (single-writer by
+//     construction of the circuit model; split components write disjoint
+//     wire sets per process),
+//   - a dirty-process worklist on the ChangeTracker: a write that changes
 //     the value enqueues exactly the fanout of that wire.
 #pragma once
 
@@ -30,10 +33,10 @@ class WireBase;
 /// The hub shared by a Simulator's wires and its settle kernel.
 ///
 /// For the naive kernel it is the original one-bit change flag. For the
-/// event-driven kernel it additionally tracks which component is currently
-/// inside eval() (so wires can record readers/writers), keeps the registry
+/// event-driven kernel it additionally tracks which process is currently
+/// inside eval (so wires can record readers/writers), keeps the registry
 /// of wires (the levelization pass walks writer->fanout edges), and owns
-/// the dirty-component worklist fed by wire changes.
+/// the dirty-process worklist fed by wire changes.
 class ChangeTracker {
  public:
   ChangeTracker() = default;
@@ -47,8 +50,8 @@ class ChangeTracker {
   bool consume() noexcept { return std::exchange(changed_, false); }
 
   // --- evaluation context (sensitivity discovery) -------------------------
-  [[nodiscard]] Component* evaluating() const noexcept { return evaluating_; }
-  void begin_eval(Component& c) noexcept { evaluating_ = &c; }
+  [[nodiscard]] Process* evaluating() const noexcept { return evaluating_; }
+  void begin_eval(Process& p) noexcept { evaluating_ = &p; }
   void end_eval() noexcept { evaluating_ = nullptr; }
 
   /// Worklist feeding is only enabled while an event-driven kernel drives
@@ -56,16 +59,16 @@ class ChangeTracker {
   void set_event_mode(bool on) noexcept { event_mode_ = on; }
   [[nodiscard]] bool event_mode() const noexcept { return event_mode_; }
 
-  // --- dirty-component worklist -------------------------------------------
-  /// Enqueues a component for (re-)evaluation; deduplicated via the
-  /// component's dirty flag.
-  void enqueue(Component& c) {
-    if (c.kernel_dirty_) return;
-    c.kernel_dirty_ = true;
-    worklist_.push_back(&c);
+  // --- dirty-process worklist ---------------------------------------------
+  /// Enqueues a process for (re-)evaluation; deduplicated via the
+  /// process's dirty flag.
+  void enqueue(Process& p) {
+    if (p.dirty) return;
+    p.dirty = true;
+    worklist_.push_back(&p);
   }
 
-  [[nodiscard]] const std::vector<Component*>& worklist() const noexcept {
+  [[nodiscard]] const std::vector<Process*>& worklist() const noexcept {
     return worklist_;
   }
   void clear_worklist() noexcept { worklist_.clear(); }
@@ -78,8 +81,9 @@ class ChangeTracker {
 
   [[nodiscard]] const std::vector<WireBase*>& wires() const noexcept { return wires_; }
 
-  /// Drops every sensitivity record that mentions `c` (called when a
-  /// component is destroyed or unregistered mid-run).
+  /// Drops every sensitivity record that mentions a process of `c`
+  /// (called when a component is destroyed, unregistered mid-run, or its
+  /// process layout is invalidated).
   void forget(Component& c);
 
  private:
@@ -90,8 +94,8 @@ class ChangeTracker {
   bool changed_ = false;
   bool event_mode_ = false;
   bool topology_dirty_ = false;
-  Component* evaluating_ = nullptr;
-  std::vector<Component*> worklist_;
+  Process* evaluating_ = nullptr;
+  std::vector<Process*> worklist_;
   std::vector<WireBase*> wires_;
 };
 
@@ -120,38 +124,39 @@ class WireBase {
     tracker_->register_wire(*this);
   }
 
-  /// The component observed driving this wire (nullptr until discovered or
+  /// The process observed driving this wire (nullptr until discovered or
   /// when the wire is driven externally, e.g. by test code).
-  [[nodiscard]] Component* writer() const noexcept { return writer_; }
+  [[nodiscard]] Process* writer() const noexcept { return writer_; }
 
-  /// Components observed reading this wire from inside eval().
-  [[nodiscard]] const std::vector<Component*>& fanout() const noexcept {
+  /// Processes observed reading this wire from inside eval.
+  [[nodiscard]] const std::vector<Process*>& fanout() const noexcept {
     return fanout_;
   }
 
  protected:
-  /// Records the currently evaluating component as sensitive to this wire.
+  /// Records the currently evaluating process as sensitive to this wire.
   void record_read() const {
-    Component* c = tracker_->evaluating();
-    if (c == nullptr || c == last_reader_) return;
-    last_reader_ = c;
-    for (Component* r : fanout_) {
-      if (r == c) return;
+    Process* p = tracker_->evaluating();
+    if (p == nullptr || p == last_reader_) return;
+    p->reads_wires = true;
+    last_reader_ = p;
+    for (Process* r : fanout_) {
+      if (r == p) return;
     }
-    fanout_.push_back(c);
+    fanout_.push_back(p);
     tracker_->mark_topology_dirty();
   }
 
-  /// Records the currently evaluating component as this wire's driver.
+  /// Records the currently evaluating process as this wire's driver.
   /// Only the first writer is recorded (wires are single-writer by
   /// construction; the record feeds the levelization heuristic, while
   /// correctness rests on the read fanout) — so the settled fast path is
   /// one null check on a member the write touches anyway.
   void record_write() {
     if (writer_ != nullptr) return;
-    Component* c = tracker_->evaluating();
-    if (c != nullptr) {
-      writer_ = c;
+    Process* p = tracker_->evaluating();
+    if (p != nullptr) {
+      writer_ = p;
       tracker_->mark_topology_dirty();
     }
   }
@@ -160,7 +165,7 @@ class WireBase {
   void notify_changed() {
     tracker_->note_change();
     if (tracker_->event_mode()) {
-      for (Component* r : fanout_) tracker_->enqueue(*r);
+      for (Process* r : fanout_) tracker_->enqueue(*r);
     }
   }
 
@@ -168,9 +173,9 @@ class WireBase {
   friend class ChangeTracker;
 
   ChangeTracker* tracker_;
-  mutable std::vector<Component*> fanout_;
-  mutable Component* last_reader_ = nullptr;
-  Component* writer_ = nullptr;
+  mutable std::vector<Process*> fanout_;
+  mutable Process* last_reader_ = nullptr;
+  Process* writer_ = nullptr;
   std::size_t registry_index_ = 0;
 };
 
@@ -187,26 +192,25 @@ inline void ChangeTracker::unregister_wire(WireBase& w) noexcept {
 }
 
 inline void ChangeTracker::forget(Component& c) {
+  const auto owned = [&c](const Process* p) { return p != nullptr && p->owner == &c; };
   for (WireBase* w : wires_) {
-    if (w->writer_ == &c) w->writer_ = nullptr;
-    if (w->last_reader_ == &c) w->last_reader_ = nullptr;
+    if (owned(w->writer_)) w->writer_ = nullptr;
+    if (owned(w->last_reader_)) w->last_reader_ = nullptr;
     auto& f = w->fanout_;
-    for (std::size_t i = 0; i < f.size(); ++i) {
-      if (f[i] == &c) {
+    for (std::size_t i = f.size(); i-- > 0;) {
+      if (owned(f[i])) {
         f[i] = f.back();
         f.pop_back();
-        break;
       }
     }
   }
   auto& wl = worklist_;
-  for (std::size_t i = 0; i < wl.size(); ++i) {
-    if (wl[i] == &c) {
+  for (std::size_t i = wl.size(); i-- > 0;) {
+    if (owned(wl[i])) {
       wl.erase(wl.begin() + static_cast<std::ptrdiff_t>(i));
-      break;
     }
   }
-  if (evaluating_ == &c) evaluating_ = nullptr;
+  if (owned(evaluating_)) evaluating_ = nullptr;
   topology_dirty_ = true;
 }
 
@@ -234,11 +238,27 @@ class Wire : public WireBase {
     if (!(value_ == v)) {
       value_ = v;
       notify_changed();
+      if (forward_ != nullptr) forward_->set(v);
     }
+  }
+
+  /// Declares `dst` a zero-logic combinational alias of this wire — the
+  /// Verilog `assign dst = this` of a pure passthrough, e.g. an
+  /// operator's ready line. Every value change propagates to dst
+  /// immediately inside the same set(), so no process ever has to be
+  /// scheduled to copy it; dst's writer/fanout records attribute the
+  /// write to whatever process drove the origin, which is exactly the
+  /// dependency the levelization needs. Transitive chains work (dst may
+  /// forward onward); forwarding cycles are a wiring short and are the
+  /// caller's responsibility to not create. One target per wire.
+  void forward_to(Wire<T>& dst) {
+    forward_ = &dst;
+    dst.set(value_);
   }
 
  private:
   T value_;
+  Wire<T>* forward_ = nullptr;
 };
 
 }  // namespace mte::sim

@@ -1,0 +1,185 @@
+// DSE scale-out: sharded campaigns + report merging.
+//
+// The contract under test: because points are densely indexed and
+// self-seeded from (campaign seed, index), running a campaign as N shards
+// (--shard i/N is a pure filter) and merging the N rendered reports
+// reproduces the unsharded report BYTE-IDENTICALLY — same records, same
+// globally recomputed Pareto frontier, same campaign header.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dse/campaign.hpp"
+#include "dse/merge.hpp"
+#include "dse/report.hpp"
+#include "dse/sweep_spec.hpp"
+
+namespace mte::dse {
+namespace {
+
+SweepSpec shard_spec() {
+  SweepSpec spec;
+  spec.workloads = {"fig1", "fig5"};
+  spec.variants = {MebVariant::kFull, MebVariant::kHybrid, MebVariant::kReduced};
+  spec.threads = {2, 4};
+  spec.shared_slots = {0, 2};
+  spec.cycles = 400;
+  spec.seed = 23;
+  return spec;
+}
+
+/// Renders the campaign's shard reports for a given shard count.
+std::vector<std::string> shard_renders(const SweepSpec& spec, std::size_t count,
+                                       bool json) {
+  const CampaignRunner runner;
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Report report(spec, runner.run(spec, 1, Shard{i, count}));
+    out.push_back(json ? report.to_json() : report.to_csv());
+  }
+  return out;
+}
+
+TEST(Shard, CoversPartitionsTheIndexSpace) {
+  const Shard a{0, 3}, b{1, 3}, c{2, 3};
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ((a.covers(i) ? 1 : 0) + (b.covers(i) ? 1 : 0) + (c.covers(i) ? 1 : 0), 1)
+        << i;
+  }
+  EXPECT_TRUE(Shard{}.covers(7));  // the trivial shard covers everything
+}
+
+TEST(Shard, RunnerFiltersButKeepsCampaignIndicesAndSeeds) {
+  const SweepSpec spec = shard_spec();
+  const CampaignRunner runner;
+  const auto all = runner.run(spec, 1);
+  const auto slice = runner.run(spec, 1, Shard{1, 3});
+  ASSERT_FALSE(slice.empty());
+  std::size_t at = 0;
+  for (const auto& rec : slice) {
+    EXPECT_EQ(rec.point.index % 3, 1u);
+    EXPECT_EQ(rec.seed, point_seed(spec.seed, rec.point.index));
+    // The shard's record is bit-equal to the unsharded run's (self-seeded
+    // points cannot see which shard ran them).
+    const auto& ref = all.at(rec.point.index);
+    EXPECT_EQ(rec.result.tokens, ref.result.tokens) << rec.point.label();
+    EXPECT_EQ(rec.result.throughput, ref.result.throughput);
+    ++at;
+  }
+  EXPECT_EQ(at, (all.size() + 1) / 3);
+}
+
+TEST(Shard, RunnerRejectsOutOfRangeShards) {
+  const SweepSpec spec = shard_spec();
+  EXPECT_THROW((void)CampaignRunner{}.run(spec, 1, Shard{3, 3}), std::invalid_argument);
+  EXPECT_THROW((void)CampaignRunner{}.run(spec, 1, Shard{0, 0}), std::invalid_argument);
+}
+
+TEST(Shard, MergedCsvIsByteIdenticalToUnsharded) {
+  const SweepSpec spec = shard_spec();
+  const Report unsharded(spec, CampaignRunner{}.run(spec, 1));
+  for (const std::size_t n : {2u, 3u, 5u}) {
+    EXPECT_EQ(merge_csv(shard_renders(spec, n, /*json=*/false)), unsharded.to_csv())
+        << n << " shards";
+  }
+}
+
+TEST(Shard, MergedJsonIsByteIdenticalToUnsharded) {
+  const SweepSpec spec = shard_spec();
+  const Report unsharded(spec, CampaignRunner{}.run(spec, 1));
+  for (const std::size_t n : {2u, 3u}) {
+    EXPECT_EQ(merge_json(shard_renders(spec, n, /*json=*/true)), unsharded.to_json())
+        << n << " shards";
+  }
+}
+
+TEST(Shard, MergeOrderOfShardFilesDoesNotMatter) {
+  const SweepSpec spec = shard_spec();
+  const Report unsharded(spec, CampaignRunner{}.run(spec, 1));
+  auto shards = shard_renders(spec, 3, /*json=*/true);
+  std::swap(shards[0], shards[2]);
+  EXPECT_EQ(merge_json(shards), unsharded.to_json());
+}
+
+TEST(Shard, MergeRejectsMissingAndDuplicatedShards) {
+  const SweepSpec spec = shard_spec();
+  auto shards = shard_renders(spec, 3, /*json=*/false);
+  // Missing shard: indices are no longer dense.
+  EXPECT_THROW((void)merge_csv({shards[0], shards[2]}), std::invalid_argument);
+  // Duplicated shard: overlapping indices.
+  EXPECT_THROW((void)merge_csv({shards[0], shards[1], shards[1], shards[2]}),
+               std::invalid_argument);
+  EXPECT_THROW((void)merge_csv({}), std::invalid_argument);
+}
+
+TEST(Shard, MergeRejectsMixedCampaigns) {
+  SweepSpec spec = shard_spec();
+  auto shards = shard_renders(spec, 2, /*json=*/true);
+  spec.seed = 99;
+  const auto foreign = shard_renders(spec, 2, /*json=*/true);
+  EXPECT_THROW((void)merge_json({shards[0], foreign[1]}), std::invalid_argument);
+}
+
+TEST(Shard, FailedPointsSurviveTheRoundTrip) {
+  WorkloadSet set;
+  Workload w;
+  w.name = "boom";
+  w.description = "throws for S=4";
+  w.evaluate = [](const SweepPoint& p, sim::Cycle cycles,
+                  std::uint64_t) -> WorkloadResult {
+    if (p.threads == 4) throw std::runtime_error("injected, with a \"quote\"");
+    WorkloadResult r;
+    r.tokens = 1 + p.threads;
+    r.cycles = cycles;
+    r.throughput = 1.0 / static_cast<double>(p.threads);
+    return r;
+  };
+  set.add(std::move(w));
+
+  SweepSpec spec;
+  spec.workloads = {"boom"};
+  spec.variants = {MebVariant::kFull};
+  spec.threads = {2, 4, 8};
+  const CampaignRunner runner{set};
+  const Report unsharded(spec, runner.run(spec, 1));
+  std::vector<std::string> csvs, jsons;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Report shard(spec, runner.run(spec, 1, Shard{i, 2}));
+    csvs.push_back(shard.to_csv());
+    jsons.push_back(shard.to_json());
+  }
+  EXPECT_EQ(merge_csv(csvs), unsharded.to_csv());
+  EXPECT_EQ(merge_json(jsons), unsharded.to_json());
+}
+
+/// The committed golden campaign, reassembled from shards: the
+/// acceptance-level check that --shard/merge reproduce a known report
+/// byte-identically (spec mirrored from test_report.cpp's golden_spec).
+TEST(Shard, GoldenCampaignReassemblesFromShards) {
+  SweepSpec spec;
+  spec.workloads = {"fig1"};
+  spec.variants = {MebVariant::kFull, MebVariant::kReduced};
+  spec.threads = {1, 2, 4};
+  spec.cycles = 300;
+  spec.seed = 7;
+
+  const auto read_golden = [](const std::string& name) {
+    const std::string path =
+        std::string(MTE_SOURCE_DIR) + "/tests/dse/golden/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "missing golden file " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+
+  EXPECT_EQ(merge_csv(shard_renders(spec, 2, /*json=*/false)),
+            read_golden("campaign6.csv"));
+  EXPECT_EQ(merge_json(shard_renders(spec, 3, /*json=*/true)),
+            read_golden("campaign6.json"));
+}
+
+}  // namespace
+}  // namespace mte::dse

@@ -12,6 +12,12 @@
 //           --threads 1,2,4,8 --shared-slots 0,1,2 --workers 4   (one line)
 //   mte_dse --spec campaign.dse --csv out.csv
 //   mte_dse --print-schema          # CI drift gate input
+//
+// Scale-out: a campaign can be split across CI jobs or machines with
+//   mte_dse --shard 0/3 --json shard0.json   (likewise 1/3, 2/3)
+//   mte_dse merge -o merged.json shard0.json shard1.json shard2.json
+// Points are densely indexed and self-seeded, so sharding is a pure
+// filter and the merged report is byte-identical to an unsharded run.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +27,7 @@
 #include <vector>
 
 #include "dse/campaign.hpp"
+#include "dse/merge.hpp"
 #include "dse/report.hpp"
 #include "dse/sweep_spec.hpp"
 #include "dse/workloads.hpp"
@@ -45,12 +52,17 @@ using namespace mte;
       "  --cycles N                cycles per fig* point (default 2000)\n"
       "  --seed N                  campaign seed (default 1)\n"
       "  --workers N               host threads (default hardware, 0 = auto)\n"
+      "  --shard I/N               run only points with index %% N == I\n"
       "  --spec FILE               read axes from a spec file (overrides axis flags)\n"
       "  --preset NAME             default | smoke | table1 | capacity | arbiter\n"
       "outputs:\n"
       "  --csv FILE | -            write CSV (- = stdout)\n"
       "  --json FILE | -           write JSON (- = stdout)\n"
       "  --quiet                   suppress the terminal table\n"
+      "subcommands:\n"
+      "  merge [-o FILE] SHARD...  join shard reports (CSV or JSON, auto-\n"
+      "                            detected; all inputs one format) into the\n"
+      "                            byte-identical unsharded report\n"
       "other:\n"
       "  --print-schema            print schema version + CSV header and exit\n"
       "  --print-spec              print the resolved spec and exit\n"
@@ -140,11 +152,64 @@ void write_output(const std::string& path, const std::string& content,
   std::fprintf(stderr, "mte_dse: wrote %s to %s\n", what, path.c_str());
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "mte_dse: cannot read '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// `mte_dse merge [-o FILE] SHARD...` — format auto-detected from the
+/// first input ('{' opens a JSON report, anything else is CSV).
+int run_merge(int argc, char** argv) {
+  std::string out_path = "-";
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" || arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mte_dse: %s needs a value\n", arg.c_str());
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "mte_dse: merge needs at least one shard report\n");
+    return 2;
+  }
+  std::vector<std::string> shards;
+  shards.reserve(inputs.size());
+  for (const auto& path : inputs) shards.push_back(read_file(path));
+
+  const std::size_t first = shards[0].find_first_not_of(" \t\r\n");
+  const bool json = first != std::string::npos && shards[0][first] == '{';
+  try {
+    const std::string merged = json ? dse::merge_json(shards) : dse::merge_csv(shards);
+    write_output(out_path, merged, json ? "merged JSON" : "merged CSV");
+    return 0;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "mte_dse: %s\n", ex.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "merge") return run_merge(argc, argv);
+
   dse::SweepSpec spec = preset_spec("default");
   std::size_t workers = 0;  // auto
+  dse::Shard shard;
   std::string csv_path;
   std::string json_path;
   bool quiet = false;
@@ -251,6 +316,20 @@ int main(int argc, char** argv) {
       spec.seed = parse_u64(arg_value(i), "--seed");
     } else if (arg == "--workers") {
       workers = parse_u64(arg_value(i), "--workers");
+    } else if (arg == "--shard") {
+      const std::string v = arg_value(i);
+      const std::size_t slash = v.find('/');
+      if (slash == std::string::npos) {
+        std::fprintf(stderr, "mte_dse: --shard wants I/N, got '%s'\n", v.c_str());
+        return 2;
+      }
+      shard.index = parse_u64(v.substr(0, slash), "--shard");
+      shard.count = parse_u64(v.substr(slash + 1), "--shard");
+      if (shard.count == 0 || shard.index >= shard.count) {
+        std::fprintf(stderr, "mte_dse: --shard %s out of range (want I < N)\n",
+                     v.c_str());
+        return 2;
+      }
     } else if (arg == "--csv") {
       csv_path = arg_value(i);
     } else if (arg == "--json") {
@@ -276,12 +355,20 @@ int main(int argc, char** argv) {
                    "combination was pruned) — nothing to run\n");
       return 2;
     }
-    std::fprintf(stderr, "mte_dse: %zu points, seed %llu\n", points.size(),
-                 static_cast<unsigned long long>(spec.seed));
+    if (shard.count > 1) {
+      std::size_t mine = 0;
+      for (const auto& p : points) mine += shard.covers(p.index) ? 1 : 0;
+      std::fprintf(stderr, "mte_dse: %zu points, seed %llu, shard %zu/%zu (%zu points)\n",
+                   points.size(), static_cast<unsigned long long>(spec.seed),
+                   shard.index, shard.count, mine);
+    } else {
+      std::fprintf(stderr, "mte_dse: %zu points, seed %llu\n", points.size(),
+                   static_cast<unsigned long long>(spec.seed));
+    }
 
     const dse::CampaignRunner runner;
     const auto start = std::chrono::steady_clock::now();
-    const auto records = runner.run(spec, workers);
+    const auto records = runner.run(spec, workers, shard);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
