@@ -18,11 +18,22 @@
 // cheap equivalence smoke test; the md5 rows additionally cross-check the
 // digests themselves (digest_check), keeping tokens a real token count.
 //
-// `bench_sim_speed --gate` runs only the CI eval-count regression gate:
-// the event kernel on fig5_full S=4 under backpressure must stay below a
-// committed settle-work budget per cycle, so a future component that
-// forgets is_sequential()/process splitting (or a kernel change that
-// reintroduces SCC re-evaluation) fails loudly.
+// The commit phase is measured alongside settling:
+//   ticks         tick() dispatches per cycle (Simulator::tick_count) —
+//                 the machine-independent commit-work metric (elision
+//                 lowers it; a component that forgets tick_quiescent
+//                 raises it),
+//   commit_share  commit wall time / (settle + commit) wall time, from a
+//                 separate phase-instrumented run (Simulator::
+//                 set_phase_timing; not the timed best-of-3 reps).
+//
+// `bench_sim_speed --gate` runs only the CI regression gates on fig5_full
+// S=4 under backpressure: the event kernel must stay below a committed
+// settle-work budget per cycle (a future component that forgets
+// is_sequential()/process splitting, or a kernel change that
+// reintroduces SCC re-evaluation, fails loudly) AND below a committed
+// tick budget per cycle (a component that stops elising, or commit-side
+// work creep, fails the same way).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -44,6 +55,14 @@ using namespace mte;
 // re-evaluation blow straight past it.
 constexpr double kGateMaxWorkPerCycle = 12.4;
 
+// Commit-phase gate budget: tick() dispatches per cycle on the same row.
+// The circuit has 6 sequential components (source, 4 MEBs, sink; the FUs
+// are pure wire forwards), and under backpressure nearly everything is
+// busy, so the row measures ~6.0 ticks/cycle — elision can only lower
+// it. 6.5 flags commit-side regressions: new always-ticking components
+// on the hot path, or an FU/operator that regains a tick.
+constexpr double kGateMaxTicksPerCycle = 6.5;
+
 struct Measurement {
   std::string circuit;
   std::size_t threads = 1;
@@ -53,6 +72,8 @@ struct Measurement {
   double cycles_per_sec = 0.0;
   double evals = 0.0;             // settle work, component-equivalent
   std::uint64_t sched_evals = 0;  // raw dispatched units
+  double ticks = 0.0;             // tick() dispatches per cycle (commit work)
+  double commit_share = 0.0;      // commit wall / (settle + commit) wall
   std::uint64_t tokens = 0;
   std::uint64_t digest_check = 0; // md5 rows: order-sensitive digest mix
 };
@@ -128,6 +149,7 @@ Measurement measure_md5(const Workload& w, sim::KernelKind kernel) {
   std::uint64_t cycles_per_rep = 0;
   const std::uint64_t evals_before = c.simulator().eval_count();
   const double work_before = c.simulator().settle_work();
+  const std::uint64_t ticks_before = c.simulator().tick_count();
   for (int rep = 0; rep < kReps; ++rep) {
     std::uint64_t cycles = 0;
     const auto t0 = std::chrono::steady_clock::now();
@@ -144,6 +166,16 @@ Measurement measure_md5(const Workload& w, sim::KernelKind kernel) {
   m.cycles_per_sec = static_cast<double>(cycles_per_rep) / best;
   m.sched_evals = (c.simulator().eval_count() - evals_before) / kReps;
   m.evals = (c.simulator().settle_work() - work_before) / kReps;
+  m.ticks = static_cast<double>(c.simulator().tick_count() - ticks_before) /
+            static_cast<double>(kReps) / static_cast<double>(cycles_per_rep);
+  // Commit wall share from a separate phase-instrumented digest batch
+  // (the clock reads would distort the timed reps above).
+  c.simulator().set_phase_timing(true);
+  for (int d = 0; d < 8; ++d) (void)c.run();
+  c.simulator().set_phase_timing(false);
+  const double settle_s = c.simulator().settle_seconds();
+  const double commit_s = c.simulator().commit_seconds();
+  if (settle_s + commit_s > 0.0) m.commit_share = commit_s / (settle_s + commit_s);
   m.tokens = static_cast<std::uint64_t>(kDigestsPerRep) * w.threads;
   for (std::size_t t = 0; t < w.threads; ++t) {
     const md5::State& s = c.digest(t);
@@ -183,6 +215,7 @@ Measurement measure(const Workload& w, sim::KernelKind kernel) {
     s.run(512);  // warm up: fill the pipeline, discover sensitivities
     const std::uint64_t evals_before = s.eval_count();
     const double work_before = s.settle_work();
+    const std::uint64_t ticks_before = s.tick_count();
     double best = 0.0;
     for (int rep = 0; rep < kReps; ++rep) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -195,6 +228,16 @@ Measurement measure(const Workload& w, sim::KernelKind kernel) {
     m.cycles_per_sec = static_cast<double>(w.cycles) / best;
     m.sched_evals = (s.eval_count() - evals_before) / kReps;
     m.evals = (s.settle_work() - work_before) / kReps;
+    m.ticks = static_cast<double>(s.tick_count() - ticks_before) /
+              static_cast<double>(kReps) / static_cast<double>(w.cycles);
+    // Commit wall share from a separate phase-instrumented stretch (the
+    // clock reads would distort the timed reps above).
+    s.set_phase_timing(true);
+    s.run(w.cycles / 4);
+    s.set_phase_timing(false);
+    const double settle_s = s.settle_seconds();
+    const double commit_s = s.commit_seconds();
+    if (settle_s + commit_s > 0.0) m.commit_share = commit_s / (settle_s + commit_s);
   };
 
   if (w.threads > 1) {
@@ -219,38 +262,53 @@ Measurement measure(const Workload& w, sim::KernelKind kernel) {
 }
 
 void append_json(std::string& out, const Measurement& m) {
-  char buf[640];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "    {\"circuit\": \"%s\", \"threads\": %zu, \"kernel\": \"%s\", "
                 "\"cycles\": %llu, \"seconds\": %.6f, \"cycles_per_sec\": %.1f, "
-                "\"evals\": %.1f, \"sched_evals\": %llu, \"tokens\": %llu, "
-                "\"digest_check\": %llu}",
+                "\"evals\": %.1f, \"sched_evals\": %llu, "
+                "\"ticks_per_cycle\": %.2f, \"commit_share\": %.3f, "
+                "\"tokens\": %llu, \"digest_check\": %llu}",
                 m.circuit.c_str(), m.threads, m.kernel.c_str(),
                 static_cast<unsigned long long>(m.cycles), m.seconds,
                 m.cycles_per_sec, m.evals,
                 static_cast<unsigned long long>(m.sched_evals),
+                m.ticks, m.commit_share,
                 static_cast<unsigned long long>(m.tokens),
                 static_cast<unsigned long long>(m.digest_check));
   out += buf;
 }
 
-/// CI gate: event-kernel settle work per cycle on the fig5_full S=4
-/// backpressure row must stay under the committed budget.
+/// CI gate: event-kernel settle work AND commit work per cycle on the
+/// fig5_full S=4 backpressure row must stay under their committed
+/// budgets — the gate covers both phases of the cycle, not just settle
+/// evals.
 int run_gate() {
   const Workload w{"fig5_full", 4, mt::MebKind::kFull, 20000, 0.75};
   const Measurement m = measure(w, sim::KernelKind::kEventDriven);
   const double work_per_cycle = m.evals / static_cast<double>(w.cycles);
-  const bool ok = work_per_cycle < kGateMaxWorkPerCycle;
+  const bool settle_ok = work_per_cycle < kGateMaxWorkPerCycle;
+  const bool commit_ok = m.ticks < kGateMaxTicksPerCycle;
   std::printf("sim_speed gate: fig5_full S=4 event kernel: %.2f "
               "component-equivalent evals/cycle (budget %.2f) -> %s\n",
-              work_per_cycle, kGateMaxWorkPerCycle, ok ? "OK" : "FAIL");
-  if (!ok) {
+              work_per_cycle, kGateMaxWorkPerCycle, settle_ok ? "OK" : "FAIL");
+  std::printf("sim_speed gate: fig5_full S=4 event kernel: %.2f "
+              "ticks/cycle (budget %.2f), commit wall share %.1f%% -> %s\n",
+              m.ticks, kGateMaxTicksPerCycle, 100.0 * m.commit_share,
+              commit_ok ? "OK" : "FAIL");
+  if (!settle_ok) {
     std::fprintf(stderr,
                  "FAIL: event-kernel settle work regressed past the budget — "
                  "check is_sequential()/process declarations of new components "
                  "and the kernel's seeding/levelization\n");
   }
-  return ok ? 0 : 1;
+  if (!commit_ok) {
+    std::fprintf(stderr,
+                 "FAIL: commit-phase work regressed past the tick budget — "
+                 "check tick_quiescent()/tick_idle_hint declarations and "
+                 "whether a hot-path component stopped elising\n");
+  }
+  return settle_ok && commit_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -272,8 +330,8 @@ int main(int argc, char** argv) {
   };
 
   std::printf("sim_speed: settle-kernel comparison (cycles/sec)\n");
-  std::printf("%-14s %3s | %12s %12s | %7s | token check\n", "circuit", "S",
-              "naive", "event", "speedup");
+  std::printf("%-14s %3s | %12s %12s | %7s | %5s %6s | token check\n", "circuit",
+              "S", "naive", "event", "speedup", "ticks", "commit");
 
   std::string results_json;
   std::string speedups_json;
@@ -296,9 +354,10 @@ int main(int argc, char** argv) {
         event.evals / static_cast<double>(w.cycles) >= kGateMaxWorkPerCycle) {
       fig5_work_budget_met = false;
     }
-    std::printf("%-14s %3zu | %12.0f %12.0f | %6.2fx | %s\n", w.name.c_str(),
-                w.threads, naive.cycles_per_sec, event.cycles_per_sec, speedup,
-                match ? "ok" : "MISMATCH");
+    std::printf("%-14s %3zu | %12.0f %12.0f | %6.2fx | %5.1f %5.1f%% | %s\n",
+                w.name.c_str(), w.threads, naive.cycles_per_sec,
+                event.cycles_per_sec, speedup, event.ticks,
+                100.0 * event.commit_share, match ? "ok" : "MISMATCH");
 
     if (i > 0) results_json += ",\n";
     append_json(results_json, naive);

@@ -37,7 +37,7 @@ class FetchStage : public sim::Component {
              mt::MtChannel<Uop>& out, const ProcessorConfig& cfg)
       : Component(s, "fetch"), arch_(arch), out_(out), cfg_(cfg),
         arb_(out.threads()), engines_(out.threads()), rng_(cfg.seed),
-        pending_(out.threads(), false), ready_down_(out.threads(), false) {}
+        pending_(out.threads()), ready_down_(out.threads()) {}
 
   void reset() override {
     rng_.reseed(cfg_.seed);
@@ -58,8 +58,8 @@ class FetchStage : public sim::Component {
   void eval() override {
     const std::size_t n = out_.threads();
     for (std::size_t i = 0; i < n; ++i) {
-      pending_[i] = engines_[i].state == Engine::kReady;
-      ready_down_[i] = out_.ready(i).get();
+      pending_.set(i, engines_[i].state == Engine::kReady);
+      ready_down_.set(i, out_.ready(i).get());
     }
     grant_ = arb_.grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
@@ -130,8 +130,8 @@ class FetchStage : public sim::Component {
   std::size_t grant_ = 0;
   // Arbitration scratch, sized once at construction: eval() runs per settle
   // iteration and must not allocate.
-  std::vector<bool> pending_;
-  std::vector<bool> ready_down_;
+  mt::ThreadMask pending_;
+  mt::ThreadMask ready_down_;
 };
 
 // ---------------------------------------------------------------------------

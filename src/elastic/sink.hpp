@@ -23,10 +23,8 @@ class Sink : public sim::Component {
       : Component(s, std::move(name)), in_(in) {}
 
   /// Ready with probability `rate` each cycle (deterministic from seed).
-  void set_rate(double rate, std::uint64_t seed = 2) {
-    rate_ = rate;
-    rng_.reseed(seed);
-  }
+  /// Restarts the gate stream (sim::BernoulliGate draw-consumption policy).
+  void set_rate(double rate, std::uint64_t seed = 2) { gate_.configure(rate, seed); }
 
   /// Not ready during any cycle c with start <= c < end.
   void add_stall_window(sim::Cycle start, sim::Cycle end) {
@@ -35,14 +33,14 @@ class Sink : public sim::Component {
 
   void reset() override {
     received_.clear();
-    gate_ = rate_ >= 1.0 || rng_.next_bool(rate_);
+    gate_.reset();  // replay the same readiness pattern on rerun
   }
 
-  void eval() override { in_.ready.set(gate_ && !stalled_now()); }
+  void eval() override { in_.ready.set(gate_.open() && !stalled_now()); }
 
   void tick() override {
     if (in_.valid.get() && in_.ready.get()) received_.push_back(in_.data.get());
-    gate_ = rate_ >= 1.0 || rng_.next_bool(rate_);
+    gate_.advance();
   }
 
   [[nodiscard]] const std::vector<T>& received() const noexcept { return received_; }
@@ -60,9 +58,7 @@ class Sink : public sim::Component {
   Channel<T>& in_;
   std::vector<T> received_;
   std::vector<std::pair<sim::Cycle, sim::Cycle>> stalls_;
-  double rate_ = 1.0;
-  sim::Rng rng_{2};
-  bool gate_ = true;
+  sim::BernoulliGate gate_{2};
 };
 
 }  // namespace mte::elastic

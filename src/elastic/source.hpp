@@ -31,21 +31,23 @@ class Source : public sim::Component {
 
   void set_generator(std::function<T(std::uint64_t)> gen) { generator_ = std::move(gen); }
 
-  /// Offers a token with probability `rate` each cycle (deterministic from seed).
-  void set_rate(double rate, std::uint64_t seed = 1) {
-    rate_ = rate;
-    rng_.reseed(seed);
-  }
+  /// Offers a token with probability `rate` each cycle (deterministic from
+  /// seed). Restarts the gate stream: decision 0 of the (rate, seed)
+  /// stream is consumed at the next clock edge (or at reset()) — see
+  /// sim::BernoulliGate for the full draw-consumption policy.
+  void set_rate(double rate, std::uint64_t seed = 1) { gate_.configure(rate, seed); }
 
   void reset() override {
     index_ = 0;
     sent_ = 0;
-    gate_ = rate_ >= 1.0 || rng_.next_bool(rate_);
+    // Back to the configured seed's decision 0: reset-and-rerun replays
+    // exactly the injection pattern of a fresh run.
+    gate_.reset();
   }
 
   void eval() override {
     const std::optional<T> tok = current();
-    out_.valid.set(tok.has_value() && gate_);
+    out_.valid.set(tok.has_value() && gate_.open());
     out_.data.set(tok.value_or(T{}));
   }
 
@@ -54,7 +56,7 @@ class Source : public sim::Component {
       ++index_;
       ++sent_;
     }
-    gate_ = rate_ >= 1.0 || rng_.next_bool(rate_);
+    gate_.advance();
   }
 
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
@@ -74,11 +76,9 @@ class Source : public sim::Component {
   Channel<T>& out_;
   std::vector<T> tokens_;
   std::function<T(std::uint64_t)> generator_;
-  double rate_ = 1.0;
-  sim::Rng rng_{1};
+  sim::BernoulliGate gate_{1};
   std::uint64_t index_ = 0;
   std::uint64_t sent_ = 0;
-  bool gate_ = true;
 };
 
 }  // namespace mte::elastic

@@ -36,6 +36,7 @@ class VariableLatencyUnit : public sim::Component {
 
   /// Uniform latency in [lo, hi] cycles, deterministic from seed.
   void set_latency_range(unsigned lo, unsigned hi, std::uint64_t seed = 3) {
+    seed_ = seed;
     rng_.reseed(seed);
     latency_fn_ = [this, lo, hi](const T&) {
       return static_cast<unsigned>(rng_.next_in(lo, hi));
@@ -50,6 +51,9 @@ class VariableLatencyUnit : public sim::Component {
     state_ = State::kIdle;
     remaining_ = 0;
     token_ = T{};
+    // Restore the latency stream to its configured seed so that
+    // reset-and-rerun draws the same latencies as a fresh run.
+    rng_.reseed(seed_);
   }
 
   void eval() override {
@@ -88,6 +92,7 @@ class VariableLatencyUnit : public sim::Component {
   Channel<T>& out_;
   Fn fn_;
   LatencyFn latency_fn_;
+  std::uint64_t seed_ = 3;
   sim::Rng rng_{3};
   State state_ = State::kIdle;
   unsigned remaining_ = 0;

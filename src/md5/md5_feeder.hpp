@@ -31,7 +31,7 @@ class Md5Feeder : public sim::Component {
       : Component(s, std::move(name)), out_(out), in_(in),
         arb_(std::make_unique<mt::RoundRobinArbiter>(out.threads())),
         per_thread_(out.threads()),
-        pending_(out.threads(), false), ready_down_(out.threads(), false) {
+        pending_(out.threads()), ready_down_(out.threads()) {
     if (out.threads() != in.threads()) {
       throw sim::SimulationError("Md5Feeder '" + this->name() +
                                  "': channel thread counts differ");
@@ -64,8 +64,8 @@ class Md5Feeder : public sim::Component {
     const std::size_t n = threads();
     for (std::size_t i = 0; i < n; ++i) {
       const auto& t = per_thread_[i];
-      pending_[i] = !t.awaiting && t.issued < total_blocks_;
-      ready_down_[i] = out_.ready(i).get();
+      pending_.set(i, !t.awaiting && t.issued < total_blocks_);
+      ready_down_.set(i, out_.ready(i).get());
       in_.ready(i).set(true);  // returning digests are always absorbed
     }
     grant_ = arb_->grant(pending_, ready_down_);
@@ -164,8 +164,8 @@ class Md5Feeder : public sim::Component {
   std::size_t grant_ = 0;
   // Arbitration scratch, sized once at construction: eval() runs per settle
   // iteration and must not allocate.
-  std::vector<bool> pending_;
-  std::vector<bool> ready_down_;
+  mt::ThreadMask pending_;
+  mt::ThreadMask ready_down_;
 };
 
 }  // namespace mte::md5

@@ -12,6 +12,10 @@
 // pending thread, and rotate the offer each non-firing cycle so every
 // blocked thread is eventually made visible downstream. Data safety is
 // unaffected: a token leaves its buffer only on a completed handshake.
+//
+// Representation: pending/ready are ThreadMask words (packed uint64_t),
+// matching the S-wide handshake vectors of the hardware. The priority
+// scans are countr_zero-based word scans with no modulo in the hot loop.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +23,8 @@
 #include <optional>
 #include <string_view>
 #include <vector>
+
+#include "mt/thread_mask.hpp"
 
 namespace mte::mt {
 
@@ -36,10 +42,10 @@ class Arbiter {
   [[nodiscard]] std::size_t threads() const noexcept { return n_; }
 
   /// Selects the thread to occupy the channel this cycle, or threads()
-  /// for none. `pending[i]`: thread i has data to send. `ready[i]`:
+  /// for none. `pending` bit i: thread i has data to send. `ready` bit i:
   /// downstream can accept thread i this cycle.
-  [[nodiscard]] virtual std::size_t grant(const std::vector<bool>& pending,
-                                          const std::vector<bool>& ready) const = 0;
+  [[nodiscard]] virtual std::size_t grant(const ThreadMask& pending,
+                                          const ThreadMask& ready) const = 0;
 
   /// Clock-edge update. `granted` is the last grant() result (threads()
   /// for none); `fired` tells whether that grant completed a transfer.
@@ -61,26 +67,17 @@ class Arbiter {
   virtual void reset() {}
 
  protected:
-  /// First index i >= from (cyclically) with pending[i] && ready[i];
-  /// n if none.
-  [[nodiscard]] std::size_t first_ready(const std::vector<bool>& pending,
-                                        const std::vector<bool>& ready,
+  /// First index i >= from (cyclically) pending AND ready; n if none.
+  [[nodiscard]] std::size_t first_ready(const ThreadMask& pending,
+                                        const ThreadMask& ready,
                                         std::size_t from) const {
-    for (std::size_t k = 0; k < n_; ++k) {
-      const std::size_t i = (from + k) % n_;
-      if (pending[i] && ready[i]) return i;
-    }
-    return n_;
+    return ThreadMask::first_and_from(pending, ready, from);
   }
 
-  /// First index i >= from (cyclically) with pending[i]; n if none.
-  [[nodiscard]] std::size_t first_pending(const std::vector<bool>& pending,
+  /// First index i >= from (cyclically) pending; n if none.
+  [[nodiscard]] std::size_t first_pending(const ThreadMask& pending,
                                           std::size_t from) const {
-    for (std::size_t k = 0; k < n_; ++k) {
-      const std::size_t i = (from + k) % n_;
-      if (pending[i]) return i;
-    }
-    return n_;
+    return pending.first_set_from(from);
   }
 
   std::size_t n_;
@@ -91,8 +88,8 @@ class RoundRobinArbiter : public Arbiter {
  public:
   explicit RoundRobinArbiter(std::size_t threads) : Arbiter(threads) {}
 
-  [[nodiscard]] std::size_t grant(const std::vector<bool>& pending,
-                                  const std::vector<bool>& ready) const override {
+  [[nodiscard]] std::size_t grant(const ThreadMask& pending,
+                                  const ThreadMask& ready) const override {
     const std::size_t g = first_ready(pending, ready, ptr_);
     if (g != n_) return g;
     return first_pending(pending, ptr_);  // speculative offer
@@ -132,9 +129,9 @@ class ObliviousArbiter : public Arbiter {
  public:
   explicit ObliviousArbiter(std::size_t threads) : Arbiter(threads) {}
 
-  [[nodiscard]] std::size_t grant(const std::vector<bool>& pending,
-                                  const std::vector<bool>& /*ready*/) const override {
-    return pending[slot_] ? slot_ : n_;
+  [[nodiscard]] std::size_t grant(const ThreadMask& pending,
+                                  const ThreadMask& /*ready*/) const override {
+    return pending.test(slot_) ? slot_ : n_;
   }
 
   void update(std::size_t /*granted*/, bool /*fired*/) override {
@@ -161,9 +158,9 @@ class FixedPriorityArbiter : public Arbiter {
  public:
   explicit FixedPriorityArbiter(std::size_t threads) : Arbiter(threads) {}
 
-  [[nodiscard]] std::size_t grant(const std::vector<bool>& pending,
-                                  const std::vector<bool>& ready) const override {
-    const std::size_t g = first_ready(pending, ready, 0);
+  [[nodiscard]] std::size_t grant(const ThreadMask& pending,
+                                  const ThreadMask& ready) const override {
+    const std::size_t g = ThreadMask::first_and_at_or_after(pending, ready, 0);
     if (g != n_) return g;
     // Even a fixed-priority design needs a rotating speculative offer to
     // avoid wedging barriers; the rotation state is invisible when some
@@ -173,6 +170,13 @@ class FixedPriorityArbiter : public Arbiter {
 
   void update(std::size_t granted, bool fired) override {
     if (granted != n_ && !fired) spec_ptr_ = (spec_ptr_ + 1) % n_;
+  }
+
+  /// A firing edge (or a no-grant edge) leaves spec_ptr_ alone, so unlike
+  /// the default the fired case IS a no-op here.
+  [[nodiscard]] bool update_is_noop(std::size_t granted,
+                                    bool fired) const noexcept override {
+    return n_ == 1 || fired || granted == n_;
   }
 
   void reset() override { spec_ptr_ = 0; }
@@ -191,8 +195,8 @@ class MatrixArbiter : public Arbiter {
     reset();
   }
 
-  [[nodiscard]] std::size_t grant(const std::vector<bool>& pending,
-                                  const std::vector<bool>& ready) const override {
+  [[nodiscard]] std::size_t grant(const ThreadMask& pending,
+                                  const ThreadMask& ready) const override {
     const std::size_t g = pick(pending, ready);
     if (g != n_) return g;
     return first_pending(pending, spec_ptr_);  // rotating speculative offer
@@ -219,14 +223,18 @@ class MatrixArbiter : public Arbiter {
   }
 
  private:
-  /// Requester that is older than every other competing requester.
-  [[nodiscard]] std::size_t pick(const std::vector<bool>& pending,
-                                 const std::vector<bool>& ready) const {
-    for (std::size_t i = 0; i < n_; ++i) {
-      if (!pending[i] || !ready[i]) continue;
+  /// Requester that is older than every other competing requester. Both
+  /// loops walk only the set bits of pending & ready (word iteration),
+  /// so contention cost scales with requesters, not threads.
+  [[nodiscard]] std::size_t pick(const ThreadMask& pending,
+                                 const ThreadMask& ready) const {
+    for (std::size_t i = ThreadMask::first_and_at_or_after(pending, ready, 0);
+         i != n_; i = ThreadMask::first_and_at_or_after(pending, ready, i + 1)) {
       bool wins = true;
-      for (std::size_t j = 0; j < n_ && wins; ++j) {
-        if (j != i && pending[j] && ready[j] && older_[j][i]) wins = false;
+      for (std::size_t j = ThreadMask::first_and_at_or_after(pending, ready, 0);
+           j != n_ && wins;
+           j = ThreadMask::first_and_at_or_after(pending, ready, j + 1)) {
+        if (j != i && older_[j][i]) wins = false;
       }
       if (wins) return i;
     }

@@ -41,7 +41,7 @@ class FullMeb : public sim::TwoPhaseComponent<FullMeb<T>> {
                      : std::make_unique<RoundRobinArbiter>(in.threads())),
         ctrl_(in.threads()), head_(in.threads()), aux_(in.threads()),
         in_count_(in.threads(), 0), out_count_(in.threads(), 0),
-        pending_(in.threads(), false), ready_down_(in.threads(), false) {
+        pending_(in.threads()), ready_down_(in.threads()) {
     if (in.threads() != out.threads()) {
       throw sim::SimulationError("FullMeb '" + this->name() +
                                  "': input/output thread counts differ");
@@ -102,13 +102,10 @@ class FullMeb : public sim::TwoPhaseComponent<FullMeb<T>> {
     const std::size_t n = threads();
     if (grant_ < n && out_.ready(grant_).get()) return false;   // output fires
     if (!arb_->update_is_noop(grant_, false)) return false;     // pointer turns
-    std::size_t valids = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!in_.valid(i).get()) continue;
-      if (++valids > 1) return false;                           // protocol check
-      if (ctrl_[i].can_accept()) return false;                  // input fires
-    }
-    return true;
+    const ThreadMask& v = in_.valid_mask();
+    if (v.more_than_one()) return false;                        // protocol check
+    const std::size_t i = v.first_set();
+    return i >= n || !ctrl_[i].can_accept();                    // input fires?
   }
 
   [[nodiscard]] std::size_t threads() const noexcept { return ctrl_.size(); }
@@ -130,8 +127,8 @@ class FullMeb : public sim::TwoPhaseComponent<FullMeb<T>> {
   void eval_forward() {
     const std::size_t n = threads();
     for (std::size_t i = 0; i < n; ++i) {
-      pending_[i] = ctrl_[i].has_data();
-      ready_down_[i] = out_.ready(i).get();
+      pending_.set(i, ctrl_[i].has_data());
+      ready_down_.set(i, out_.ready(i).get());
     }
     grant_ = arb_->grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
@@ -157,8 +154,8 @@ class FullMeb : public sim::TwoPhaseComponent<FullMeb<T>> {
   std::vector<std::uint64_t> out_count_;
   // Arbitration scratch, sized once at construction: eval() runs per settle
   // iteration and must not allocate.
-  std::vector<bool> pending_;
-  std::vector<bool> ready_down_;
+  ThreadMask pending_;
+  ThreadMask ready_down_;
 };
 
 }  // namespace mte::mt

@@ -42,7 +42,7 @@ class HybridMeb : public sim::TwoPhaseComponent<HybridMeb<T>> {
         shared_(shared_slots), shared_owner_(shared_slots, in.threads()),
         claimed_slot_(in.threads(), shared_slots),
         out_count_(in.threads(), 0),
-        pending_(in.threads(), false), ready_down_(in.threads(), false) {
+        pending_(in.threads()), ready_down_(in.threads()) {
     if (in.threads() != out.threads()) {
       throw sim::SimulationError("HybridMeb '" + this->name() +
                                  "': input/output thread counts differ");
@@ -139,13 +139,10 @@ class HybridMeb : public sim::TwoPhaseComponent<HybridMeb<T>> {
     const std::size_t n = threads();
     if (grant_ < n && out_.ready(grant_).get()) return false;
     if (!arb_->update_is_noop(grant_, false)) return false;
-    std::size_t valids = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!in_.valid(i).get()) continue;
-      if (++valids > 1) return false;  // protocol check belongs to tick()
-      if (in_.ready(i).get()) return false;
-    }
-    return true;
+    const ThreadMask& v = in_.valid_mask();
+    if (v.more_than_one()) return false;  // protocol check belongs to tick()
+    const std::size_t i = v.first_set();
+    return i >= n || !in_.ready(i).get();
   }
 
   [[nodiscard]] std::size_t threads() const noexcept { return state_.size(); }
@@ -162,8 +159,8 @@ class HybridMeb : public sim::TwoPhaseComponent<HybridMeb<T>> {
   void eval_forward() {
     const std::size_t n = threads();
     for (std::size_t i = 0; i < n; ++i) {
-      pending_[i] = state_[i] != elastic::EbState::kEmpty;
-      ready_down_[i] = out_.ready(i).get();
+      pending_.set(i, state_[i] != elastic::EbState::kEmpty);
+      ready_down_.set(i, out_.ready(i).get());
     }
     grant_ = arb_->grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
@@ -200,8 +197,8 @@ class HybridMeb : public sim::TwoPhaseComponent<HybridMeb<T>> {
   std::vector<std::uint64_t> out_count_;
   // Arbitration scratch, sized once at construction: eval() runs per settle
   // iteration and must not allocate.
-  std::vector<bool> pending_;
-  std::vector<bool> ready_down_;
+  ThreadMask pending_;
+  ThreadMask ready_down_;
 };
 
 }  // namespace mte::mt

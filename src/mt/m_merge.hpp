@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mt/mt_channel.hpp"
+#include "mt/thread_mask.hpp"
 #include "sim/component.hpp"
 #include "sim/simulator.hpp"
 #include "sim/types.hpp"
@@ -35,7 +36,7 @@ class MMerge : public sim::Component {
   MMerge(sim::Simulator& s, std::string name, std::vector<MtChannel<T>*> ins,
          MtChannel<T>& out, bool exclusive = true)
       : Component(s, std::move(name)), ins_(std::move(ins)), out_(out),
-        exclusive_(exclusive) {}
+        exclusive_(exclusive), active_(ins_.size(), out.threads()) {}
 
   void reset() override {
     ptr_ = 0;
@@ -47,16 +48,19 @@ class MMerge : public sim::Component {
     const std::size_t n = out_.threads();
 
     // Active thread per path (no invariant check here: values may be
-    // transient mid-settle; tick() validates).
-    std::vector<std::size_t> active(paths, n);
+    // transient mid-settle; tick() validates). The scan reads the valid
+    // WIRES, not the channel's valid mask: eval-time reads must register
+    // event-kernel sensitivity. active_ is construction-sized scratch.
     for (std::size_t p = 0; p < paths; ++p) {
+      active_[p] = n;
       for (std::size_t i = 0; i < n; ++i) {
         if (ins_[p]->valid(i).get()) {
-          active[p] = i;
+          active_[p] = i;
           break;
         }
       }
     }
+    const std::vector<std::size_t>& active = active_;
 
     // Select a path: prefer, in rotating order, a path whose active
     // thread is ready downstream; otherwise any path with a valid token
@@ -88,14 +92,19 @@ class MMerge : public sim::Component {
   void tick() override {
     const std::size_t paths = ins_.size();
     const std::size_t n = out_.threads();
-    // Per-thread mutual exclusion across paths (branch semantics).
+    // Per-thread mutual exclusion across paths (branch semantics), as a
+    // word-level mask intersection over path pairs instead of a
+    // paths x threads wire rescan.
     if (exclusive_) {
-      for (std::size_t i = 0; i < n; ++i) {
-        int count = 0;
-        for (std::size_t p = 0; p < paths; ++p) count += ins_[p]->valid(i).get() ? 1 : 0;
-        if (count > 1) {
-          throw sim::ProtocolError("MMerge '" + name() + "': thread " +
-                                   std::to_string(i) + " valid on more than one path");
+      for (std::size_t p = 1; p < paths; ++p) {
+        for (std::size_t q = 0; q < p; ++q) {
+          const std::size_t i = ThreadMask::first_and_at_or_after(
+              ins_[p]->valid_mask(), ins_[q]->valid_mask(), 0);
+          if (i < n) {
+            throw sim::ProtocolError("MMerge '" + name() + "': thread " +
+                                     std::to_string(i) +
+                                     " valid on more than one path");
+          }
         }
       }
     }
@@ -112,6 +121,9 @@ class MMerge : public sim::Component {
   bool exclusive_ = true;
   std::size_t ptr_ = 0;
   std::size_t sel_ = 0;
+  // Per-path active-thread scratch, sized once at construction: eval()
+  // runs per settle iteration and must not allocate.
+  std::vector<std::size_t> active_;
 };
 
 }  // namespace mte::mt

@@ -22,10 +22,10 @@ class MtSink : public sim::Component {
   MtSink(sim::Simulator& s, std::string name, MtChannel<T>& in)
       : Component(s, std::move(name)), in_(in), per_thread_(in.threads()) {}
 
+  /// Restarts thread `thread`'s gate stream (sim::BernoulliGate policy).
   void set_rate(std::size_t thread, double rate, std::uint64_t seed = 0) {
-    auto& t = per_thread_.at(thread);
-    t.rate = rate;
-    t.rng.reseed(seed + 0x2545f4914f6cdd1dULL * (thread + 1));
+    per_thread_.at(thread).gate.configure(
+        rate, seed + 0x2545f4914f6cdd1dULL * (thread + 1));
   }
 
   /// Thread `thread` is not ready during cycles [start, end).
@@ -36,7 +36,7 @@ class MtSink : public sim::Component {
   void reset() override {
     for (auto& t : per_thread_) {
       t.received.clear();
-      t.gate = t.rate >= 1.0 || t.rng.next_bool(t.rate);
+      t.gate.reset();  // replay the same readiness pattern on rerun
     }
     order_.clear();
   }
@@ -53,7 +53,7 @@ class MtSink : public sim::Component {
       per_thread_[active].received.push_back(in_.data.get());
       order_.emplace_back(active, in_.data.get());
     }
-    for (auto& t : per_thread_) t.gate = t.rate >= 1.0 || t.rng.next_bool(t.rate);
+    for (auto& t : per_thread_) t.gate.advance();
   }
 
   [[nodiscard]] std::size_t threads() const noexcept { return per_thread_.size(); }
@@ -77,14 +77,12 @@ class MtSink : public sim::Component {
   struct PerThread {
     std::vector<T> received;
     std::vector<std::pair<sim::Cycle, sim::Cycle>> stalls;
-    double rate = 1.0;
-    sim::Rng rng{13};
-    bool gate = true;
+    sim::BernoulliGate gate{13};
   };
 
   [[nodiscard]] bool ready_now(std::size_t i) const {
     const auto& t = per_thread_[i];
-    if (!t.gate) return false;
+    if (!t.gate.open()) return false;
     const sim::Cycle now = sim().now();
     for (const auto& [start, end] : t.stalls) {
       if (now >= start && now < end) return false;

@@ -32,7 +32,7 @@ class MtSource : public sim::Component {
         arb_(arbiter ? std::move(arbiter)
                      : std::make_unique<RoundRobinArbiter>(out.threads())),
         per_thread_(out.threads()),
-        pending_(out.threads(), false), ready_down_(out.threads(), false) {}
+        pending_(out.threads()), ready_down_(out.threads()) {}
 
   void set_tokens(std::size_t thread, std::vector<T> tokens) {
     per_thread_.at(thread).tokens = std::move(tokens);
@@ -42,10 +42,10 @@ class MtSource : public sim::Component {
     per_thread_.at(thread).generator = std::move(gen);
   }
 
+  /// Restarts thread `thread`'s gate stream (sim::BernoulliGate policy).
   void set_rate(std::size_t thread, double rate, std::uint64_t seed = 0) {
-    auto& t = per_thread_.at(thread);
-    t.rate = rate;
-    t.rng.reseed(seed + 0x517cc1b727220a95ULL * (thread + 1));
+    per_thread_.at(thread).gate.configure(
+        rate, seed + 0x517cc1b727220a95ULL * (thread + 1));
   }
 
   /// Thread `thread` offers nothing during cycles [start, end).
@@ -57,7 +57,7 @@ class MtSource : public sim::Component {
     for (auto& t : per_thread_) {
       t.index = 0;
       t.sent = 0;
-      t.gate = t.rate >= 1.0 || t.rng.next_bool(t.rate);
+      t.gate.reset();  // back to decision 0: rerun replays the same gates
     }
     arb_->reset();
     grant_ = threads();
@@ -66,8 +66,8 @@ class MtSource : public sim::Component {
   void eval() override {
     const std::size_t n = threads();
     for (std::size_t i = 0; i < n; ++i) {
-      pending_[i] = offerable(i);
-      ready_down_[i] = out_.ready(i).get();
+      pending_.set(i, offerable(i));
+      ready_down_.set(i, out_.ready(i).get());
     }
     grant_ = arb_->grant(pending_, ready_down_);
     for (std::size_t i = 0; i < n; ++i) out_.valid(i).set(i == grant_);
@@ -87,7 +87,7 @@ class MtSource : public sim::Component {
       ++t.sent;
     }
     arb_->update(grant_, fired);
-    for (auto& t : per_thread_) t.gate = t.rate >= 1.0 || t.rng.next_bool(t.rate);
+    for (auto& t : per_thread_) t.gate.advance();
   }
 
   [[nodiscard]] std::size_t threads() const noexcept { return per_thread_.size(); }
@@ -115,11 +115,9 @@ class MtSource : public sim::Component {
     std::vector<T> tokens;
     std::function<T(std::uint64_t)> generator;
     std::vector<std::pair<sim::Cycle, sim::Cycle>> stalls;
-    double rate = 1.0;
-    sim::Rng rng{11};
+    sim::BernoulliGate gate{11};
     std::uint64_t index = 0;
     std::uint64_t sent = 0;
-    bool gate = true;
   };
 
   [[nodiscard]] std::optional<T> current(std::size_t i) const {
@@ -135,7 +133,7 @@ class MtSource : public sim::Component {
     // per thread per eval, and invoking the generator here would be a
     // std::function call whose result is thrown away.
     const bool has_token = t.index < t.tokens.size() || t.generator != nullptr;
-    if (!has_token || !t.gate) return false;
+    if (!has_token || !t.gate.open()) return false;
     const sim::Cycle now = sim().now();
     for (const auto& [start, end] : t.stalls) {
       if (now >= start && now < end) return false;
@@ -149,8 +147,8 @@ class MtSource : public sim::Component {
   std::size_t grant_ = 0;
   // Arbitration scratch, sized once at construction: eval() runs per settle
   // iteration and must not allocate.
-  std::vector<bool> pending_;
-  std::vector<bool> ready_down_;
+  ThreadMask pending_;
+  ThreadMask ready_down_;
 };
 
 }  // namespace mte::mt

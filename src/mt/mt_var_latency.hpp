@@ -32,6 +32,7 @@ class MtVarLatencyUnit : public sim::Component {
   void set_latency_fn(LatencyFn fn) { latency_fn_ = std::move(fn); }
 
   void set_latency_range(unsigned lo, unsigned hi, std::uint64_t seed = 7) {
+    seed_ = seed;
     rng_.reseed(seed);
     latency_fn_ = [this, lo, hi](const T&) {
       return static_cast<unsigned>(rng_.next_in(lo, hi));
@@ -52,6 +53,8 @@ class MtVarLatencyUnit : public sim::Component {
     remaining_ = 0;
     owner_ = in_.threads();
     token_ = T{};
+    // Reset-and-rerun draws the same latency sequence as a fresh run.
+    rng_.reseed(seed_);
   }
 
   void eval() override {
@@ -117,6 +120,7 @@ class MtVarLatencyUnit : public sim::Component {
   Fn fn_;
   LatencyFn latency_fn_;
   std::function<bool(const T&)> fast_fn_;
+  std::uint64_t seed_ = 7;
   sim::Rng rng_{7};
   State state_ = State::kIdle;
   unsigned remaining_ = 0;

@@ -53,8 +53,13 @@ class ChannelProbe : public sim::Component {
     if (st_ != nullptr) {
       observe(0, st_->valid.get(), st_->ready.get(), st_->data.get());
     } else {
-      for (std::size_t t = 0; t < counts_.size(); ++t) {
-        observe(t, mt_->valid(t).get(), mt_->ready(t).get(), mt_->data.get());
+      // observe() ignores threads without valid, so walk only the set
+      // bits of the channel's maintained valid mask (at most one under
+      // the protocol) instead of reading S wires per cycle.
+      const mt::ThreadMask& v = mt_->valid_mask();
+      for (std::size_t t = v.first_set(); t < counts_.size();
+           t = v.first_set_at_or_after(t + 1)) {
+        observe(t, true, mt_->ready(t).get(), mt_->data.get());
       }
     }
   }

@@ -79,4 +79,86 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// A per-cycle Bernoulli gate with batched draws — the injection/readiness
+/// gate of rate-limited sources and sinks.
+///
+/// Decision k of a (rate, seed) stream is EXACTLY the k-th
+/// Rng(seed).next_bool(rate): outcomes are drawn 64 at a time into a word
+/// and consumed one bit per advance(), so the batching is invisible in the
+/// decision sequence (locked down by BernoulliGate.BatchedDrawsMatchPerCycleDraws
+/// in tests/sim/test_reset_determinism.cpp) while the per-edge cost drops
+/// to a shift and a mask.
+///
+/// Draw-consumption policy (explicit, tested):
+///   - rate >= 1.0 consumes NO draws; the gate is constantly open. A later
+///     rate change therefore cannot be stream-aligned with a run that was
+///     rate-limited from cycle 0 — instead:
+///   - configure() stores (rate, seed) and RESTARTS the stream: the first
+///     advance() after it yields decision 0 of the new (rate, seed) stream,
+///     regardless of what was drawn before. The currently loaded decision
+///     is unchanged until that advance (the gate for the next cycle was
+///     decided at the previous clock edge).
+///   - reset() reseeds to the stored seed and loads decision 0, so
+///     reset-and-rerun replays exactly the gate sequence of a fresh run.
+class BernoulliGate {
+ public:
+  explicit BernoulliGate(std::uint64_t seed) noexcept : seed_(seed), rng_(seed) {}
+
+  /// Stores (rate, seed) and restarts the decision stream (see above).
+  void configure(double rate, std::uint64_t seed) noexcept {
+    rate_ = rate;
+    seed_ = seed;
+    rng_.reseed(seed);
+    pos_ = kWordBits;  // exhausted: next advance()/reset() starts at decision 0
+  }
+
+  /// Back to the configured stream's decision 0 (power-on behaviour).
+  void reset() noexcept {
+    rng_.reseed(seed_);
+    if (rate_ >= 1.0) {
+      open_ = true;
+      return;
+    }
+    refill();
+    pos_ = 0;
+    open_ = (bits_ & 1u) != 0;
+  }
+
+  /// Consumes the next decision; call at the clock edge (the gate value
+  /// for a cycle is drawn at the preceding edge so eval() stays
+  /// idempotent).
+  void advance() noexcept {
+    if (rate_ >= 1.0) {
+      open_ = true;
+      return;
+    }
+    if (++pos_ >= kWordBits) {
+      refill();
+      pos_ = 0;
+    }
+    open_ = ((bits_ >> pos_) & 1u) != 0;
+  }
+
+  /// The gate decision for the current cycle.
+  [[nodiscard]] bool open() const noexcept { return open_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  static constexpr unsigned kWordBits = 64;
+
+  void refill() noexcept {
+    bits_ = 0;
+    for (unsigned k = 0; k < kWordBits; ++k) {
+      bits_ |= static_cast<std::uint64_t>(rng_.next_bool(rate_)) << k;
+    }
+  }
+
+  double rate_ = 1.0;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::uint64_t bits_ = 0;
+  unsigned pos_ = kWordBits;
+  bool open_ = true;
+};
+
 }  // namespace mte::sim

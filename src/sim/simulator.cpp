@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace mte::sim {
 
@@ -405,13 +406,22 @@ void Simulator::reset() {
 }
 
 void Simulator::step() {
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0{};
+  if (phase_timing_) t0 = clock::now();
   settle();
   for (const auto& fn : observers_) fn(cycle_);
+  clock::time_point t1{};
+  if (phase_timing_) {
+    t1 = clock::now();
+    settle_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+  }
   if (kernel_ == KernelKind::kNaive) {
     for (Component* c : components_) {
       c->tick();
       ++c->tick_calls_;
     }
+    tick_count_ += components_.size();
   } else {
     if (!seq_cache_valid_) rebuild_sequential_cache();
     for (Component* c : seq_components_) {
@@ -432,8 +442,12 @@ void Simulator::step() {
       c->kernel_seed_mask_ = Component::kAllProcesses;
       c->tick();
       ++c->tick_calls_;
+      ++tick_count_;
     }
     seed_seq_pending_ = true;
+  }
+  if (phase_timing_) {
+    commit_seconds_ += std::chrono::duration<double>(clock::now() - t1).count();
   }
   ++cycle_;
 }

@@ -202,6 +202,21 @@ class Simulator {
     return elided_tick_count_;
   }
 
+  /// Commit-phase work counter: tick() calls dispatched since
+  /// construction (both kernels). The commit-side sibling of eval_count —
+  /// tick/cycle is the machine-independent measure of commit-phase cost
+  /// the sim-speed gate budgets alongside settle work.
+  [[nodiscard]] std::uint64_t tick_count() const noexcept { return tick_count_; }
+
+  /// Opt-in per-phase wall-clock accounting: when enabled, each step()
+  /// separately accumulates the settle (eval fixed point + observers) and
+  /// commit (tick sweep) durations. Off by default — it costs two clock
+  /// reads per cycle — and meant for profiling runs (bench_sim_speed's
+  /// commit-share rows), not timed comparisons.
+  void set_phase_timing(bool on) noexcept { phase_timing_ = on; }
+  [[nodiscard]] double settle_seconds() const noexcept { return settle_seconds_; }
+  [[nodiscard]] double commit_seconds() const noexcept { return commit_seconds_; }
+
  private:
   [[nodiscard]] std::size_t effective_settle_limit() const noexcept;
   void ensure_processes(Component& c);
@@ -232,6 +247,10 @@ class Simulator {
   std::uint64_t eval_count_ = 0;
   double settle_work_ = 0.0;
   std::uint64_t elided_tick_count_ = 0;
+  std::uint64_t tick_count_ = 0;
+  bool phase_timing_ = false;
+  double settle_seconds_ = 0.0;
+  double commit_seconds_ = 0.0;
   std::size_t level_count_ = 0;      // acyclic levels; cyclic bucket follows
   std::vector<Component*> seq_components_;
   std::vector<std::vector<Process*>> buckets_;  // worklist, by level

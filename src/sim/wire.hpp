@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -214,6 +216,14 @@ inline void ChangeTracker::forget(Component& c) {
   topology_dirty_ = true;
 }
 
+/// Mirror slot of a bool wire: the wire's settled value is kept, bit for
+/// bit, inside a caller-owned packed word (see Wire<bool>::mirror_to_bit).
+struct WireBitMirror {
+  std::uint64_t* word = nullptr;
+  std::uint64_t bit = 0;
+};
+struct WireNoMirror {};
+
 /// A combinational signal carrying a value of type T.
 ///
 /// Semantics: writes are "blocking" within the settle loop — readers that
@@ -237,8 +247,36 @@ class Wire : public WireBase {
     record_write();
     if (!(value_ == v)) {
       value_ = v;
+      if constexpr (std::is_same_v<T, bool>) {
+        if (mirror_.word != nullptr) {
+          if (v) {
+            *mirror_.word |= mirror_.bit;
+          } else {
+            *mirror_.word &= ~mirror_.bit;
+          }
+        }
+      }
       notify_changed();
       if (forward_ != nullptr) forward_->set(v);
+    }
+  }
+
+  /// bool wires only: mirrors this wire's value into bit `bit` of the
+  /// caller-owned packed `word` on every value change (and syncs it now).
+  /// This is how MtChannel maintains its active-thread valid mask directly
+  /// from valid-wire writes — reading the mask costs nothing per cycle and
+  /// never goes stale, because every path that can change the wire
+  /// (component evals, wire forwarding, external test writes) funnels
+  /// through set(). The word must outlive the wire.
+  void mirror_to_bit(std::uint64_t* word, unsigned bit)
+    requires std::is_same_v<T, bool>
+  {
+    mirror_.word = word;
+    mirror_.bit = std::uint64_t{1} << bit;
+    if (value_) {
+      *word |= mirror_.bit;
+    } else {
+      *word &= ~mirror_.bit;
     }
   }
 
@@ -259,6 +297,10 @@ class Wire : public WireBase {
  private:
   T value_;
   Wire<T>* forward_ = nullptr;
+  // Zero-size for non-bool wires; bool wires pay two words.
+  [[no_unique_address]] std::conditional_t<std::is_same_v<T, bool>, WireBitMirror,
+                                           WireNoMirror>
+      mirror_;
 };
 
 }  // namespace mte::sim

@@ -17,7 +17,7 @@ TEST(RoundRobin, NoRequestNoGrant) {
 
 TEST(RoundRobin, RotatesAfterFire) {
   RoundRobinArbiter a(3);
-  std::vector<bool> all{true, true, true};
+  const ThreadMask all = ThreadMask::filled(3, true);
   const auto g0 = a.grant(all, all);
   EXPECT_EQ(g0, 0u);
   a.update(g0, true);
@@ -38,8 +38,8 @@ TEST(RoundRobin, SpeculativeOfferWhenNothingReady) {
 
 TEST(RoundRobin, SpeculativeOfferRotates) {
   RoundRobinArbiter a(3);
-  std::vector<bool> pending{true, true, true};
-  std::vector<bool> none(3, false);
+  const ThreadMask pending = ThreadMask::filled(3, true);
+  const ThreadMask none(3);
   const auto g0 = a.grant(pending, none);
   a.update(g0, false);
   const auto g1 = a.grant(pending, none);
@@ -59,7 +59,7 @@ TEST(RoundRobin, ReadyThreadPreferredOverSpeculative) {
 TEST(RoundRobin, FairnessUnderSaturation) {
   RoundRobinArbiter a(4);
   std::vector<int> grants(4, 0);
-  std::vector<bool> all(4, true);
+  const ThreadMask all = ThreadMask::filled(4, true);
   for (int i = 0; i < 400; ++i) {
     const auto g = a.grant(all, all);
     ASSERT_LT(g, 4u);
@@ -71,15 +71,32 @@ TEST(RoundRobin, FairnessUnderSaturation) {
 
 TEST(RoundRobin, ResetRestoresPointer) {
   RoundRobinArbiter a(3);
-  std::vector<bool> all(3, true);
+  const ThreadMask all = ThreadMask::filled(3, true);
   a.update(a.grant(all, all), true);
   a.reset();
   EXPECT_EQ(a.grant(all, all), 0u);
 }
 
+TEST(RoundRobin, GrantsAcrossWordBoundary) {
+  // 65 threads: the grant scan crosses the packed-word boundary, and the
+  // cyclic wrap returns to word 0.
+  RoundRobinArbiter a(65);
+  ThreadMask pending(65);
+  ThreadMask ready(65);
+  pending.set(64, true);
+  ready.set(64, true);
+  EXPECT_EQ(a.grant(pending, ready), 64u);
+  a.update(64, true);  // pointer rotates to 65 % 65 == 0
+  pending.set(3, true);
+  ready.set(3, true);
+  EXPECT_EQ(a.grant(pending, ready), 3u);
+  a.update(3, true);   // pointer at 4: thread 64 is next in cyclic order
+  EXPECT_EQ(a.grant(pending, ready), 64u);
+}
+
 TEST(FixedPriority, AlwaysLowestReadyIndex) {
   FixedPriorityArbiter a(4);
-  std::vector<bool> all(4, true);
+  const ThreadMask all = ThreadMask::filled(4, true);
   for (int i = 0; i < 10; ++i) {
     const auto g = a.grant(all, all);
     EXPECT_EQ(g, 0u);
@@ -89,7 +106,7 @@ TEST(FixedPriority, AlwaysLowestReadyIndex) {
 
 TEST(FixedPriority, StarvesHighIndicesUnderLoad) {
   FixedPriorityArbiter a(2);
-  std::vector<bool> all(2, true);
+  const ThreadMask all = ThreadMask::filled(2, true);
   int grants1 = 0;
   for (int i = 0; i < 100; ++i) {
     const auto g = a.grant(all, all);
@@ -101,8 +118,8 @@ TEST(FixedPriority, StarvesHighIndicesUnderLoad) {
 
 TEST(FixedPriority, SpeculativeStillRotates) {
   FixedPriorityArbiter a(3);
-  std::vector<bool> pending(3, true);
-  std::vector<bool> none(3, false);
+  const ThreadMask pending = ThreadMask::filled(3, true);
+  const ThreadMask none(3);
   std::vector<bool> offered(3, false);
   for (int i = 0; i < 3; ++i) {
     const auto g = a.grant(pending, none);
@@ -115,7 +132,7 @@ TEST(FixedPriority, SpeculativeStillRotates) {
 
 TEST(Matrix, GrantsLeastRecentlyServed) {
   MatrixArbiter a(3);
-  std::vector<bool> all(3, true);
+  const ThreadMask all = ThreadMask::filled(3, true);
   const auto g0 = a.grant(all, all);
   a.update(g0, true);
   const auto g1 = a.grant(all, all);
@@ -131,7 +148,7 @@ TEST(Matrix, GrantsLeastRecentlyServed) {
 
 TEST(Matrix, FairnessUnderSaturation) {
   MatrixArbiter a(4);
-  std::vector<bool> all(4, true);
+  const ThreadMask all = ThreadMask::filled(4, true);
   std::vector<int> grants(4, 0);
   for (int i = 0; i < 400; ++i) {
     const auto g = a.grant(all, all);
@@ -144,7 +161,7 @@ TEST(Matrix, FairnessUnderSaturation) {
 
 TEST(Matrix, PartialRequests) {
   MatrixArbiter a(3);
-  std::vector<bool> all(3, true);
+  const ThreadMask all = ThreadMask::filled(3, true);
   a.update(a.grant(all, all), true);  // 0 served
   // Only 0 and 2 request; 2 is older (never served).
   EXPECT_EQ(a.grant({true, false, true}, {true, true, true}), 2u);
@@ -152,12 +169,101 @@ TEST(Matrix, PartialRequests) {
 
 TEST(Matrix, SpeculativeOfferRotates) {
   MatrixArbiter a(2);
-  std::vector<bool> pending(2, true);
-  std::vector<bool> none(2, false);
+  const ThreadMask pending = ThreadMask::filled(2, true);
+  const ThreadMask none(2);
   const auto g0 = a.grant(pending, none);
   a.update(g0, false);
   const auto g1 = a.grant(pending, none);
   EXPECT_NE(g0, g1);
+}
+
+// ---------------------------------------------------------------------------
+// update_is_noop soundness: tick elision skips an MEB's clock edge only
+// when its arbiter reports the pending update as a no-op, so a true
+// answer must mean update() really is the identity. We verify
+// behaviourally: two identically driven arbiters, one receiving the
+// "no-op" update, must keep granting identically afterwards.
+// ---------------------------------------------------------------------------
+
+template <typename A>
+void expect_noop_claims_sound(std::size_t threads) {
+  const ThreadMask all = ThreadMask::filled(threads, true);
+  const ThreadMask none(threads);
+  // Exercise every (granted source, fired) combination from a few
+  // rotation states.
+  for (int warmup = 0; warmup < 4; ++warmup) {
+    for (const bool fired : {false, true}) {
+      for (const bool use_grant : {false, true}) {
+        A probe(threads);
+        A witness(threads);
+        // Drive both into the same state.
+        for (int k = 0; k < warmup; ++k) {
+          const auto g = probe.grant(all, all);
+          probe.update(g, true);
+          witness.update(witness.grant(all, all), true);
+        }
+        const std::size_t granted =
+            use_grant ? probe.grant(all, none) : threads;
+        if (granted == threads && fired) continue;  // not a legal combo
+        if (!probe.update_is_noop(granted, fired)) continue;
+        probe.update(granted, fired);  // claimed identity: apply it
+        // Both must now grant identically over a full rotation.
+        for (int k = 0; k < 8; ++k) {
+          const auto gp = probe.grant(all, all);
+          const auto gw = witness.grant(all, all);
+          ASSERT_EQ(gp, gw) << "update_is_noop lied for granted=" << granted
+                            << " fired=" << fired << " warmup=" << warmup;
+          probe.update(gp, true);
+          witness.update(gw, true);
+          const auto sp = probe.grant(all, none);
+          const auto sw = witness.grant(all, none);
+          ASSERT_EQ(sp, sw);
+          probe.update(sp, false);
+          witness.update(sw, false);
+        }
+      }
+    }
+  }
+}
+
+TEST(UpdateIsNoop, RoundRobinSound) { expect_noop_claims_sound<RoundRobinArbiter>(3); }
+TEST(UpdateIsNoop, FixedPrioritySound) {
+  expect_noop_claims_sound<FixedPriorityArbiter>(3);
+}
+TEST(UpdateIsNoop, MatrixSound) { expect_noop_claims_sound<MatrixArbiter>(3); }
+TEST(UpdateIsNoop, ObliviousSound) { expect_noop_claims_sound<ObliviousArbiter>(3); }
+
+TEST(UpdateIsNoop, RoundRobinCases) {
+  RoundRobinArbiter a(3);
+  EXPECT_TRUE(a.update_is_noop(3, false));   // no grant, no fire: no rotation
+  EXPECT_FALSE(a.update_is_noop(0, true));   // fire rotates past the winner
+  EXPECT_FALSE(a.update_is_noop(0, false));  // speculative offer rotates
+  RoundRobinArbiter single(1);
+  EXPECT_TRUE(single.update_is_noop(0, true));  // S=1: rotation is identity
+}
+
+TEST(UpdateIsNoop, FixedPriorityFiredEdgeIsNoop) {
+  // Fixed priority only rotates its speculative pointer on a granted,
+  // non-firing edge; a fire leaves all state alone.
+  FixedPriorityArbiter a(3);
+  EXPECT_TRUE(a.update_is_noop(0, true));
+  EXPECT_TRUE(a.update_is_noop(3, false));
+  EXPECT_FALSE(a.update_is_noop(0, false));
+}
+
+TEST(UpdateIsNoop, MatrixCases) {
+  MatrixArbiter a(3);
+  EXPECT_TRUE(a.update_is_noop(3, false));   // no grant
+  EXPECT_FALSE(a.update_is_noop(1, true));   // fire reorders the matrix
+  EXPECT_FALSE(a.update_is_noop(1, false));  // speculative rotation
+}
+
+TEST(UpdateIsNoop, ObliviousAlwaysRotates) {
+  ObliviousArbiter a(3);
+  EXPECT_FALSE(a.update_is_noop(3, false));  // the barrel turns regardless
+  EXPECT_FALSE(a.update_is_noop(0, true));
+  ObliviousArbiter single(1);
+  EXPECT_TRUE(single.update_is_noop(1, false));
 }
 
 }  // namespace

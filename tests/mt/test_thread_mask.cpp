@@ -1,0 +1,182 @@
+// ThreadMask scan helpers across word-boundary sizes. The packed-word
+// representation has its interesting cases exactly at S in {1, 63, 64,
+// 65}: single bit, last-bit-of-word, full word, and straddling two words.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "mt/mt_channel.hpp"
+#include "mt/thread_mask.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte::mt {
+namespace {
+
+class ThreadMaskSizes : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, ThreadMaskSizes,
+                         ::testing::Values(1u, 63u, 64u, 65u));
+
+TEST_P(ThreadMaskSizes, StartsEmpty) {
+  const std::size_t n = GetParam();
+  const ThreadMask m(n);
+  EXPECT_EQ(m.size(), n);
+  EXPECT_TRUE(m.none());
+  EXPECT_FALSE(m.any());
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_FALSE(m.more_than_one());
+  EXPECT_EQ(m.first_set(), n);
+  EXPECT_EQ(m.first_set_from(0), n);
+  EXPECT_EQ(m.first_set_from(n - 1), n);
+}
+
+TEST_P(ThreadMaskSizes, SetTestClearRoundTripsEveryBit) {
+  const std::size_t n = GetParam();
+  ThreadMask m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set(i, true);
+    EXPECT_TRUE(m.test(i));
+    EXPECT_EQ(m.count(), 1u);
+    EXPECT_EQ(m.first_set(), i);
+    EXPECT_FALSE(m.more_than_one());
+    m.set(i, false);
+    EXPECT_FALSE(m.test(i));
+    EXPECT_TRUE(m.none());
+  }
+}
+
+TEST_P(ThreadMaskSizes, CyclicScanFindsTheOnlyBitFromEveryOrigin) {
+  const std::size_t n = GetParam();
+  for (std::size_t bit = 0; bit < n; ++bit) {
+    ThreadMask m(n);
+    m.set(bit, true);
+    for (std::size_t from = 0; from < n; ++from) {
+      EXPECT_EQ(m.first_set_from(from), bit)
+          << "n=" << n << " bit=" << bit << " from=" << from;
+    }
+  }
+}
+
+TEST_P(ThreadMaskSizes, CyclicScanPrefersAtOrAfterOrigin) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  ThreadMask m(n);
+  m.set(0, true);
+  m.set(n - 1, true);
+  EXPECT_EQ(m.first_set_from(0), 0u);
+  EXPECT_EQ(m.first_set_from(1), n - 1);   // scans up, no wrap needed
+  EXPECT_EQ(m.first_set_from(n - 1), n - 1);
+  EXPECT_TRUE(m.more_than_one());
+  EXPECT_EQ(m.count(), 2u);
+}
+
+TEST_P(ThreadMaskSizes, AndScanMatchesNaiveReference) {
+  const std::size_t n = GetParam();
+  // Pseudo-pattern: a set where i % 3 == 0, b set where i % 2 == 0.
+  ThreadMask a(n);
+  ThreadMask b(n);
+  std::vector<bool> ra(n), rb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ra[i] = i % 3 == 0;
+    rb[i] = i % 2 == 0;
+    a.set(i, ra[i]);
+    b.set(i, rb[i]);
+  }
+  for (std::size_t from = 0; from < n; ++from) {
+    // Naive cyclic reference scan.
+    std::size_t expect = n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (from + k) % n;
+      if (ra[i] && rb[i]) {
+        expect = i;
+        break;
+      }
+    }
+    EXPECT_EQ(ThreadMask::first_and_from(a, b, from), expect)
+        << "n=" << n << " from=" << from;
+  }
+}
+
+TEST_P(ThreadMaskSizes, FilledAndClearAll) {
+  const std::size_t n = GetParam();
+  ThreadMask m = ThreadMask::filled(n, true);
+  EXPECT_EQ(m.count(), n);
+  EXPECT_EQ(m.more_than_one(), n > 1);
+  EXPECT_EQ(m.first_set(), 0u);
+  m.clear_all();
+  EXPECT_TRUE(m.none());
+}
+
+TEST(ThreadMask, AtOrAfterStopsAtEnd) {
+  ThreadMask m(65);
+  m.set(2, true);
+  EXPECT_EQ(m.first_set_at_or_after(3), 65u);  // no wrap in the linear scan
+  EXPECT_EQ(m.first_set_at_or_after(2), 2u);
+  EXPECT_EQ(m.first_set_at_or_after(64), 65u);
+  EXPECT_EQ(m.first_set_at_or_after(65), 65u);
+  m.set(64, true);
+  EXPECT_EQ(m.first_set_at_or_after(3), 64u);  // crosses the word boundary
+}
+
+// --- the wire-maintained valid mask of MtChannel ----------------------------
+
+class MtChannelMaskSizes : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, MtChannelMaskSizes,
+                         ::testing::Values(1u, 63u, 64u, 65u));
+
+TEST_P(MtChannelMaskSizes, ValidMaskTracksWireWrites) {
+  const std::size_t n = GetParam();
+  sim::Simulator s;
+  MtChannel<int> ch(s, "ch", n);
+  EXPECT_TRUE(ch.valid_mask().none());
+  EXPECT_EQ(ch.active_thread(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ch.valid(i).set(true);
+    EXPECT_TRUE(ch.valid_mask().test(i));
+    EXPECT_EQ(ch.valid_mask().count(), 1u);
+    EXPECT_EQ(ch.active_thread(), i);  // single valid: no throw
+    ch.valid(i).set(false);
+    EXPECT_TRUE(ch.valid_mask().none());
+  }
+}
+
+TEST_P(MtChannelMaskSizes, ActiveThreadStillThrowsOnMultipleValids) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  sim::Simulator s;
+  MtChannel<int> ch(s, "ch", n);
+  ch.valid(0).set(true);
+  ch.valid(n - 1).set(true);  // straddles the word boundary for n = 65
+  EXPECT_THROW((void)ch.active_thread(), sim::ProtocolError);
+  ch.valid(0).set(false);
+  EXPECT_EQ(ch.active_thread(), n - 1);
+}
+
+TEST(MtChannelMask, ForwardedWritesKeepTheMaskInSync) {
+  // FU handshakes are declared as wire forwards; a forwarded write must
+  // land in the target channel's mask exactly like a direct one.
+  sim::Simulator s;
+  MtChannel<int> up(s, "up", 4);
+  MtChannel<int> down(s, "down", 4);
+  for (std::size_t i = 0; i < 4; ++i) up.valid(i).forward_to(down.valid(i));
+  up.valid(2).set(true);
+  EXPECT_TRUE(down.valid_mask().test(2));
+  EXPECT_EQ(down.active_thread(), 2u);
+  up.valid(2).set(false);
+  EXPECT_TRUE(down.valid_mask().none());
+}
+
+TEST(ThreadMask, InitializerListMatchesIndices) {
+  const ThreadMask m{false, true, false, true};
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_FALSE(m.test(0));
+  EXPECT_TRUE(m.test(1));
+  EXPECT_FALSE(m.test(2));
+  EXPECT_TRUE(m.test(3));
+  EXPECT_EQ(m.count(), 2u);
+}
+
+}  // namespace
+}  // namespace mte::mt

@@ -1,0 +1,251 @@
+// Reset-determinism regression tests (both kernels).
+//
+// Historically Source::reset(), Sink::reset(), MtSource/MtSink's reset
+// paths and the var-latency units redrew their gate/latency values from
+// the CURRENT RNG stream without restoring it to the configured seed, so
+// reset() + rerun diverged from a fresh simulator with the same seeds.
+// The components now store the seed at set_rate()/set_latency_range() and
+// reseed in reset(); these tests pin that contract: a reset-and-rerun is
+// probe-identical to a fresh run, cycle by cycle.
+//
+// Also pinned here: the explicit draw-consumption policy of
+// sim::BernoulliGate — batched draws are stream-identical to per-cycle
+// next_bool() draws, rate >= 1.0 consumes no draws, and set_rate()
+// restarts the stream at decision 0 from the next clock edge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "elastic/channel.hpp"
+#include "elastic/elastic_buffer.hpp"
+#include "elastic/sink.hpp"
+#include "elastic/source.hpp"
+#include "elastic/var_latency.hpp"
+#include "mt/full_meb.hpp"
+#include "mt/mt_channel.hpp"
+#include "mt/mt_sink.hpp"
+#include "mt/mt_source.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mte {
+namespace {
+
+class ResetDeterminism : public ::testing::TestWithParam<sim::KernelKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ResetDeterminism,
+                         ::testing::Values(sim::KernelKind::kNaive,
+                                           sim::KernelKind::kEventDriven),
+                         [](const auto& info) {
+                           return info.param == sim::KernelKind::kNaive
+                                      ? "naive"
+                                      : "event";
+                         });
+
+// --- single-thread rig: rate-gated source/sink + var-latency server ---------
+
+struct StRig {
+  explicit StRig(sim::KernelKind kernel) : s(kernel) {
+    src.set_generator([](std::uint64_t i) { return i * 3 + 1; });
+    src.set_rate(0.6, 41);
+    vlu.set_latency_range(1, 4, 17);
+    sink.set_rate(0.7, 43);
+  }
+
+  /// Per-cycle settled handshake of the sink-side channel.
+  std::vector<std::uint32_t> run_trace(sim::Cycle cycles) {
+    std::vector<std::uint32_t> trace;
+    trace.reserve(cycles);
+    s.reset();
+    for (sim::Cycle c = 0; c < cycles; ++c) {
+      s.settle();
+      trace.push_back(static_cast<std::uint32_t>(out.valid.get()) |
+                      (static_cast<std::uint32_t>(out.ready.get()) << 1) |
+                      (static_cast<std::uint32_t>(out.data.get() & 0xff) << 2));
+      s.step();
+    }
+    return trace;
+  }
+
+  sim::Simulator s;
+  elastic::Channel<std::uint64_t> a{s, "a"};
+  elastic::Channel<std::uint64_t> b{s, "b"};
+  elastic::Channel<std::uint64_t> out{s, "out"};
+  elastic::Source<std::uint64_t> src{s, "src", a};
+  elastic::ElasticBuffer<std::uint64_t> eb{s, "eb", a, b};
+  elastic::VariableLatencyUnit<std::uint64_t> vlu{s, "vlu", b, out};
+  elastic::Sink<std::uint64_t> sink{s, "sink", out};
+};
+
+TEST_P(ResetDeterminism, StResetRerunMatchesFreshRun) {
+  constexpr sim::Cycle kCycles = 400;
+  StRig fresh(GetParam());
+  const auto expected = fresh.run_trace(kCycles);
+  const auto received = fresh.sink.received();
+  ASSERT_GT(received.size(), 0u);
+
+  StRig twice(GetParam());
+  (void)twice.run_trace(kCycles);     // first run
+  const auto rerun = twice.run_trace(kCycles);  // reset + rerun
+  EXPECT_EQ(rerun, expected);
+  EXPECT_EQ(twice.sink.received(), received);
+}
+
+// --- multithreaded rig: per-thread rate gates through a full MEB ------------
+
+struct MtRig {
+  explicit MtRig(sim::KernelKind kernel) : s(kernel) {
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      src.set_generator(t, [t](std::uint64_t i) { return i * 10 + t; });
+      src.set_rate(t, 0.5 + 0.1 * static_cast<double>(t), 71);
+      sink.set_rate(t, 0.8 - 0.1 * static_cast<double>(t), 73);
+    }
+  }
+
+  /// Per-cycle settled fired-thread of the sink-side channel.
+  std::vector<std::size_t> run_trace(sim::Cycle cycles) {
+    std::vector<std::size_t> trace;
+    trace.reserve(cycles);
+    s.reset();
+    for (sim::Cycle c = 0; c < cycles; ++c) {
+      s.settle();
+      trace.push_back(out.fired_thread());
+      s.step();
+    }
+    return trace;
+  }
+
+  static constexpr std::size_t kThreads = 4;
+  sim::Simulator s;
+  mt::MtChannel<std::uint64_t> in{s, "in", kThreads};
+  mt::MtChannel<std::uint64_t> out{s, "out", kThreads};
+  mt::MtSource<std::uint64_t> src{s, "src", in};
+  mt::FullMeb<std::uint64_t> meb{s, "meb", in, out};
+  mt::MtSink<std::uint64_t> sink{s, "sink", out};
+};
+
+TEST_P(ResetDeterminism, MtResetRerunMatchesFreshRun) {
+  constexpr sim::Cycle kCycles = 400;
+  MtRig fresh(GetParam());
+  const auto expected = fresh.run_trace(kCycles);
+  const auto order = fresh.sink.order();
+  ASSERT_GT(order.size(), 0u);
+
+  MtRig twice(GetParam());
+  (void)twice.run_trace(kCycles);
+  const auto rerun = twice.run_trace(kCycles);
+  EXPECT_EQ(rerun, expected);
+  EXPECT_EQ(twice.sink.order(), order);
+}
+
+// --- BernoulliGate draw-consumption policy ----------------------------------
+
+TEST(BernoulliGate, BatchedDrawsMatchPerCycleDraws) {
+  // Decision k of a (rate, seed) stream must be EXACTLY the k-th
+  // next_bool(rate) of Rng(seed) — batching 64 draws into a word is
+  // invisible in the decision sequence (lockstep with the reference).
+  for (const double rate : {0.1, 0.5, 0.9}) {
+    sim::BernoulliGate gate(12345);
+    gate.configure(rate, 12345);
+    gate.reset();
+    sim::Rng reference(12345);
+    for (int k = 0; k < 1000; ++k) {
+      ASSERT_EQ(gate.open(), reference.next_bool(rate))
+          << "rate=" << rate << " decision " << k;
+      gate.advance();
+    }
+  }
+}
+
+TEST(BernoulliGate, ResetReplaysTheStream) {
+  sim::BernoulliGate gate(9);
+  gate.configure(0.4, 9);
+  gate.reset();
+  std::vector<bool> first;
+  for (int k = 0; k < 200; ++k) {
+    first.push_back(gate.open());
+    gate.advance();
+  }
+  gate.reset();
+  for (int k = 0; k < 200; ++k) {
+    ASSERT_EQ(gate.open(), first[static_cast<std::size_t>(k)]) << "decision " << k;
+    gate.advance();
+  }
+}
+
+TEST(BernoulliGate, FullRateConsumesNoDraws) {
+  // rate >= 1.0 short-circuits the RNG entirely, so any number of
+  // full-rate cycles leaves a later rate-limited stream exactly where a
+  // fresh one starts: re-configuring to (0.5, seed) yields decision 0.
+  sim::BernoulliGate gate(5);
+  gate.configure(1.0, 5);
+  gate.reset();
+  for (int k = 0; k < 500; ++k) {
+    ASSERT_TRUE(gate.open());
+    gate.advance();
+  }
+  gate.configure(0.5, 5);
+  sim::Rng reference(5);
+  for (int k = 0; k < 200; ++k) {
+    gate.advance();  // first advance after configure loads decision 0
+    ASSERT_EQ(gate.open(), reference.next_bool(0.5)) << "decision " << k;
+  }
+}
+
+TEST_P(ResetDeterminism, MidRunRateChangeRestartsTheGateStream) {
+  // The explicit policy for changing a rate mid-run (e.g. 1.0 -> 0.5):
+  // set_rate() restarts the stream. The decision already loaded (drawn at
+  // the previous clock edge) still gates the next cycle; the edge after
+  // that consumes decision 0 of the new (rate, seed) stream. So a source
+  // switched at cycle c matches, from cycle c + 1 on, the gate sequence a
+  // fresh (0.5, seed) source shows from cycle 0.
+  constexpr std::uint64_t kSeed = 99;
+  constexpr sim::Cycle kSwitch = 50;
+  constexpr sim::Cycle kCompare = 300;
+
+  const auto valid_trace = [](sim::Simulator& s,
+                              elastic::Channel<std::uint64_t>& ch,
+                              sim::Cycle cycles) {
+    std::vector<bool> trace;
+    for (sim::Cycle c = 0; c < cycles; ++c) {
+      s.settle();
+      trace.push_back(ch.valid.get());
+      s.step();
+    }
+    return trace;
+  };
+
+  // Reference: rate 0.5 from cycle 0. An endless generator and an
+  // always-ready sink make the valid pattern the gate stream itself.
+  sim::Simulator sa(GetParam());
+  elastic::Channel<std::uint64_t> ca{sa, "c"};
+  elastic::Source<std::uint64_t> srca{sa, "src", ca};
+  elastic::Sink<std::uint64_t> sinka{sa, "sink", ca};
+  srca.set_generator([](std::uint64_t i) { return i; });
+  srca.set_rate(0.5, kSeed);
+  sa.reset();
+  const auto ref = valid_trace(sa, ca, kCompare);
+
+  // Switched: full rate for kSwitch cycles, then 0.5 with the same seed.
+  sim::Simulator sb(GetParam());
+  elastic::Channel<std::uint64_t> cb{sb, "c"};
+  elastic::Source<std::uint64_t> srcb{sb, "src", cb};
+  elastic::Sink<std::uint64_t> sinkb{sb, "sink", cb};
+  srcb.set_generator([](std::uint64_t i) { return i; });
+  sb.reset();
+  const auto before = valid_trace(sb, cb, kSwitch);
+  for (const bool v : before) ASSERT_TRUE(v);  // rate 1.0: always offering
+  srcb.set_rate(0.5, kSeed);
+  const auto after = valid_trace(sb, cb, kCompare + 1);
+  // The stale full-rate decision still gates the first post-switch cycle.
+  EXPECT_TRUE(after[0]);
+  // From the next cycle on: decision 0, 1, 2, ... of the (0.5, seed)
+  // stream — identical to the reference run's cycles 0, 1, 2, ...
+  for (sim::Cycle j = 0; j < kCompare; ++j) {
+    ASSERT_EQ(after[j + 1], ref[j]) << "decision " << j;
+  }
+}
+
+}  // namespace
+}  // namespace mte
