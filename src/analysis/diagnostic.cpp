@@ -1,0 +1,112 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+namespace mte::analysis {
+
+const char* to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+bool diagnostic_order(const Diagnostic& a, const Diagnostic& b) {
+  return std::tie(a.code, a.component, a.port, a.message) <
+         std::tie(b.code, b.component, b.port, b.message);
+}
+
+AnalysisReport::AnalysisReport(std::vector<Diagnostic> diagnostics)
+    : diagnostics_(std::move(diagnostics)) {
+  std::sort(diagnostics_.begin(), diagnostics_.end(), diagnostic_order);
+}
+
+std::size_t AnalysisReport::count(Severity severity) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+std::vector<Diagnostic> AnalysisReport::by_severity(Severity severity) const {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diagnostics_) {
+    if (d.severity == severity) out.push_back(d);
+  }
+  return out;
+}
+
+std::string AnalysisReport::render_text() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) {
+    os << to_string(d.severity) << '[' << d.code << ']';
+    if (!d.component.empty()) {
+      os << ' ' << d.component;
+      if (!d.port.empty()) os << ' ' << d.port;
+    }
+    os << ": " << d.message << '\n';
+    if (!d.hint.empty()) os << "  hint: " << d.hint << '\n';
+  }
+  if (diagnostics_.empty()) {
+    os << "no diagnostics\n";
+  } else {
+    os << error_count() << " error(s), " << warning_count() << " warning(s), "
+       << note_count() << " note(s)\n";
+  }
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string AnalysisReport::render_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"errors\": " << error_count() << ",\n";
+  os << "  \"warnings\": " << warning_count() << ",\n";
+  os << "  \"notes\": " << note_count() << ",\n";
+  os << "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"code\": \"" << json_escape(d.code) << "\",\n";
+    os << "      \"severity\": \"" << to_string(d.severity) << "\",\n";
+    os << "      \"component\": \"" << json_escape(d.component) << "\",\n";
+    os << "      \"port\": \"" << json_escape(d.port) << "\",\n";
+    os << "      \"message\": \"" << json_escape(d.message) << "\",\n";
+    os << "      \"hint\": \"" << json_escape(d.hint) << "\"\n";
+    os << "    }";
+  }
+  if (!diagnostics_.empty()) os << "\n  ";
+  os << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mte::analysis

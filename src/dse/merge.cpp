@@ -191,19 +191,19 @@ std::string merge_json(const std::vector<std::string>& shard_jsons) {
     const auto lines = split_lines(json);
     bool in_points = false;
     for (const std::string& line : lines) {
-      if (line.rfind("  \"schema_version\":", 0) == 0) {
+      if (line.starts_with("  \"schema_version\":")) {
         if (schema_line.empty()) {
           schema_line = line;
         } else if (line != schema_line) {
           fail("JSON shard schema versions differ");
         }
-      } else if (line.rfind("  \"generator\":", 0) == 0) {
+      } else if (line.starts_with("  \"generator\":")) {
         if (generator_line.empty()) {
           generator_line = line;
         } else if (line != generator_line) {
           fail("JSON shard generator stamps differ");
         }
-      } else if (line.rfind("  \"campaign\":", 0) == 0) {
+      } else if (line.starts_with("  \"campaign\":")) {
         const std::size_t pts = line.find(", \"points\":");
         if (pts == std::string::npos) fail("malformed campaign header: " + line);
         const std::string sc = line.substr(0, pts);
@@ -214,7 +214,7 @@ std::string merge_json(const std::vector<std::string>& shard_jsons) {
         }
       } else if (line == "  \"points\": [") {
         in_points = true;
-      } else if (in_points && line.rfind("    {\"index\":", 0) == 0) {
+      } else if (in_points && line.starts_with("    {\"index\":")) {
         recs.push_back(parse_json_point(line));
       } else if (line == "  ],") {
         in_points = false;

@@ -259,6 +259,15 @@ enum class ArbiterKind { kRoundRobin, kOblivious, kFixedPriority, kMatrix };
   return "?";
 }
 
+/// Ready-aware policies grant only threads whose downstream ready is
+/// asserted (with a speculative fallback), which makes MEB/source output
+/// valid combinationally depend on downstream ready. The oblivious TDM
+/// arbiter is the one policy without that coupling — the distinction the
+/// static analyzer's MTE021/022 cycle checks key on.
+[[nodiscard]] constexpr bool is_ready_aware(ArbiterKind kind) noexcept {
+  return kind != ArbiterKind::kOblivious;
+}
+
 /// Parses the to_string() spelling; nullopt for anything else.
 [[nodiscard]] inline std::optional<ArbiterKind> parse_arbiter_kind(
     std::string_view name) noexcept {

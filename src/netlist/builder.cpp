@@ -1,5 +1,7 @@
 #include "netlist/builder.hpp"
 
+#include <algorithm>
+
 namespace mte::netlist {
 
 // --- NodeRef ----------------------------------------------------------------
@@ -246,6 +248,14 @@ CircuitBuilder& CircuitBuilder::then_multithreaded(std::size_t threads,
 
 Netlist CircuitBuilder::build() const { return build_checked(true); }
 
+analysis::AnalysisReport CircuitBuilder::analyze(
+    const analysis::AnalysisOptions& options) const {
+  if (multithreaded_) {
+    return analysis::analyze(netlist_.to_multithreaded(threads_, meb_kind_), options);
+  }
+  return analysis::analyze(netlist_, options);
+}
+
 Netlist CircuitBuilder::build_checked(bool reject_reconvergence) const {
   const auto problems = netlist_.validate();
   if (!problems.empty()) {
@@ -253,23 +263,37 @@ Netlist CircuitBuilder::build_checked(bool reject_reconvergence) const {
     for (const auto& p : problems) message += "\n  - " + p;
     throw BuildError(message);
   }
-  if (multithreaded_) {
-    Netlist multi = netlist_.to_multithreaded(threads_, meb_kind_);
-    if (reject_reconvergence) {
-      const auto hazards = multi.mt_reconvergence_hazards();
-      if (!hazards.empty()) {
-        std::string message = "multithreaded netlist is combinationally cyclic:";
-        for (const auto& h : hazards) message += "\n  - " + h.describe();
+  Netlist result =
+      multithreaded_ ? netlist_.to_multithreaded(threads_, meb_kind_) : netlist_;
+  if (reject_reconvergence) {
+    // The static-analysis gate: build() refuses error-severity
+    // diagnostics (warnings and notes stay queryable through analyze()).
+    // The analyzer assumes the default ready-aware arbiter here, exactly
+    // like the legacy hazard rejection it replaces — elaborate() skips
+    // the gate and defers to Elaboration, which knows the real arbiter.
+    const analysis::AnalysisReport report = analysis::analyze(result);
+    if (report.has_errors()) {
+      const auto errors = report.by_severity(analysis::Severity::kError);
+      const bool cyclic =
+          std::any_of(errors.begin(), errors.end(),
+                      [](const analysis::Diagnostic& d) { return d.code == "MTE021"; });
+      std::string message = cyclic ? "multithreaded netlist is combinationally cyclic:"
+                                   : "netlist analysis found errors:";
+      for (const auto& d : errors) {
+        message += "\n  - [" + d.code + "] ";
+        if (!d.component.empty()) message += d.component + ": ";
+        message += d.message;
+      }
+      if (cyclic) {
         message +=
             "\n(elaborate with ElaborationOptions{.arbiter = "
             "mt::ArbiterKind::kOblivious} to make fork/join reconvergence "
             "safe by construction)";
-        throw BuildError(message);
       }
+      throw BuildError(message);
     }
-    return multi;
   }
-  return netlist_;
+  return result;
 }
 
 // The elaborate() overloads skip build()'s reconvergence rejection: the

@@ -28,6 +28,7 @@
 #include <map>
 #include <vector>
 
+#include "analysis/analyze.hpp"
 #include "mt/meb_variant.hpp"
 #include "netlist/elaborate.hpp"
 #include "netlist/netlist.hpp"
@@ -139,8 +140,17 @@ class CircuitBuilder {
   // --- outputs ------------------------------------------------------------
   /// Returns the finished netlist (with the multithreaded transform
   /// applied, when requested). Throws BuildError when structural
-  /// validation fails (e.g. a bufferless cycle or a dangling port).
+  /// validation fails or the static analyzer reports error-severity
+  /// diagnostics (e.g. a bufferless cycle, a dangling port, a deadlocked
+  /// join loop, or multithreaded fork/join reconvergence).
   [[nodiscard]] Netlist build() const;
+
+  /// The full static-analysis report for the netlist as described (with
+  /// the multithreaded transform applied, when requested) — the way to
+  /// inspect the warnings and notes that build() does not reject.
+  /// Unlike build() it never throws on findings.
+  [[nodiscard]] analysis::AnalysisReport analyze(
+      const analysis::AnalysisOptions& options = {}) const;
 
   /// build() + elaborate in one step.
   [[nodiscard]] Elaboration elaborate() const;

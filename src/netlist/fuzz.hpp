@@ -1,0 +1,38 @@
+// Seeded random-netlist generator: the structure source behind the
+// kernel-equivalence fuzz suite and mte_lint's --fuzz-corpus mode. One
+// implementation so the lockstep tests, the lint-vs-simulation
+// cross-check and the CI lint job all see byte-identical netlists for a
+// given seed — the generator's RNG consumption order is part of the
+// reproducibility contract (MTE_FUZZ_SEED replays a failure).
+#pragma once
+
+#include <random>
+
+#include "netlist/netlist.hpp"
+
+namespace mte::netlist {
+
+/// Random loop-free netlist: a frontier of open outputs is grown with
+/// random operators and finally drained into sinks.
+///
+/// Structural exclusions, chosen so every generated circuit stays inside
+/// the kernels' equivalence contract (well-formed, convergent):
+///  - no merges: a merge requires mutually exclusive inputs, which random
+///    structure and backpressure cannot guarantee;
+///  - in multithreaded netlists a join only combines arms with disjoint
+///    fork ancestry: fork/join *reconvergence* closes a genuine
+///    combinational valid/ready cycle (M-Join cross-input ready coupling
+///    meets speculative MEB arbitration) that oscillates, and
+///    CircuitBuilder::build() rejects it with an MTE021 diagnostic.
+///    Joins over independent arms stay in the pool for both elaboration
+///    modes (single-thread joins carry no such coupling at all — buffer/
+///    source/VL valid is state-driven), with one proviso: multithreaded
+///    netlists containing joins must run under the ready-oblivious
+///    arbiter (reported via has_mt_join). Ready-aware arbitration
+///    feeding an M-Join has multiple combinational fixed points — legal
+///    circuits whose settled state is evaluation-order dependent, which
+///    no lockstep comparison can pin down (the analyzer flags the same
+///    structure as MTE022).
+[[nodiscard]] Netlist random_fuzz_netlist(std::mt19937_64& rng, bool& has_mt_join);
+
+}  // namespace mte::netlist

@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/analyze.hpp"
+
 namespace mte::netlist {
 
 const char* to_string(NodeType type) {
@@ -261,73 +263,17 @@ std::string ReconvergenceHazard::describe() const {
          "the arms before the multithreaded region) or keep it single-thread";
 }
 
+// Re-expressed on the static analyzer's shared implementation: the
+// ancestry scan lives in analysis::reconvergent_pairs (also behind the
+// MTE021 and MTE031 checks); this wrapper keeps the multithreaded gate
+// and the structured-exception API that Elaboration and callers rely on.
 std::vector<ReconvergenceHazard> Netlist::mt_reconvergence_hazards() const {
   std::vector<ReconvergenceHazard> hazards;
   if (!multithreaded_) return hazards;
-
-  std::vector<std::vector<std::size_t>> radj(nodes_.size());
-  for (const auto& e : edges_) {
-    if (e.from < nodes_.size() && e.to < nodes_.size()) radj[e.to].push_back(e.from);
-  }
-  const auto ancestors = [&](std::size_t start) {
-    std::vector<bool> seen(nodes_.size(), false);
-    std::vector<std::size_t> stack{start};
-    seen[start] = true;
-    while (!stack.empty()) {
-      const std::size_t u = stack.back();
-      stack.pop_back();
-      for (const std::size_t p : radj[u]) {
-        if (!seen[p]) {
-          seen[p] = true;
-          stack.push_back(p);
-        }
-      }
-    }
-    return seen;
-  };
-
-  // Memoized ancestor sets of fork nodes, for the minimality filter below.
-  std::map<std::size_t, std::vector<bool>> fork_anc;
-  const auto fork_ancestors = [&](std::size_t id) -> const std::vector<bool>& {
-    auto it = fork_anc.find(id);
-    if (it == fork_anc.end()) it = fork_anc.emplace(id, ancestors(id)).first;
-    return it->second;
-  };
-
-  for (const auto& n : nodes_) {
-    if (n.type != NodeType::kJoin) continue;
-    // Ancestor set of each input's driving node. Two inputs sharing a fork
-    // ancestor means two distinct fork->join paths (the final edges differ),
-    // i.e. reconvergence.
-    std::vector<std::vector<bool>> anc(n.inputs);
-    for (const auto& e : edges_) {
-      if (e.to == n.id && e.to_port < n.inputs && e.from < nodes_.size()) {
-        anc[e.to_port] = ancestors(e.from);
-      }
-    }
-    std::vector<std::size_t> common;
-    for (const auto& f : nodes_) {
-      if (f.type != NodeType::kFork) continue;
-      unsigned reached = 0;
-      for (const auto& a : anc) {
-        if (f.id < a.size() && a[f.id]) ++reached;
-      }
-      if (reached >= 2) common.push_back(f.id);
-    }
-    // Report only the divergence points: drop a fork whose paths all run
-    // through a later common fork (it would re-report the same cycle).
-    for (const std::size_t f : common) {
-      bool minimal = true;
-      for (const std::size_t g : common) {
-        if (g != f && fork_ancestors(g)[f]) {
-          minimal = false;
-          break;
-        }
-      }
-      if (minimal) {
-        hazards.push_back(ReconvergenceHazard{f, n.id, nodes_[f].name, n.name});
-      }
-    }
+  for (const auto& pair : analysis::reconvergent_pairs(*this)) {
+    hazards.push_back(ReconvergenceHazard{pair.fork_id, pair.join_id,
+                                          nodes_[pair.fork_id].name,
+                                          nodes_[pair.join_id].name});
   }
   return hazards;
 }

@@ -17,6 +17,11 @@
 
 #include "mt/meb_variant.hpp"
 
+namespace mte::analysis {
+struct AnalysisOptions;
+class AnalysisReport;
+}  // namespace mte::analysis
+
 namespace mte::netlist {
 
 enum class NodeType {
@@ -130,6 +135,15 @@ class Netlist {
 
   /// Structural validation; returns human-readable problems (empty = OK).
   [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// The full static analysis suite (analysis/analyze.hpp): structured
+  /// MTExxx diagnostics over wiring, liveness, combinational cycles,
+  /// structural deadlock, MT reconvergence and capacity sanity.
+  /// validate() remains the cheap string-based subset used on the
+  /// elaboration hot path; analyze() is the authoritative report.
+  [[nodiscard]] analysis::AnalysisReport analyze() const;
+  [[nodiscard]] analysis::AnalysisReport analyze(
+      const analysis::AnalysisOptions& options) const;
 
   /// Fork/join reconvergence diagnosis for multithreaded netlists (always
   /// empty before to_multithreaded()). One entry per (fork, join) pair

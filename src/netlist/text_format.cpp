@@ -47,7 +47,7 @@ unsigned parse_arity(const std::string& tok, int line) {
 }
 
 double parse_rate(const std::string& tok, int line) {
-  if (tok.rfind("rate=", 0) != 0) fail(line, "expected rate=..., got '" + tok + "'");
+  if (!tok.starts_with("rate=")) fail(line, "expected rate=..., got '" + tok + "'");
   try {
     return std::stod(tok.substr(5));
   } catch (const std::exception&) {

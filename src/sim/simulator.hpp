@@ -202,6 +202,14 @@ class Simulator {
     return elided_tick_count_;
   }
 
+  /// True once the event kernel has found an order-sensitive
+  /// combinational cycle at runtime and fallen back to the reference
+  /// evaluation order for good. The static analyzer predicts exactly
+  /// this from the netlist (MTE022), so the lint-vs-simulation
+  /// cross-check asserts: no combinational-feedback diagnostics =>
+  /// never demoted. Always false under the naive kernel.
+  [[nodiscard]] bool demoted_to_naive() const noexcept { return demoted_to_naive_; }
+
   /// Commit-phase work counter: tick() calls dispatched since
   /// construction (both kernels). The commit-side sibling of eval_count —
   /// tick/cycle is the machine-independent measure of commit-phase cost

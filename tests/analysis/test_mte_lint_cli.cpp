@@ -1,0 +1,111 @@
+// End-to-end tests of the mte_lint binary: exit codes (0 clean / 1
+// findings / 2 usage or parse failure), --werror promotion, JSON output
+// and the seeded --fuzz-corpus mode. Drives the real executable (path
+// injected by CMake as MTE_LINT_BIN).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs the linter with `args`, capturing stdout (stderr passes through).
+CliResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(MTE_LINT_BIN) + " " + args;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  CliResult r;
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return r;
+  }
+  std::array<char, 4096> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) r.output += buf.data();
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(MTE_SOURCE_DIR) + "/tests/analysis/fixtures/" + name;
+}
+
+std::string example(const std::string& name) {
+  return std::string(MTE_SOURCE_DIR) + "/examples/" + name;
+}
+
+TEST(MteLintCli, CleanExampleExitsZero) {
+  const CliResult r = run_lint(example("fig5_pipeline.enl"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("no diagnostics"), std::string::npos);
+}
+
+TEST(MteLintCli, ErrorFindingExitsOne) {
+  const CliResult r = run_lint(fixture("join_cycle.enl"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("MTE030"), std::string::npos);
+  EXPECT_NE(r.output.find("structural deadlock"), std::string::npos);
+}
+
+TEST(MteLintCli, WarningsExitZeroUnlessWerror) {
+  EXPECT_EQ(run_lint(fixture("slack_imbalance.enl")).exit_code, 0);
+  EXPECT_EQ(run_lint("--werror " + fixture("slack_imbalance.enl")).exit_code, 1);
+}
+
+TEST(MteLintCli, ArbiterFlagSuppressesProtocolChecks) {
+  EXPECT_EQ(run_lint(fixture("mt_reconverge.enl")).exit_code, 1);
+  const CliResult r =
+      run_lint("--arbiter oblivious " + fixture("mt_reconverge.enl"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("no diagnostics"), std::string::npos);
+}
+
+TEST(MteLintCli, SharedSlotsFlagDrivesCapacityChecks) {
+  const CliResult r = run_lint("--shared-slots 6 " + fixture("hybrid_pool.enl"));
+  EXPECT_EQ(r.exit_code, 0);  // MTE041 is a warning
+  EXPECT_NE(r.output.find("MTE041"), std::string::npos);
+}
+
+TEST(MteLintCli, JsonOutput) {
+  const CliResult r = run_lint("--json " + fixture("comb_cycle.enl"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(r.output.find("\"inputs\": ["), std::string::npos);
+  EXPECT_NE(r.output.find("\"code\": \"MTE020\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"total_errors\": 1"), std::string::npos);
+}
+
+TEST(MteLintCli, MultipleFilesAggregate) {
+  const CliResult r =
+      run_lint(example("fig5_pipeline.enl") + " " + fixture("fanout.enl"));
+  EXPECT_EQ(r.exit_code, 1);  // one clean, one broken => findings overall
+  EXPECT_NE(r.output.find("2 netlist(s)"), std::string::npos);
+}
+
+TEST(MteLintCli, ParseFailureExitsTwo) {
+  EXPECT_EQ(run_lint("/nonexistent/netlist.enl").exit_code, 2);
+}
+
+TEST(MteLintCli, NoInputExitsTwo) {
+  EXPECT_EQ(run_lint("").exit_code, 2);
+}
+
+TEST(MteLintCli, FuzzCorpusLintsClean) {
+  const CliResult r = run_lint("--fuzz-corpus 8 --seed 20260730");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("8 netlist(s): 0 error(s)"), std::string::npos);
+}
+
+TEST(MteLintCli, FuzzCorpusIsDeterministic) {
+  const CliResult a = run_lint("--json --fuzz-corpus 4 --seed 42");
+  const CliResult b = run_lint("--json --fuzz-corpus 4 --seed 42");
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.exit_code, 0);
+}
+
+}  // namespace

@@ -1,154 +1,32 @@
-// Kernel-equivalence fuzzing: a seeded random-netlist generator (driving
-// the CircuitBuilder) feeds the lockstep harness across random structures
-// (buffer chains, function units, variable-latency units, fork/join
-// diamonds), random thread counts S, MEB variants and workload rates.
-// Every failure message carries the reproducing seed; set MTE_FUZZ_SEED to
-// replay a specific base seed (CI pins one for determinism).
+// Kernel-equivalence fuzzing: the seeded random-netlist generator
+// (netlist/fuzz.hpp, shared with mte_lint's --fuzz-corpus mode and the
+// lint-vs-simulation cross-check) feeds the lockstep harness across
+// random structures (buffer chains, function units, variable-latency
+// units, fork/join diamonds), random thread counts S, MEB variants and
+// workload rates. Every failure message carries the reproducing seed;
+// set MTE_FUZZ_SEED to replay a specific base seed (CI pins one for
+// determinism).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <random>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "kernel_lockstep.hpp"
+#include "netlist/fuzz.hpp"
 
 namespace {
 
 using namespace mte;
 using kerneltest::run_lockstep;
 
-/// Random loop-free netlist: a frontier of open outputs is grown with
-/// random operators and finally drained into sinks.
-///
-/// Structural exclusions, chosen so every generated circuit stays inside
-/// the kernels' equivalence contract (well-formed, convergent):
-///  - no merges: a merge requires mutually exclusive inputs, which random
-///    structure and backpressure cannot guarantee;
-///  - in multithreaded netlists a join only combines arms with disjoint
-///    fork ancestry: fork/join *reconvergence* closes a genuine
-///    combinational valid/ready cycle (M-Join cross-input ready coupling
-///    meets speculative MEB arbitration) that oscillates, and
-///    CircuitBuilder::build() rejects it with a ReconvergenceHazard
-///    diagnostic. Joins over independent arms stay in the pool for both
-///    elaboration modes (single-thread joins carry no such coupling at
-///    all — buffer/source/VL valid is state-driven), with one proviso:
-///    multithreaded netlists containing joins run under the
-///    ready-oblivious arbiter (reported via has_mt_join). Ready-aware
-///    arbitration feeding an M-Join has multiple combinational fixed
-///    points — legal circuits whose settled state is evaluation-order
-///    dependent, which no lockstep comparison can pin down.
-netlist::Netlist random_netlist(std::mt19937_64& rng, bool& has_mt_join) {
-  has_mt_join = false;
-  netlist::CircuitBuilder b;
-  auto pick = [&rng](std::size_t n) {
-    return static_cast<std::size_t>(rng() % n);
-  };
-
-  // Half the netlists go through the paper's multithreading transform;
-  // decided up front because it constrains the structure (joins must not
-  // reconverge forked arms).
-  const bool multithreaded = (rng() % 2) == 0;
-  const std::size_t s_choices[] = {1, 2, 4, 8};
-  const std::size_t threads = s_choices[pick(4)];
-  const auto kind = (rng() % 2) == 0 ? mt::MebKind::kFull : mt::MebKind::kReduced;
-
-  struct Arm {
-    netlist::NodeRef node;
-    std::set<std::size_t> forks;  // fork node ids on this arm's path
-  };
-  std::vector<Arm> frontier;
-  const std::size_t sources = 1 + pick(2);
-  for (std::size_t i = 0; i < sources; ++i) {
-    frontier.push_back({b.source("src" + std::to_string(i)), {}});
-  }
-
-  int id = 0;
-  const int ops = 4 + static_cast<int>(pick(12));
-  for (int k = 0; k < ops; ++k) {
-    const std::string suffix = std::to_string(id++);
-    const std::size_t at = pick(frontier.size());
-    const netlist::NodeRef from = frontier[at].node;
-    switch (pick(10)) {
-      case 0:
-      case 1:
-      case 2:
-      case 3: {  // buffer (the most common structural element)
-        frontier[at].node = from >> b.buffer("buf" + suffix);
-        break;
-      }
-      case 4:
-      case 5: {  // function unit
-        const char* fn = (rng() % 2) == 0 ? "inc" : "double";
-        frontier[at].node = from >> b.function("fn" + suffix, fn);
-        break;
-      }
-      case 6: {  // variable-latency unit
-        const unsigned lo = 1 + static_cast<unsigned>(pick(2));
-        const unsigned hi = lo + static_cast<unsigned>(pick(3));
-        frontier[at].node = from >> b.var_latency("vl" + suffix, lo, hi);
-        break;
-      }
-      case 7:
-      case 8: {  // fork into two open arms
-        auto f = b.fork("fork" + suffix, 2);
-        from >> f;
-        frontier[at].node = f;          // arm 0 stays open on the fork node
-        frontier[at].forks.insert(f.id());
-        frontier.push_back(frontier[at]);  // arm 1 shares the ancestry
-        break;
-      }
-      default: {  // join two frontier outputs
-        // Candidate partners: any other arm single-thread; only arms with
-        // disjoint fork ancestry multithreaded (reconvergence is rejected
-        // by build()).
-        std::vector<std::size_t> partners;
-        for (std::size_t i = 0; i < frontier.size(); ++i) {
-          if (i == at) continue;
-          if (multithreaded) {
-            bool disjoint = true;
-            for (const std::size_t f : frontier[i].forks) {
-              if (frontier[at].forks.count(f) != 0) {
-                disjoint = false;
-                break;
-              }
-            }
-            if (!disjoint) continue;
-          }
-          partners.push_back(i);
-        }
-        if (partners.empty()) {
-          frontier[at].node = from >> b.buffer("buf" + suffix);
-          break;
-        }
-        const std::size_t other = partners[pick(partners.size())];
-        if (multithreaded) has_mt_join = true;
-        auto j = b.join("join" + suffix, 2);
-        frontier[at].node >> j;
-        frontier[other].node >> j;
-        frontier[at].node = j;
-        frontier[at].forks.insert(frontier[other].forks.begin(),
-                                  frontier[other].forks.end());
-        frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(other));
-        break;
-      }
-    }
-  }
-  for (std::size_t i = 0; i < frontier.size(); ++i) {
-    frontier[i].node >> b.sink("sink" + std::to_string(i));
-  }
-
-  if (multithreaded) b.then_multithreaded(threads, kind);
-  return b.build();
-}
-
 /// Returns true when the lockstep run compared to completion (false =
 /// skipped as divergent, which the generator's exclusions make rare).
 bool run_fuzz_case(std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   bool has_mt_join = false;
-  const netlist::Netlist net = random_netlist(rng, has_mt_join);
+  const netlist::Netlist net = netlist::random_fuzz_netlist(rng, has_mt_join);
 
   // Workload parameters drawn once, applied identically to both kernels.
   struct Rates {
