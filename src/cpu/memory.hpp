@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace mte::cpu {
@@ -31,6 +32,9 @@ class DataMemory {
   [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
 
   void clear() { words_.assign(words_.size(), 0); }
+
+  void save(sim::SnapshotWriter& w) const { sim::snapshot_write_span(w, words_); }
+  void load(sim::SnapshotReader& r) { sim::snapshot_read_span(r, words_); }
 
  private:
   void check(std::uint32_t addr) const {
@@ -79,6 +83,18 @@ class CacheModel {
   [[nodiscard]] double hit_rate() const noexcept {
     const auto total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+  void save(sim::SnapshotWriter& w) const {
+    sim::snapshot_write_span(w, tags_);
+    w.write_u64(hits_);
+    w.write_u64(misses_);
+  }
+
+  void load(sim::SnapshotReader& r) {
+    sim::snapshot_read_span(r, tags_);
+    hits_ = r.read_u64();
+    misses_ = r.read_u64();
   }
 
  private:

@@ -71,6 +71,50 @@ class FetchStage : public sim::Component {
     out_.data.set(u);
   }
 
+  // FetchStage owns the snapshot of the shared architectural state (the
+  // ThreadArch vector) because it is the first pipeline component
+  // constructed, hence a fixed spot in the component order. program is
+  // configuration; grant_ and the masks are settle scratch.
+  void save_state(sim::SnapshotWriter& w) const override {
+    rng_.save(w);
+    arb_.save_state(w);
+    for (std::size_t t = 0; t < arch_.size(); ++t) {
+      const auto& a = arch_[t];
+      sim::snapshot_write_span(w, a.regs);
+      w.write_u32(a.pc);
+      w.write_bool(a.halted);
+      w.write_bool(a.in_flight);
+      w.write_u64(a.retired);
+      a.dmem.save(w);
+      a.dcache.save(w);
+      const auto& e = engines_[t];
+      sim::snapshot_write_value(w, e.state);
+      w.write_u64(e.countdown);
+      w.write_u32(e.pc);
+      w.write_u32(e.raw);
+    }
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    rng_.load(r);
+    arb_.load_state(r);
+    for (std::size_t t = 0; t < arch_.size(); ++t) {
+      auto& a = arch_[t];
+      sim::snapshot_read_span(r, a.regs);
+      a.pc = r.read_u32();
+      a.halted = r.read_bool();
+      a.in_flight = r.read_bool();
+      a.retired = r.read_u64();
+      a.dmem.load(r);
+      a.dcache.load(r);
+      auto& e = engines_[t];
+      e.state = sim::snapshot_read_value<Engine::State>(r);
+      e.countdown = static_cast<unsigned>(r.read_u64());
+      e.pc = r.read_u32();
+      e.raw = r.read_u32();
+    }
+  }
+
   void tick() override {
     const std::size_t n = out_.threads();
     // 1. Output fire: the instruction enters the pipeline.
@@ -230,6 +274,20 @@ class ServerStage : public sim::Component {
         if (out_.ready(owner_).get()) state_ = kIdle;
         break;
     }
+  }
+
+  void save_state(sim::SnapshotWriter& w) const override {
+    sim::snapshot_write_value(w, state_);
+    w.write_u64(remaining_);
+    w.write_u64(owner_);
+    sim::snapshot_write_value(w, token_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    state_ = sim::snapshot_read_value<State>(r);
+    remaining_ = static_cast<unsigned>(r.read_u64());
+    owner_ = static_cast<std::size_t>(r.read_u64());
+    token_ = sim::snapshot_read_value<Uop>(r);
   }
 
  protected:

@@ -47,6 +47,56 @@ struct Uop {
   friend bool operator==(const Uop&, const Uop&) = default;
 };
 
+struct ProcessorConfig;
+
+}  // namespace mte::cpu
+
+namespace mte::sim {
+
+/// Field-wise snapshot codec (Instr/ExecResult carry padding, so a byte
+/// copy would leak indeterminate bytes into the snapshot).
+template <>
+struct SnapshotTraits<cpu::Uop> {
+  static void save(SnapshotWriter& w, const cpu::Uop& u) {
+    w.write_u32(u.pc);
+    w.write_u32(u.raw);
+    w.write_u8(static_cast<std::uint8_t>(u.instr.op));
+    w.write_u8(u.instr.rd);
+    w.write_u8(u.instr.rs1);
+    w.write_u8(u.instr.rs2);
+    w.write_u32(static_cast<std::uint32_t>(u.instr.imm));
+    w.write_u32(u.a);
+    w.write_u32(u.b);
+    w.write_u32(u.ex.value);
+    w.write_u32(u.ex.next_pc);
+    w.write_u32(u.ex.mem_addr);
+    w.write_bool(u.ex.halt);
+    w.write_u32(u.value);
+  }
+  static cpu::Uop load(SnapshotReader& r) {
+    cpu::Uop u;
+    u.pc = r.read_u32();
+    u.raw = r.read_u32();
+    u.instr.op = static_cast<cpu::Opcode>(r.read_u8());
+    u.instr.rd = r.read_u8();
+    u.instr.rs1 = r.read_u8();
+    u.instr.rs2 = r.read_u8();
+    u.instr.imm = static_cast<std::int32_t>(r.read_u32());
+    u.a = r.read_u32();
+    u.b = r.read_u32();
+    u.ex.value = r.read_u32();
+    u.ex.next_pc = r.read_u32();
+    u.ex.mem_addr = r.read_u32();
+    u.ex.halt = r.read_bool();
+    u.value = r.read_u32();
+    return u;
+  }
+};
+
+}  // namespace mte::sim
+
+namespace mte::cpu {
+
 struct ProcessorConfig {
   std::size_t threads = 8;
   mt::MebKind meb_kind = mt::MebKind::kReduced;

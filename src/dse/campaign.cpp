@@ -3,19 +3,70 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 
+#include "sim/simulator.hpp"
+
 namespace mte::dse {
 
-PointRecord CampaignRunner::run_point(const SweepPoint& point,
-                                      const SweepSpec& spec) const {
+std::string CheckpointPolicy::snapshot_path(const SweepPoint& point,
+                                            std::uint64_t seed) const {
+  std::string key = point.label();
+  std::replace(key.begin(), key.end(), '/', '_');
+  return dir + "/" + key + "_seed" + std::to_string(seed) + "_w" +
+         std::to_string(warmup) + ".snap";
+}
+
+namespace {
+
+/// Checkpointed evaluation: cold runs snapshot at the warmup cycle and
+/// keep going; warm runs restore that snapshot and simulate only the tail.
+WorkloadResult run_with_checkpoint(const Workload& w, const SweepPoint& point,
+                                   sim::Cycle cycles, std::uint64_t seed,
+                                   const CheckpointPolicy& ckpt) {
+  auto session = w.make_session(point, cycles, seed);
+  sim::Simulator& s = session->simulator();
+  const sim::Cycle warmup = std::min(ckpt.warmup, cycles);
+  const std::string path = ckpt.snapshot_path(point, seed);
+  if (ckpt.restore) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("checkpoint restore: cannot read '" + path + "'");
+    }
+    s.restore(in);
+    if (s.now() != warmup) {
+      throw std::runtime_error("checkpoint restore: '" + path + "' is at cycle " +
+                               std::to_string(s.now()) + ", expected " +
+                               std::to_string(warmup));
+    }
+  } else {
+    s.run(warmup);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("checkpoint save: cannot write '" + path + "'");
+    }
+    s.save(out);
+  }
+  s.run(cycles - warmup);
+  return session->finish(point, cycles);
+}
+
+}  // namespace
+
+PointRecord CampaignRunner::run_point(const SweepPoint& point, const SweepSpec& spec,
+                                      const CheckpointPolicy& ckpt) const {
   PointRecord rec;
   rec.point = point;
   rec.seed = point_seed(spec.seed, point.index);
   try {
     const Workload& w = workloads_.at(point.workload);
-    rec.result = w.evaluate(point, spec.cycles, rec.seed);
+    if (ckpt.enabled() && w.make_session != nullptr) {
+      rec.result = run_with_checkpoint(w, point, spec.cycles, rec.seed, ckpt);
+    } else {
+      rec.result = w.evaluate(point, spec.cycles, rec.seed);
+    }
     rec.les = rec.result.area.total_les();
     rec.mhz = area::CostModel{}.frequency_mhz(rec.result.area);
   } catch (const std::exception& ex) {
@@ -29,8 +80,8 @@ PointRecord CampaignRunner::run_point(const SweepPoint& point,
 }
 
 std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
-                                             std::size_t workers,
-                                             const Shard& shard) const {
+                                             std::size_t workers, const Shard& shard,
+                                             const CheckpointPolicy& ckpt) const {
   if (shard.count == 0 || shard.index >= std::max<std::size_t>(shard.count, 1)) {
     throw std::invalid_argument("CampaignRunner: shard index " +
                                 std::to_string(shard.index) + " outside 0.." +
@@ -52,7 +103,7 @@ std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < points.size(); ++i) {
-      records[i] = run_point(points[i], spec);
+      records[i] = run_point(points[i], spec, ckpt);
     }
     return records;
   }
@@ -66,7 +117,7 @@ std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= points.size()) return;
-      records[i] = run_point(points[i], spec);
+      records[i] = run_point(points[i], spec, ckpt);
     }
   };
   std::vector<std::thread> pool;

@@ -37,6 +37,27 @@ struct PointRecord {
   }
 };
 
+/// Checkpoint/restore warm-starts. A campaign's points often share an
+/// expensive warm-up prefix (filling pipelines, reaching steady state);
+/// with a policy set, a cold run drops one snapshot per point at the
+/// warmup cycle, and a later run with restore=true resumes each point
+/// from its snapshot instead of re-simulating the prefix. Because probe
+/// statistics restore with the snapshot, the warm report is byte-identical
+/// to the cold one. Only workloads with a make_session hook participate;
+/// run-to-completion engines (md5, processor) evaluate normally.
+struct CheckpointPolicy {
+  std::string dir;        ///< snapshot directory (must exist); empty = off
+  sim::Cycle warmup = 0;  ///< prefix cycles the snapshot covers
+  bool restore = false;   ///< true: warm-start from existing snapshots
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir.empty() && warmup > 0; }
+
+  /// "<dir>/<label with / -> _>_seed<seed>_w<warmup>.snap" — the label,
+  /// seed and warmup cycle fully key the simulation prefix.
+  [[nodiscard]] std::string snapshot_path(const SweepPoint& point,
+                                          std::uint64_t seed) const;
+};
+
 /// Selects a 1/count slice of a campaign: the points whose dense index i
 /// satisfies i % count == index. Because every point is self-seeded from
 /// (campaign seed, index), a shard needs nothing but this filter — shard
@@ -65,12 +86,13 @@ class CampaignRunner {
   /// points (their .point.index values keep the campaign-wide numbering).
   [[nodiscard]] std::vector<PointRecord> run(const SweepSpec& spec,
                                              std::size_t workers = 1,
-                                             const Shard& shard = {}) const;
+                                             const Shard& shard = {},
+                                             const CheckpointPolicy& ckpt = {}) const;
 
   /// Evaluates a single already-enumerated point (the serial building
   /// block run() parallelizes).
-  [[nodiscard]] PointRecord run_point(const SweepPoint& point,
-                                      const SweepSpec& spec) const;
+  [[nodiscard]] PointRecord run_point(const SweepPoint& point, const SweepSpec& spec,
+                                      const CheckpointPolicy& ckpt = {}) const;
 
  private:
   WorkloadSet workloads_;

@@ -86,37 +86,55 @@ area::DesignEstimate netlist_area(const netlist::Netlist& net, const SweepPoint&
   return d;
 }
 
-/// Shared tail of the netlist workloads: run, then read the probes.
-WorkloadResult measure_netlist(netlist::Elaboration& e, const netlist::Netlist& net,
-                               const SweepPoint& p, sim::Cycle cycles,
-                               const std::string& out_channel,
-                               const std::string& in_channel) {
-  e.simulator().reset();
-  e.simulator().run(cycles);
-  WorkloadResult r;
-  r.cycles = cycles;
-  r.throughput = e.probe(out_channel).throughput();
-  r.tokens = e.probe(out_channel).count();
-  r.mean_wait = e.probe(in_channel).mean_wait();
-  r.area = netlist_area(net, p, area::CostModel{});
-  return r;
-}
+/// Session over an elaborated netlist workload: holds the netlist and the
+/// elaboration alive, exposes the simulator for the runner to drive (or
+/// checkpoint/restore), and reads the probes in finish().
+class NetlistSession : public WorkloadSession {
+ public:
+  NetlistSession(netlist::Netlist net, const SweepPoint& p, std::string out_channel,
+                 std::string in_channel)
+      : net_(std::move(net)),
+        elab_(net_, netlist::FunctionRegistry::with_defaults(),
+              netlist::ComponentFactory::defaults(), options_for(p)),
+        out_channel_(std::move(out_channel)),
+        in_channel_(std::move(in_channel)) {}
+
+  sim::Simulator& simulator() override { return elab_.simulator(); }
+  netlist::Elaboration& elaboration() { return elab_; }
+
+  WorkloadResult finish(const SweepPoint& p, sim::Cycle cycles) override {
+    WorkloadResult r;
+    r.cycles = cycles;
+    r.throughput = elab_.probe(out_channel_).throughput();
+    r.tokens = elab_.probe(out_channel_).count();
+    r.mean_wait = elab_.probe(in_channel_).mean_wait();
+    r.area = netlist_area(net_, p, area::CostModel{});
+    return r;
+  }
+
+ private:
+  netlist::Netlist net_;
+  netlist::Elaboration elab_;
+  std::string out_channel_;
+  std::string in_channel_;
+};
 
 /// fig1: one MEB channel, every thread injecting at a fractional rate —
 /// utilization rises with S as threads fill each other's empty slots.
-WorkloadResult run_fig1(const SweepPoint& p, sim::Cycle cycles, std::uint64_t seed) {
+std::unique_ptr<WorkloadSession> session_fig1(const SweepPoint& p,
+                                              sim::Cycle /*cycles*/,
+                                              std::uint64_t seed) {
   netlist::CircuitBuilder b;
   b.source("src") >> b.buffer("meb") >> b.sink("sink");
   b.then_multithreaded(p.threads, base_kind(p.variant));
-  const netlist::Netlist net = b.build();
-  netlist::Elaboration e(net, netlist::FunctionRegistry::with_defaults(),
-                         netlist::ComponentFactory::defaults(), options_for(p));
-  auto& src = e.mt_source("src");
+  auto session = std::make_unique<NetlistSession>(b.build(), p, "meb", "src");
+  auto& src = session->elaboration().mt_source("src");
   for (std::size_t t = 0; t < p.threads; ++t) {
     src.set_generator(t, [t](std::uint64_t i) { return (t << 32) + i; });
     src.set_rate(t, 0.7, seed + 13 * t);
   }
-  return measure_netlist(e, net, p, cycles, "meb", "src");
+  session->simulator().reset();
+  return session;
 }
 
 /// fig5: two-stage MEB pipeline; every thread but thread 0 is blocked at
@@ -124,15 +142,14 @@ WorkloadResult run_fig1(const SweepPoint& p, sim::Cycle cycles, std::uint64_t se
 /// case). Full MEBs keep the survivor at full rate; the reduced MEB caps
 /// it near 50 %, which is exactly the throughput-vs-area trade-off the
 /// Pareto frontier should expose.
-WorkloadResult run_fig5(const SweepPoint& p, sim::Cycle cycles, std::uint64_t seed) {
+std::unique_ptr<WorkloadSession> session_fig5(const SweepPoint& p, sim::Cycle cycles,
+                                              std::uint64_t seed) {
   netlist::CircuitBuilder b;
   b.source("src") >> b.buffer("meb0") >> b.buffer("meb1") >> b.sink("sink");
   b.then_multithreaded(p.threads, base_kind(p.variant));
-  const netlist::Netlist net = b.build();
-  netlist::Elaboration e(net, netlist::FunctionRegistry::with_defaults(),
-                         netlist::ComponentFactory::defaults(), options_for(p));
-  auto& src = e.mt_source("src");
-  auto& sink = e.mt_sink("sink");
+  auto session = std::make_unique<NetlistSession>(b.build(), p, "meb1", "src");
+  auto& src = session->elaboration().mt_source("src");
+  auto& sink = session->elaboration().mt_sink("sink");
   for (std::size_t t = 0; t < p.threads; ++t) {
     src.set_generator(t, [t](std::uint64_t i) { return (t << 32) + i; });
     src.set_rate(t, 1.0, seed + 13 * t);
@@ -142,7 +159,20 @@ WorkloadResult run_fig5(const SweepPoint& p, sim::Cycle cycles, std::uint64_t se
   for (std::size_t t = 1; t < p.threads; ++t) {
     sink.add_stall_window(t, stall_from, stall_to);
   }
-  return measure_netlist(e, net, p, cycles, "meb1", "src");
+  session->simulator().reset();
+  return session;
+}
+
+WorkloadResult run_fig1(const SweepPoint& p, sim::Cycle cycles, std::uint64_t seed) {
+  auto session = session_fig1(p, cycles, seed);
+  session->simulator().run(cycles);
+  return session->finish(p, cycles);
+}
+
+WorkloadResult run_fig5(const SweepPoint& p, sim::Cycle cycles, std::uint64_t seed) {
+  auto session = session_fig5(p, cycles, seed);
+  session->simulator().run(cycles);
+  return session->finish(p, cycles);
 }
 
 /// md5: the complete Sec. V-A engine hashing one message per thread to
@@ -241,10 +271,10 @@ const WorkloadSet& WorkloadSet::builtin() {
   static const WorkloadSet set = [] {
     WorkloadSet s;
     s.add({"fig1", "one-MEB channel under fractional per-thread injection",
-           WorkloadTraits{}, run_fig1});
+           WorkloadTraits{}, run_fig1, session_fig1});
     s.add({"fig5",
            "two-stage MEB pipeline with the all-but-one-thread blocked window",
-           WorkloadTraits{}, run_fig5});
+           WorkloadTraits{}, run_fig5, session_fig5});
     s.add({"md5", "multithreaded elastic MD5 engine, run to digest completion",
            WorkloadTraits{.supports_hybrid = false, .supports_arbiter = false,
                           .supports_kernel = true},

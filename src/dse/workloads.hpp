@@ -24,12 +24,17 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "area/cost_model.hpp"
 #include "dse/sweep_spec.hpp"
 #include "sim/types.hpp"
+
+namespace mte::sim {
+class Simulator;
+}
 
 namespace mte::dse {
 
@@ -52,6 +57,16 @@ struct WorkloadTraits {
   bool supports_kernel = true;   ///< settle-kernel axis
 };
 
+/// A built, configured, reset design point whose simulator the runner can
+/// drive (and checkpoint/restore) itself. finish() reads the metrics after
+/// the runner has stepped the simulator for the point's cycle budget.
+class WorkloadSession {
+ public:
+  virtual ~WorkloadSession() = default;
+  virtual sim::Simulator& simulator() = 0;
+  virtual WorkloadResult finish(const SweepPoint& point, sim::Cycle cycles) = 0;
+};
+
 struct Workload {
   std::string name;
   std::string description;
@@ -61,6 +76,14 @@ struct Workload {
   std::function<WorkloadResult(const SweepPoint&, sim::Cycle cycles,
                                std::uint64_t seed)>
       evaluate;
+  /// Optional: exposes the point's simulator for checkpoint/restore
+  /// warm-starts. evaluate must equal "make_session; run(cycles); finish".
+  /// Null for the run-to-completion engines (md5, processor), which the
+  /// checkpoint policy therefore skips.
+  std::function<std::unique_ptr<WorkloadSession>(const SweepPoint&,
+                                                 sim::Cycle cycles,
+                                                 std::uint64_t seed)>
+      make_session;
 };
 
 class WorkloadSet {

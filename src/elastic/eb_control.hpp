@@ -6,6 +6,8 @@
 // mirrors the paper's split between elastic control and datapath.
 #pragma once
 
+#include "sim/snapshot.hpp"
+
 namespace mte::elastic {
 
 enum class EbState { kEmpty, kHalf, kFull };
@@ -64,6 +66,9 @@ class EbControl {
   }
 
   void reset() noexcept { state_ = EbState::kEmpty; }
+
+  void save(sim::SnapshotWriter& w) const { sim::snapshot_write_value(w, state_); }
+  void load(sim::SnapshotReader& r) { state_ = sim::snapshot_read_value<EbState>(r); }
 
  private:
   EbState state_ = EbState::kEmpty;

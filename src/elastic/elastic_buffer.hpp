@@ -64,6 +64,18 @@ class ElasticBuffer : public sim::TwoPhaseComponent<ElasticBuffer<T>> {
   [[nodiscard]] const T& head() const noexcept { return head_; }
   [[nodiscard]] const T& aux() const noexcept { return aux_; }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    ctrl_.save(w);
+    sim::snapshot_write_value(w, head_);
+    sim::snapshot_write_value(w, aux_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    ctrl_.load(r);
+    head_ = sim::snapshot_read_value<T>(r);
+    aux_ = sim::snapshot_read_value<T>(r);
+  }
+
  protected:
   void eval_forward() {
     out_.valid.set(ctrl_.has_data());
@@ -117,6 +129,16 @@ class HalfBuffer : public sim::TwoPhaseComponent<HalfBuffer<T>> {
   }
 
   [[nodiscard]] bool full() const noexcept { return full_; }
+
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.write_bool(full_);
+    sim::snapshot_write_value(w, slot_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    full_ = r.read_bool();
+    slot_ = sim::snapshot_read_value<T>(r);
+  }
 
  protected:
   void eval_forward() {

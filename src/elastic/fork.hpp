@@ -50,6 +50,9 @@ class ForkControl {
 
   void reset() { pending_.assign(pending_.size(), true); }
 
+  void save(sim::SnapshotWriter& w) const { sim::snapshot_write_span(w, pending_); }
+  void load(sim::SnapshotReader& r) { sim::snapshot_read_span(r, pending_); }
+
  private:
   std::vector<bool> pending_;
 };
@@ -78,6 +81,9 @@ class Fork : public sim::Component {
     for (std::size_t i = 0; i < outs_.size(); ++i) rin_[i] = outs_[i]->ready.get();
     ctrl_.commit(in_.valid.get(), rin_);
   }
+
+  void save_state(sim::SnapshotWriter& w) const override { ctrl_.save(w); }
+  void load_state(sim::SnapshotReader& r) override { ctrl_.load(r); }
 
  private:
   Channel<T>& in_;

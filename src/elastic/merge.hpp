@@ -96,6 +96,11 @@ class ArbMerge : public sim::Component {
     }
   }
 
+  void save_state(sim::SnapshotWriter& w) const override { w.write_u64(priority_); }
+  void load_state(sim::SnapshotReader& r) override {
+    priority_ = static_cast<std::size_t>(r.read_u64());
+  }
+
  private:
   std::vector<Channel<T>*> ins_;
   Channel<T>& out_;

@@ -46,6 +46,16 @@ class Sink : public sim::Component {
   [[nodiscard]] const std::vector<T>& received() const noexcept { return received_; }
   [[nodiscard]] std::uint64_t count() const noexcept { return received_.size(); }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    sim::snapshot_write_vector(w, received_);
+    gate_.save(w);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    sim::snapshot_read_vector(r, received_);
+    gate_.load(r);
+  }
+
  private:
   [[nodiscard]] bool stalled_now() const {
     const sim::Cycle now = sim().now();

@@ -61,6 +61,18 @@ class Source : public sim::Component {
 
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.write_u64(index_);
+    w.write_u64(sent_);
+    gate_.save(w);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    index_ = r.read_u64();
+    sent_ = r.read_u64();
+    gate_.load(r);
+  }
+
   /// True when a finite token list has been fully delivered.
   [[nodiscard]] bool exhausted() const noexcept {
     return !generator_ && index_ >= tokens_.size();

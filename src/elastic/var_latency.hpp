@@ -51,6 +51,7 @@ class VariableLatencyUnit : public sim::Component {
     state_ = State::kIdle;
     remaining_ = 0;
     token_ = T{};
+    accepted_ = 0;
     // Restore the latency stream to its configured seed so that
     // reset-and-rerun draws the same latencies as a fresh run.
     rng_.reseed(seed_);
@@ -84,6 +85,24 @@ class VariableLatencyUnit : public sim::Component {
 
   [[nodiscard]] bool busy() const noexcept { return state_ != State::kIdle; }
   [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+
+  void save_state(sim::SnapshotWriter& w) const override {
+    // seed_ is configuration; the mid-stream generator state is what a
+    // restored run needs to draw the same future latencies.
+    rng_.save(w);
+    sim::snapshot_write_value(w, state_);
+    w.write_u64(remaining_);
+    sim::snapshot_write_value(w, token_);
+    w.write_u64(accepted_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    rng_.load(r);
+    state_ = sim::snapshot_read_value<State>(r);
+    remaining_ = static_cast<unsigned>(r.read_u64());
+    token_ = sim::snapshot_read_value<T>(r);
+    accepted_ = r.read_u64();
+  }
 
  private:
   enum class State { kIdle, kBusy, kDone };

@@ -39,6 +39,10 @@ class RoundCounter : public sim::Component {
   }
   [[nodiscard]] std::uint32_t value() const noexcept { return round_; }
 
+  // round_wire_ is a tracked wire saved with the wire pass.
+  void save_state(sim::SnapshotWriter& w) const override { w.write_u32(round_); }
+  void load_state(sim::SnapshotReader& r) override { round_ = r.read_u32(); }
+
  private:
   const mt::Barrier<Md5Token>& barrier_;
   std::uint32_t round_ = 0;

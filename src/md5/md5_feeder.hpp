@@ -132,6 +132,38 @@ class Md5Feeder : public sim::Component {
   /// Block count every thread processes (longest message, in blocks).
   [[nodiscard]] std::size_t rounds_of_blocks() const noexcept { return total_blocks_; }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    // blocks/has_message are configuration; grant_ is settle scratch.
+    using Traits = sim::SnapshotTraits<Md5Token>;
+    w.write_u64(total_blocks_);
+    for (const auto& t : per_thread_) {
+      Traits::save_state(w, t.chaining);
+      w.write_u64(t.issued);
+      w.write_u64(t.completed);
+      w.write_bool(t.awaiting);
+      w.write_bool(t.digest.has_value());
+      if (t.digest) Traits::save_state(w, *t.digest);
+    }
+    arb_->save_state(w);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    using Traits = sim::SnapshotTraits<Md5Token>;
+    total_blocks_ = static_cast<std::size_t>(r.read_u64());
+    for (auto& t : per_thread_) {
+      t.chaining = Traits::load_state(r);
+      t.issued = static_cast<std::size_t>(r.read_u64());
+      t.completed = static_cast<std::size_t>(r.read_u64());
+      t.awaiting = r.read_bool();
+      if (r.read_bool()) {
+        t.digest = Traits::load_state(r);
+      } else {
+        t.digest.reset();
+      }
+    }
+    arb_->load_state(r);
+  }
+
  private:
   struct PerThread {
     std::vector<Block> blocks;

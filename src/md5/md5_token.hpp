@@ -3,6 +3,7 @@
 #pragma once
 
 #include "md5/md5_ref.hpp"
+#include "sim/snapshot.hpp"
 
 namespace mte::md5 {
 
@@ -16,3 +17,42 @@ struct Md5Token {
 };
 
 }  // namespace mte::md5
+
+namespace mte::sim {
+
+/// Field-wise snapshot codec (the struct has tail padding, so a byte copy
+/// would leak indeterminate bytes into the snapshot).
+template <>
+struct SnapshotTraits<md5::Md5Token> {
+  static void save_state(SnapshotWriter& w, const md5::State& s) {
+    w.write_u32(s.a);
+    w.write_u32(s.b);
+    w.write_u32(s.c);
+    w.write_u32(s.d);
+  }
+  static md5::State load_state(SnapshotReader& r) {
+    md5::State s;
+    s.a = r.read_u32();
+    s.b = r.read_u32();
+    s.c = r.read_u32();
+    s.d = r.read_u32();
+    return s;
+  }
+
+  static void save(SnapshotWriter& w, const md5::Md5Token& t) {
+    save_state(w, t.working);
+    save_state(w, t.chaining);
+    for (const std::uint32_t word : t.m) w.write_u32(word);
+    w.write_bool(t.dummy);
+  }
+  static md5::Md5Token load(SnapshotReader& r) {
+    md5::Md5Token t;
+    t.working = load_state(r);
+    t.chaining = load_state(r);
+    for (auto& word : t.m) word = r.read_u32();
+    t.dummy = r.read_bool();
+    return t;
+  }
+};
+
+}  // namespace mte::sim

@@ -66,6 +66,11 @@ class Arbiter {
 
   virtual void reset() {}
 
+  /// Serializes the rotation/priority state into the owning component's
+  /// snapshot frame (the arbiter is registered state of its MEB/source).
+  virtual void save_state(sim::SnapshotWriter& /*w*/) const {}
+  virtual void load_state(sim::SnapshotReader& /*r*/) {}
+
  protected:
   /// First index i >= from (cyclically) pending AND ready; n if none.
   [[nodiscard]] std::size_t first_ready(const ThreadMask& pending,
@@ -103,6 +108,11 @@ class RoundRobinArbiter : public Arbiter {
   }
 
   void reset() override { ptr_ = 0; }
+
+  void save_state(sim::SnapshotWriter& w) const override { w.write_u64(ptr_); }
+  void load_state(sim::SnapshotReader& r) override {
+    ptr_ = static_cast<std::size_t>(r.read_u64());
+  }
 
   [[nodiscard]] std::size_t pointer() const noexcept { return ptr_; }
 
@@ -148,6 +158,11 @@ class ObliviousArbiter : public Arbiter {
 
   void reset() override { slot_ = 0; }
 
+  void save_state(sim::SnapshotWriter& w) const override { w.write_u64(slot_); }
+  void load_state(sim::SnapshotReader& r) override {
+    slot_ = static_cast<std::size_t>(r.read_u64());
+  }
+
  private:
   std::size_t slot_ = 0;
 };
@@ -180,6 +195,11 @@ class FixedPriorityArbiter : public Arbiter {
   }
 
   void reset() override { spec_ptr_ = 0; }
+
+  void save_state(sim::SnapshotWriter& w) const override { w.write_u64(spec_ptr_); }
+  void load_state(sim::SnapshotReader& r) override {
+    spec_ptr_ = static_cast<std::size_t>(r.read_u64());
+  }
 
  private:
   std::size_t spec_ptr_ = 0;
@@ -220,6 +240,16 @@ class MatrixArbiter : public Arbiter {
     for (std::size_t i = 0; i < n_; ++i) {
       for (std::size_t j = 0; j < n_; ++j) older_[i][j] = i < j;
     }
+  }
+
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.write_u64(spec_ptr_);
+    for (const auto& row : older_) sim::snapshot_write_span(w, row);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    spec_ptr_ = static_cast<std::size_t>(r.read_u64());
+    for (auto& row : older_) sim::snapshot_read_span(r, row);
   }
 
  private:

@@ -134,6 +134,24 @@ class Barrier : public sim::Component {
     return c;
   }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    // participating_ is configuration; release_now_ is a tracked wire
+    // saved with the wire pass.
+    sim::snapshot_write_span(w, state_);
+    for (const bool b : lgo_) w.write_bool(b);
+    w.write_bool(go_);
+    w.write_u64(counter_);
+    w.write_u64(releases_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    sim::snapshot_read_span(r, state_);
+    for (std::size_t i = 0; i < lgo_.size(); ++i) lgo_[i] = r.read_bool();
+    go_ = r.read_bool();
+    counter_ = static_cast<unsigned>(r.read_u64());
+    releases_ = r.read_u64();
+  }
+
  private:
   MtChannel<T>& in_;
   MtChannel<T>& out_;

@@ -123,6 +123,26 @@ class FullMeb : public sim::TwoPhaseComponent<FullMeb<T>> {
   /// Storage slots instantiated by this buffer (2 per thread).
   [[nodiscard]] std::size_t capacity() const noexcept { return 2 * threads(); }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    // grant_ and the pending/ready masks are settle-phase scratch,
+    // recomputed by the full evaluation a restore schedules.
+    for (const auto& c : ctrl_) c.save(w);
+    sim::snapshot_write_span(w, head_);
+    sim::snapshot_write_span(w, aux_);
+    arb_->save_state(w);
+    sim::snapshot_write_span(w, in_count_);
+    sim::snapshot_write_span(w, out_count_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    for (auto& c : ctrl_) c.load(r);
+    sim::snapshot_read_span(r, head_);
+    sim::snapshot_read_span(r, aux_);
+    arb_->load_state(r);
+    sim::snapshot_read_span(r, in_count_);
+    sim::snapshot_read_span(r, out_count_);
+  }
+
  protected:
   void eval_forward() {
     const std::size_t n = threads();

@@ -155,6 +155,30 @@ class HybridMeb : public sim::TwoPhaseComponent<HybridMeb<T>> {
     return threads() + shared_.size();
   }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    // grant_ and the pending/ready masks are settle-phase scratch,
+    // recomputed by the full evaluation a restore schedules.
+    sim::snapshot_write_span(w, state_);
+    sim::snapshot_write_span(w, main_);
+    sim::snapshot_write_span(w, shared_);
+    sim::snapshot_write_span(w, shared_owner_);
+    sim::snapshot_write_span(w, claimed_slot_);
+    w.write_u64(shared_used_);
+    arb_->save_state(w);
+    sim::snapshot_write_span(w, out_count_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    sim::snapshot_read_span(r, state_);
+    sim::snapshot_read_span(r, main_);
+    sim::snapshot_read_span(r, shared_);
+    sim::snapshot_read_span(r, shared_owner_);
+    sim::snapshot_read_span(r, claimed_slot_);
+    shared_used_ = static_cast<std::size_t>(r.read_u64());
+    arb_->load_state(r);
+    sim::snapshot_read_span(r, out_count_);
+  }
+
  protected:
   void eval_forward() {
     const std::size_t n = threads();

@@ -54,6 +54,14 @@ class MFork : public sim::Component {
     ctrl_[active].commit(true, rin_);
   }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    for (const auto& c : ctrl_) c.save(w);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    for (auto& c : ctrl_) c.load(r);
+  }
+
  private:
   MtChannel<T>& in_;
   std::vector<MtChannel<T>*> outs_;

@@ -115,6 +115,12 @@ class MMerge : public sim::Component {
     }
   }
 
+  // sel_ and active_ are settle-phase scratch, recomputed by eval().
+  void save_state(sim::SnapshotWriter& w) const override { w.write_u64(ptr_); }
+  void load_state(sim::SnapshotReader& r) override {
+    ptr_ = static_cast<std::size_t>(r.read_u64());
+  }
+
  private:
   std::vector<MtChannel<T>*> ins_;
   MtChannel<T>& out_;

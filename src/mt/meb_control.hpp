@@ -127,6 +127,18 @@ class ReducedMebControl {
     shared_owner_ = threads();
   }
 
+  void save(sim::SnapshotWriter& w) const {
+    sim::snapshot_write_span(w, state_);
+    w.write_bool(shared_full_);
+    w.write_u64(shared_owner_);
+  }
+
+  void load(sim::SnapshotReader& r) {
+    sim::snapshot_read_span(r, state_);
+    shared_full_ = r.read_bool();
+    shared_owner_ = static_cast<std::size_t>(r.read_u64());
+  }
+
  private:
   std::vector<EbState> state_;
   bool shared_full_ = false;

@@ -73,6 +73,30 @@ class MtSink : public sim::Component {
     return order_;
   }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    for (const auto& t : per_thread_) {
+      sim::snapshot_write_vector(w, t.received);
+      t.gate.save(w);
+    }
+    w.write_u64(order_.size());
+    for (const auto& [thread, tok] : order_) {
+      w.write_u64(thread);
+      sim::snapshot_write_value(w, tok);
+    }
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    for (auto& t : per_thread_) {
+      sim::snapshot_read_vector(r, t.received);
+      t.gate.load(r);
+    }
+    order_.resize(r.read_u64());
+    for (auto& [thread, tok] : order_) {
+      thread = static_cast<std::size_t>(r.read_u64());
+      tok = sim::snapshot_read_value<T>(r);
+    }
+  }
+
  private:
   struct PerThread {
     std::vector<T> received;

@@ -110,6 +110,25 @@ class MtSource : public sim::Component {
     return true;
   }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    // tokens/generator/stalls are configuration; grant_ is settle scratch.
+    for (const auto& t : per_thread_) {
+      w.write_u64(t.index);
+      w.write_u64(t.sent);
+      t.gate.save(w);
+    }
+    arb_->save_state(w);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    for (auto& t : per_thread_) {
+      t.index = r.read_u64();
+      t.sent = r.read_u64();
+      t.gate.load(r);
+    }
+    arb_->load_state(r);
+  }
+
  private:
   struct PerThread {
     std::vector<T> tokens;

@@ -53,6 +53,7 @@ class MtVarLatencyUnit : public sim::Component {
     remaining_ = 0;
     owner_ = in_.threads();
     token_ = T{};
+    accepted_ = 0;
     // Reset-and-rerun draws the same latency sequence as a fresh run.
     rng_.reseed(seed_);
   }
@@ -109,6 +110,25 @@ class MtVarLatencyUnit : public sim::Component {
 
   [[nodiscard]] bool busy() const noexcept { return state_ != State::kIdle; }
   [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+
+  void save_state(sim::SnapshotWriter& w) const override {
+    // seed_ is configuration; the mid-stream rng state is what matters.
+    rng_.save(w);
+    sim::snapshot_write_value(w, state_);
+    w.write_u64(remaining_);
+    w.write_u64(owner_);
+    sim::snapshot_write_value(w, token_);
+    w.write_u64(accepted_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    rng_.load(r);
+    state_ = sim::snapshot_read_value<State>(r);
+    remaining_ = static_cast<unsigned>(r.read_u64());
+    owner_ = static_cast<std::size_t>(r.read_u64());
+    token_ = sim::snapshot_read_value<T>(r);
+    accepted_ = r.read_u64();
+  }
 
  private:
   enum class State { kIdle, kBusy, kDone };

@@ -124,6 +124,26 @@ class ReducedMeb : public sim::TwoPhaseComponent<ReducedMeb<T>> {
   /// Storage slots instantiated by this buffer (S main + 1 shared).
   [[nodiscard]] std::size_t capacity() const noexcept { return threads() + 1; }
 
+  void save_state(sim::SnapshotWriter& w) const override {
+    // grant_ and the pending/ready masks are settle-phase scratch,
+    // recomputed by the full evaluation a restore schedules.
+    ctrl_.save(w);
+    sim::snapshot_write_span(w, main_);
+    sim::snapshot_write_value(w, shared_);
+    arb_->save_state(w);
+    sim::snapshot_write_span(w, in_count_);
+    sim::snapshot_write_span(w, out_count_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    ctrl_.load(r);
+    sim::snapshot_read_span(r, main_);
+    shared_ = sim::snapshot_read_value<T>(r);
+    arb_->load_state(r);
+    sim::snapshot_read_span(r, in_count_);
+    sim::snapshot_read_span(r, out_count_);
+  }
+
  protected:
   void eval_forward() {
     const std::size_t n = threads();

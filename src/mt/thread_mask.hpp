@@ -19,6 +19,8 @@
 #include <initializer_list>
 #include <vector>
 
+#include "sim/snapshot.hpp"
+
 namespace mte::mt {
 
 class ThreadMask {
@@ -148,6 +150,22 @@ class ThreadMask {
       if (++w == a.words_.size()) return a.bits_;
       word = a.words_[w] & b.words_[w];
     }
+  }
+
+  // --- checkpointing --------------------------------------------------------
+  void save(sim::SnapshotWriter& w) const {
+    w.write_u64(bits_);
+    for (const std::uint64_t word : words_) w.write_u64(word);
+  }
+
+  void load(sim::SnapshotReader& r) {
+    const std::uint64_t bits = r.read_u64();
+    if (bits != bits_) {
+      throw sim::SnapshotError("snapshot ThreadMask width " + std::to_string(bits) +
+                               " does not match structural width " +
+                               std::to_string(bits_));
+    }
+    for (auto& word : words_) word = r.read_u64();
   }
 
   // --- word-level access ----------------------------------------------------

@@ -101,6 +101,24 @@ class ChannelProbe : public sim::Component {
   /// Payload of the most recent completed transfer.
   [[nodiscard]] Word last_value() const noexcept { return last_value_; }
 
+  // Probe statistics restore with the snapshot, so a warm-started run
+  // reports the same aggregate numbers as the straight run it resumes.
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.write_u64(cycles_);
+    sim::snapshot_write_span(w, counts_);
+    sim::snapshot_write_span(w, waits_);
+    wait_hist_.save(w);
+    w.write_u64(last_value_);
+  }
+
+  void load_state(sim::SnapshotReader& r) override {
+    cycles_ = r.read_u64();
+    sim::snapshot_read_span(r, counts_);
+    sim::snapshot_read_span(r, waits_);
+    wait_hist_.load(r);
+    last_value_ = r.read_u64();
+  }
+
  private:
   void init(std::size_t threads) {
     counts_.assign(threads, 0);

@@ -31,7 +31,11 @@ unsigned long parse_uint(const std::string& tok, int line, unsigned long max_val
   unsigned long value = 0;
   try {
     if (!tok.empty() && tok[0] == '-') throw std::invalid_argument(tok);
-    value = std::stoul(tok);
+    std::size_t pos = 0;
+    value = std::stoul(tok, &pos);
+    // stoul stops at the first non-digit: "12x" would silently parse as
+    // 12. Partial consumption is a malformed token.
+    if (pos != tok.size()) throw std::invalid_argument(tok);
   } catch (const std::exception&) {
     fail(line, std::string("bad ") + what + " '" + tok + "'");
   }
@@ -48,8 +52,13 @@ unsigned parse_arity(const std::string& tok, int line) {
 
 double parse_rate(const std::string& tok, int line) {
   if (!tok.starts_with("rate=")) fail(line, "expected rate=..., got '" + tok + "'");
+  const std::string num = tok.substr(5);
   try {
-    return std::stod(tok.substr(5));
+    std::size_t pos = 0;
+    const double rate = std::stod(num, &pos);
+    // "rate=0.5xyz" must not parse as 0.5 (stod stops at the garbage).
+    if (pos != num.size()) throw std::invalid_argument(num);
+    return rate;
   } catch (const std::exception&) {
     fail(line, "bad rate '" + tok + "'");
   }
@@ -59,9 +68,12 @@ double parse_rate(const std::string& tok, int line) {
 std::pair<std::string, unsigned> parse_endpoint(const std::string& tok, int line) {
   const auto colon = tok.find(':');
   if (colon == std::string::npos) fail(line, "expected name:port, got '" + tok + "'");
+  const std::string port = tok.substr(colon + 1);
   try {
-    return {tok.substr(0, colon),
-            static_cast<unsigned>(std::stoul(tok.substr(colon + 1)))};
+    std::size_t pos = 0;
+    const unsigned long value = std::stoul(port, &pos);
+    if (pos != port.size()) throw std::invalid_argument(port);
+    return {tok.substr(0, colon), static_cast<unsigned>(value)};
   } catch (const std::exception&) {
     fail(line, "bad port in '" + tok + "'");
   }

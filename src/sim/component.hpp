@@ -11,6 +11,8 @@ namespace mte::sim {
 class ChangeTracker;
 class Component;
 class Simulator;
+class SnapshotReader;
+class SnapshotWriter;
 
 /// One schedulable unit of a component's combinational logic — the node
 /// granularity of the event-driven kernel's dependency graph.
@@ -75,6 +77,19 @@ class Component {
 
   /// Sequential commit at the clock edge; must not write wires.
   virtual void tick() = 0;
+
+  // --- checkpointing (Simulator::save/restore) ------------------------------
+  /// Serializes every piece of registered state reset() reinitializes —
+  /// register contents, occupancy/FSM states, arbiter pointers, RNG
+  /// streams, statistics counters — into the component's snapshot frame.
+  /// Scratch recomputed by eval() on settled wires must NOT be written.
+  /// The frame is CRC'd and length-checked: load_state must consume
+  /// exactly the bytes save_state wrote, so a forgotten field fails
+  /// loudly at restore, never silently. Default: stateless.
+  virtual void save_state(SnapshotWriter& /*w*/) const {}
+
+  /// Restores the state written by save_state, in the same order.
+  virtual void load_state(SnapshotReader& /*r*/) {}
 
   // --- multi-process interface (event-driven kernel) ------------------------
   /// Number of independently schedulable combinational processes. The

@@ -8,6 +8,8 @@
 #include <array>
 #include <cstdint>
 
+#include "sim/snapshot.hpp"
+
 namespace mte::sim {
 
 /// SplitMix64: used to expand a single 64-bit seed into generator state.
@@ -70,6 +72,16 @@ class Rng {
 
   /// Bernoulli trial with success probability p.
   bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Checkpoints the generator mid-stream: the restored Rng continues the
+  /// draw sequence exactly where the saved one stood.
+  void save(SnapshotWriter& w) const {
+    for (const std::uint64_t s : state_) w.write_u64(s);
+  }
+
+  void load(SnapshotReader& r) {
+    for (auto& s : state_) s = r.read_u64();
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
@@ -142,6 +154,28 @@ class BernoulliGate {
   /// The gate decision for the current cycle.
   [[nodiscard]] bool open() const noexcept { return open_; }
   [[nodiscard]] double rate() const noexcept { return rate_; }
+
+  /// Checkpoints the full decision stream position: the configured
+  /// (rate, seed), the generator state, the batched decision word and the
+  /// consumption index into it, and the loaded decision — so a restored
+  /// gate's decision k+1, k+2, ... match the saved run bit for bit.
+  void save(SnapshotWriter& w) const {
+    w.write_f64(rate_);
+    w.write_u64(seed_);
+    rng_.save(w);
+    w.write_u64(bits_);
+    w.write_u64(pos_);
+    w.write_bool(open_);
+  }
+
+  void load(SnapshotReader& r) {
+    rate_ = r.read_f64();
+    seed_ = r.read_u64();
+    rng_.load(r);
+    bits_ = r.read_u64();
+    pos_ = static_cast<unsigned>(r.read_u64());
+    open_ = r.read_bool();
+  }
 
  private:
   static constexpr unsigned kWordBits = 64;

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <istream>
+#include <ostream>
+
+#include "sim/snapshot.hpp"
 
 namespace mte::sim {
 
@@ -403,6 +407,112 @@ void Simulator::reset() {
   }
   clear_pending();
   full_eval_pending_ = true;
+}
+
+void Simulator::save(std::ostream& os) const {
+  SnapshotWriter w;
+  for (const char c : kSnapshotMagic) w.write_u8(static_cast<std::uint8_t>(c));
+  w.write_u32(kSnapshotVersion);
+  w.write_u8(kernel_ == KernelKind::kEventDriven ? 1 : 0);
+  w.write_u8(demoted_to_naive_ ? 1 : 0);
+  w.write_u64(cycle_);
+
+  // Wires in registration order (construction order for a live circuit —
+  // deterministic across elaborations of the same netlist).
+  const auto& wires = tracker_.wires();
+  w.write_u64(wires.size());
+  for (const WireBase* wb : wires) {
+    const std::size_t frame = w.begin_short_frame();
+    wb->save_value(w);
+    w.end_short_frame(frame);
+  }
+
+  w.write_u64(components_.size());
+  for (const Component* c : components_) {
+    w.write_string(c->name());
+    w.write_u8(c->tick_idle_hint_ ? 1 : 0);  // flags: bit0 = idle hint
+    const std::size_t frame = w.begin_frame();
+    c->save_state(w);
+    w.end_frame(frame);
+  }
+  w.write_u64(kSnapshotEnd);
+  w.write_to(os);
+}
+
+void Simulator::restore(std::istream& is) {
+  SnapshotReader r = SnapshotReader::from_stream(is);
+  for (const char c : kSnapshotMagic) {
+    if (r.read_u8() != static_cast<std::uint8_t>(c)) {
+      throw SnapshotError("not an mte snapshot (bad magic)");
+    }
+  }
+  const std::uint32_t version = r.read_u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("snapshot format version " + std::to_string(version) +
+                        " is not supported (this build reads version " +
+                        std::to_string(kSnapshotVersion) + ")");
+  }
+  (void)r.read_u8();  // kernel kind at save time: informational only
+  const bool saved_demoted = r.read_u8() != 0;
+  const Cycle cycle = r.read_u64();
+
+  const auto& wires = tracker_.wires();
+  const std::uint64_t wire_count = r.read_u64();
+  if (wire_count != wires.size()) {
+    throw SnapshotError("snapshot holds " + std::to_string(wire_count) +
+                        " wires but this simulator has " +
+                        std::to_string(wires.size()) +
+                        " (different circuit?)");
+  }
+  for (WireBase* wb : wires) {
+    const std::size_t frame = r.open_short_frame();
+    wb->load_value(r);
+    r.close_short_frame(frame, "wire");
+  }
+
+  const std::uint64_t comp_count = r.read_u64();
+  if (comp_count != components_.size()) {
+    throw SnapshotError("snapshot holds " + std::to_string(comp_count) +
+                        " components but this simulator has " +
+                        std::to_string(components_.size()) +
+                        " (different circuit?)");
+  }
+  for (Component* c : components_) {
+    const std::string name = r.read_string();
+    if (name != c->name()) {
+      throw SnapshotError("snapshot component '" + name +
+                          "' does not match registered component '" + c->name() +
+                          "' (different circuit or registration order)");
+    }
+    const std::uint8_t flags = r.read_u8();
+    const std::string what = "component '" + name + "'";
+    const std::size_t frame = r.open_frame(what);
+    c->load_state(r);
+    r.close_frame(frame, what);
+    c->tick_idle_hint_ = (flags & 1u) != 0;
+    c->kernel_seed_mask_ = Component::kAllProcesses;
+  }
+  if (r.read_u64() != kSnapshotEnd) {
+    throw SnapshotError("snapshot end marker missing");
+  }
+  if (!r.at_end()) {
+    throw SnapshotError("snapshot carries trailing bytes after the end marker");
+  }
+
+  cycle_ = cycle;
+  // Kernel bookkeeping is rebuilt, not restored: schedule a full
+  // evaluation exactly like reset(), which rematerializes process slots,
+  // re-discovers sensitivities, and re-levelizes on the next settle —
+  // this is what makes a snapshot portable across KernelKinds. The saved
+  // demotion flag transfers only onto an event-driven restore target (a
+  // demoted circuit stays order-sensitive no matter who saved it).
+  clear_pending();
+  full_eval_pending_ = true;
+  seed_seq_pending_ = false;
+  if (kernel_ == KernelKind::kEventDriven) {
+    demoted_to_naive_ = saved_demoted;
+    tracker_.set_event_mode(!saved_demoted);
+  }
 }
 
 void Simulator::step() {

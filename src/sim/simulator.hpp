@@ -75,6 +75,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -159,6 +160,28 @@ class Simulator {
 
   /// Resets all components and the cycle counter.
   void reset();
+
+  // --- checkpointing --------------------------------------------------------
+  /// Serializes the complete deterministic simulation state — settled wire
+  /// values, per-component registered state (Component::save_state, each in
+  /// a CRC'd length-checked frame), tick-elision idle hints, the demotion
+  /// flag, and the cycle count — in the versioned little-endian snapshot
+  /// format (sim/snapshot.hpp). Diagnostics counters (eval/tick counts,
+  /// settle work, phase timings) are not part of the snapshot.
+  /// Call between steps on settled state (save right after step()/run()).
+  void save(std::ostream& os) const;
+
+  /// Restores a snapshot written by save() into this simulator, which must
+  /// hold the structurally identical circuit (same wires, same components
+  /// in the same registration order — enforced by name and count checks).
+  /// Scheduler state is NOT read from the snapshot: process slots,
+  /// levelization and worklists are rematerialized by scheduling a full
+  /// evaluation, exactly as reset() does — so a snapshot saved under one
+  /// KernelKind restores under the other. Throws SnapshotError on any
+  /// version/structure/CRC/length mismatch; the simulator state is then
+  /// unspecified and needs reset(). Subsequent step()s replay the saved
+  /// run's future bit for bit.
+  void restore(std::istream& is);
 
   /// Advances one clock cycle.
   void step();

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/component.hpp"
+#include "sim/snapshot.hpp"
 
 namespace mte::sim {
 
@@ -108,7 +109,7 @@ class WireBase {
     tracker_->register_wire(*this);
   }
 
-  ~WireBase() { tracker_->unregister_wire(*this); }
+  virtual ~WireBase() { tracker_->unregister_wire(*this); }
 
   WireBase(const WireBase&) = delete;
   WireBase& operator=(const WireBase&) = delete;
@@ -134,6 +135,15 @@ class WireBase {
   [[nodiscard]] const std::vector<Process*>& fanout() const noexcept {
     return fanout_;
   }
+
+  // --- checkpointing (Simulator::save/restore) ------------------------------
+  /// Serializes the settled value (cold path; the per-wire vtable is the
+  /// price of type-erased snapshotting and is touched only here).
+  virtual void save_value(SnapshotWriter& w) const = 0;
+
+  /// Restores a value written by save_value. Implementations load through
+  /// set(), so bit mirrors and forwarding chains re-sync as a side effect.
+  virtual void load_value(SnapshotReader& r) = 0;
 
  protected:
   /// Records the currently evaluating process as sensitive to this wire.
@@ -293,6 +303,10 @@ class Wire : public WireBase {
     forward_ = &dst;
     dst.set(value_);
   }
+
+  void save_value(SnapshotWriter& w) const final { snapshot_write_value<T>(w, value_); }
+
+  void load_value(SnapshotReader& r) final { set(snapshot_read_value<T>(r)); }
 
  private:
   T value_;

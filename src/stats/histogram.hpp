@@ -5,6 +5,8 @@
 #include <map>
 #include <string>
 
+#include "sim/snapshot.hpp"
+
 namespace mte::stats {
 
 class Histogram {
@@ -48,6 +50,22 @@ class Histogram {
     buckets_.clear();
     total_ = sum_ = 0;
     min_ = max_ = 0;
+  }
+
+  void save(sim::SnapshotWriter& w) const {
+    sim::snapshot_write_map(w, buckets_);
+    w.write_u64(total_);
+    w.write_u64(sum_);
+    w.write_u64(min_);
+    w.write_u64(max_);
+  }
+
+  void load(sim::SnapshotReader& r) {
+    sim::snapshot_read_map(r, buckets_);
+    total_ = r.read_u64();
+    sum_ = r.read_u64();
+    min_ = r.read_u64();
+    max_ = r.read_u64();
   }
 
  private:

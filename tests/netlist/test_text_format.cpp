@@ -115,6 +115,35 @@ TEST(TextFormat, RejectsBadArity) {
   EXPECT_THROW((void)parse_netlist("threads 0\n"), ParseError);
 }
 
+TEST(TextFormat, RejectsTrailingGarbageInNumbers) {
+  // Numeric tokens must be consumed in full: "2x" parsing as 2 would
+  // silently build the wrong circuit.
+  EXPECT_THROW((void)parse_netlist("fork f 2x\n"), ParseError);
+  EXPECT_THROW((void)parse_netlist("threads 4abc\n"), ParseError);
+  EXPECT_THROW((void)parse_netlist("var_latency v 1x 3\n"), ParseError);
+}
+
+TEST(TextFormat, RejectsTrailingGarbageInRates) {
+  EXPECT_THROW((void)parse_netlist("source s rate=0.5xyz\n"), ParseError);
+  EXPECT_THROW((void)parse_netlist("sink s rate=0.5e\n"), ParseError);
+}
+
+TEST(TextFormat, RejectsTrailingGarbageInPorts) {
+  EXPECT_THROW(
+      (void)parse_netlist("source a\nsink b\nconnect a:0 -> b:1x\n"), ParseError);
+  EXPECT_THROW(
+      (void)parse_netlist("source a\nsink b\nconnect a:0y -> b:0\n"), ParseError);
+}
+
+TEST(TextFormat, TrailingGarbageErrorsCarryLineNumbers) {
+  try {
+    (void)parse_netlist("source a\nfork f 2x\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
 TEST(TextFormat, ConnectWithoutArrowAccepted) {
   const Netlist n = parse_netlist("source a\nsink b\nconnect a:0 b:0\n");
   EXPECT_EQ(n.edges().size(), 1u);

@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,27 @@ namespace mte::kerneltest {
 using netlist::Elaboration;
 using netlist::Netlist;
 using Word = netlist::Word;
+
+/// Filled in by run_lockstep when snapshot-bisection is enabled and a wire
+/// divergence fires: the divergence is pinned to the window since the last
+/// in-sync snapshot pair, and replayed from that pair (never from cycle 0)
+/// to confirm the snapshots alone reproduce it.
+struct BisectReport {
+  bool triggered = false;
+  /// Cycle of the last snapshot at which both kernels agreed.
+  sim::Cycle window_begin = 0;
+  /// Cycle at which the wire mismatch was observed; the offending window
+  /// is (window_begin, window_end].
+  sim::Cycle window_end = 0;
+  /// True when restoring the snapshot pair into fresh elaborations and
+  /// re-stepping reproduced the divergence inside the window.
+  bool replayed = false;
+  /// Snapshot bytes of both simulators at window_begin.
+  std::string ref_snapshot;
+  std::string dut_snapshot;
+  /// Wire mismatch description from the original run.
+  std::string message;
+};
 
 struct LockstepOptions {
   sim::Cycle cycles = 2000;
@@ -36,6 +60,14 @@ struct LockstepOptions {
   /// coupling yields multiple combinational fixed points, so the two
   /// kernels can legally settle to different ones.
   mt::ArbiterKind arbiter = mt::ArbiterKind::kRoundRobin;
+  /// When nonzero, both simulators are snapshotted every snapshot_interval
+  /// cycles; a wire divergence is then bisected to the cycles since the
+  /// last snapshot and replayed from it, so a failure deep into a long run
+  /// never needs a cycle-0 replay. Failure messages carry the window.
+  sim::Cycle snapshot_interval = 0;
+  /// Receives the bisection result (window, snapshots, replay verdict).
+  /// Artifacts are additionally written to $MTE_BISECT_DIR when set.
+  BisectReport* bisect = nullptr;
 };
 
 /// Per-cycle wire comparison across every channel of the two elaborations.
@@ -111,6 +143,66 @@ inline ::testing::AssertionResult probes_equal(
   return ::testing::AssertionSuccess();
 }
 
+namespace detail {
+
+inline std::unique_ptr<Elaboration> bisect_elab(
+    const Netlist& net, const netlist::FunctionRegistry& registry,
+    const netlist::ComponentFactory& factory, const LockstepOptions& opt,
+    sim::KernelKind kernel, const std::function<void(Elaboration&)>& configure,
+    const std::string& snapshot) {
+  netlist::ElaborationOptions eopt;
+  eopt.channel_probes = opt.channel_probes;
+  eopt.kernel = kernel;
+  eopt.arbiter = opt.arbiter;
+  auto e = std::make_unique<Elaboration>(net, registry, factory, eopt);
+  configure(*e);
+  e->simulator().reset();
+  std::istringstream is(snapshot);
+  e->simulator().restore(is);
+  return e;
+}
+
+/// Replays only the offending window (rep.window_begin, rep.window_end]
+/// from the saved snapshot pair in fresh elaborations. Returns true when
+/// the wire divergence reproduces inside the window.
+inline bool replay_bisect_window(const Netlist& net,
+                                 const netlist::FunctionRegistry& registry,
+                                 const netlist::ComponentFactory& factory,
+                                 const LockstepOptions& opt,
+                                 const std::function<void(Elaboration&)>& configure,
+                                 const std::vector<std::string>& names,
+                                 const BisectReport& rep) {
+  auto ref = bisect_elab(net, registry, factory, opt, sim::KernelKind::kNaive,
+                         configure, rep.ref_snapshot);
+  auto dut = bisect_elab(net, registry, factory, opt, sim::KernelKind::kEventDriven,
+                         configure, rep.dut_snapshot);
+  for (sim::Cycle c = rep.window_begin; c < rep.window_end; ++c) {
+    ref->simulator().step();
+    dut->simulator().step();
+    if (!channels_equal(*ref, *dut, names)) return true;
+  }
+  return false;
+}
+
+/// Writes the snapshot pair and a plain-text report to $MTE_BISECT_DIR so
+/// CI can upload the artifacts of a tripped fuzz case.
+inline void dump_bisect_artifacts(const BisectReport& rep) {
+  const char* dir = std::getenv("MTE_BISECT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string base = std::string(dir) + "/bisect_" +
+                           std::to_string(rep.window_begin) + "_" +
+                           std::to_string(rep.window_end);
+  std::ofstream(base + "_ref.snap", std::ios::binary) << rep.ref_snapshot;
+  std::ofstream(base + "_dut.snap", std::ios::binary) << rep.dut_snapshot;
+  std::ofstream report(base + ".txt");
+  report << "kernel divergence window: (" << rep.window_begin << ", "
+         << rep.window_end << "]\n"
+         << "replayed from snapshot: " << (rep.replayed ? "yes" : "NO") << '\n'
+         << rep.message << '\n';
+}
+
+}  // namespace detail
+
 /// Elaborates `net` under both kernels, applies `configure` to each (it
 /// must be deterministic — both elaborations need the identical workload),
 /// then runs the lockstep comparison for opt.cycles cycles.
@@ -146,7 +238,20 @@ inline bool run_lockstep(const Netlist& net,
   EXPECT_FALSE(names.empty());
   if (::testing::Test::HasFailure()) return false;
 
+  // Latest in-sync snapshot pair for bisection (cycle 0 = post-reset).
+  BisectReport local_bisect;
+  BisectReport* bisect = opt.bisect != nullptr ? opt.bisect : &local_bisect;
+  sim::Cycle snap_cycle = 0;
+
   for (sim::Cycle c = 0; c < opt.cycles; ++c) {
+    if (opt.snapshot_interval != 0 && c % opt.snapshot_interval == 0) {
+      std::ostringstream ros, dos;
+      ref->simulator().save(ros);
+      dut->simulator().save(dos);
+      bisect->ref_snapshot = ros.str();
+      bisect->dut_snapshot = dos.str();
+      snap_cycle = c;
+    }
     const char* diverged = nullptr;
     try {
       ref->simulator().step();
@@ -168,7 +273,24 @@ inline bool run_lockstep(const Netlist& net,
     }
     const auto wires = channels_equal(*ref, *dut, names);
     if (!wires) {
-      ADD_FAILURE() << wires.message() << " at cycle " << c;
+      if (opt.snapshot_interval != 0) {
+        bisect->triggered = true;
+        bisect->window_begin = snap_cycle;
+        bisect->window_end = c + 1;
+        bisect->message = wires.message();
+        bisect->replayed = detail::replay_bisect_window(net, registry, factory, opt,
+                                                        configure, names, *bisect);
+        detail::dump_bisect_artifacts(*bisect);
+        ADD_FAILURE() << wires.message() << " at cycle " << c
+                      << "; bisected to window (" << bisect->window_begin << ", "
+                      << bisect->window_end << "] of "
+                      << (bisect->window_end - bisect->window_begin)
+                      << " cycles, replay from snapshot "
+                      << (bisect->replayed ? "reproduces" : "DOES NOT reproduce")
+                      << " the divergence";
+      } else {
+        ADD_FAILURE() << wires.message() << " at cycle " << c;
+      }
       return false;
     }
   }

@@ -1,0 +1,116 @@
+// Snapshot-bisection mode of the lockstep harness: with a snapshot
+// interval set, a kernel divergence must be pinned to the window since
+// the last in-sync snapshot pair and reproduced by replaying only that
+// window — never from cycle 0.
+//
+// A real divergence would be a kernel bug, so these tests synthesize one:
+// the workload closure inspects the simulator's kernel and stalls the
+// sink only under the event-driven kernel, which makes the two runs
+// legally disagree at a known cycle.
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "kernel_lockstep.hpp"
+#include "snapshot_circuits.hpp"
+
+namespace {
+
+using namespace mte;
+using kerneltest::BisectReport;
+using kerneltest::LockstepOptions;
+using kerneltest::run_lockstep;
+
+netlist::Netlist bisect_net() { return snaptest::fig1_pipeline(); }
+
+// Diverges at cycle 300 under the event kernel only.
+void divergent_configure(netlist::Elaboration& e) {
+  e.source("src").set_generator([](std::uint64_t i) { return i; });
+  if (e.simulator().kernel() == sim::KernelKind::kEventDriven) {
+    e.sink("out").add_stall_window(300, 310);
+  }
+}
+
+TEST(LockstepBisect, DivergenceIsPinnedToSnapshotWindow) {
+  BisectReport rep;
+  LockstepOptions opt;
+  opt.cycles = 400;
+  opt.snapshot_interval = 100;
+  opt.bisect = &rep;
+
+  // The synthetic divergence must fail the lockstep run...
+  EXPECT_NONFATAL_FAILURE(
+      {
+        const auto net = bisect_net();
+        run_lockstep(net, divergent_configure, opt);
+      },
+      "bisected to window");
+
+  // ...and the report must pin it to the 100-cycle window around 300,
+  // with the replay starting from the cycle-300 snapshot, not cycle 0.
+  ASSERT_TRUE(rep.triggered);
+  EXPECT_GT(rep.window_begin, 0u) << "replay must not start from cycle 0";
+  EXPECT_EQ(rep.window_begin, 300u);
+  EXPECT_GT(rep.window_end, rep.window_begin);
+  EXPECT_LE(rep.window_end - rep.window_begin, opt.snapshot_interval);
+  EXPECT_TRUE(rep.replayed)
+      << "restoring the snapshot pair must reproduce the divergence in-window";
+  EXPECT_FALSE(rep.ref_snapshot.empty());
+  EXPECT_FALSE(rep.dut_snapshot.empty());
+  EXPECT_FALSE(rep.message.empty());
+}
+
+TEST(LockstepBisect, ArtifactsDumpedWhenDirSet) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "mte_bisect_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  ::setenv("MTE_BISECT_DIR", dir.string().c_str(), 1);
+
+  BisectReport rep;
+  LockstepOptions opt;
+  opt.cycles = 400;
+  opt.snapshot_interval = 100;
+  opt.bisect = &rep;
+  EXPECT_NONFATAL_FAILURE(
+      {
+        const auto net = bisect_net();
+        run_lockstep(net, divergent_configure, opt);
+      },
+      "bisected to window");
+  ::unsetenv("MTE_BISECT_DIR");
+
+  ASSERT_TRUE(rep.triggered);
+  const std::string base = "bisect_" + std::to_string(rep.window_begin) + "_" +
+                           std::to_string(rep.window_end);
+  EXPECT_TRUE(fs::exists(dir / (base + "_ref.snap")));
+  EXPECT_TRUE(fs::exists(dir / (base + "_dut.snap")));
+  ASSERT_TRUE(fs::exists(dir / (base + ".txt")));
+  std::ifstream report(dir / (base + ".txt"));
+  std::string text((std::istreambuf_iterator<char>(report)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("divergence window"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(LockstepBisect, CleanRunLeavesReportUntriggered) {
+  BisectReport rep;
+  LockstepOptions opt;
+  opt.cycles = 400;
+  opt.snapshot_interval = 100;
+  opt.bisect = &rep;
+  const auto net = bisect_net();
+  EXPECT_TRUE(run_lockstep(
+      net,
+      [](netlist::Elaboration& e) {
+        e.source("src").set_generator([](std::uint64_t i) { return i; });
+      },
+      opt));
+  EXPECT_FALSE(rep.triggered);
+}
+
+}  // namespace

@@ -80,11 +80,15 @@ bool run_fuzz_case(std::uint64_t seed) {
     }
   };
 
+  // snapshot_interval bounds any divergence replay to a 200-cycle window:
+  // a fuzz failure prints the offending (begin, end] window and, when
+  // MTE_BISECT_DIR is set (CI), drops the snapshot pair as artifacts.
   return run_lockstep(net, configure,
                       {.cycles = 400,
                        .allow_divergent = true,
                        .arbiter = has_mt_join ? mt::ArbiterKind::kOblivious
-                                              : mt::ArbiterKind::kRoundRobin});
+                                              : mt::ArbiterKind::kRoundRobin,
+                       .snapshot_interval = 200});
 }
 
 std::uint64_t fuzz_base_seed() {

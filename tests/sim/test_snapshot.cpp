@@ -1,0 +1,345 @@
+// Checkpoint/restore (Simulator::save / Simulator::restore):
+//  - snapshot differ: reset + rerun must produce byte-identical snapshots
+//    on every curated circuit under both kernels (reset() completeness);
+//  - resume equivalence: a restored simulator must be cycle-for-cycle
+//    wire-identical to the straight run it resumes, end with a
+//    byte-identical snapshot and identical probe statistics;
+//  - cross-kernel restore: a snapshot taken under the naive kernel must
+//    restore under the event-driven kernel (and vice versa) because
+//    restore rematerializes scheduler state instead of trusting it;
+//  - malformed snapshots (bad magic/version, truncation, trailing bytes,
+//    payload corruption, wrong circuit) must be rejected loudly;
+//  - trace observers restart empty after a restore, with event cycles
+//    continuing from the snapshot cycle (documented semantics: the
+//    TraceRecorder is external to the simulator and is NOT checkpointed,
+//    unlike ChannelProbe statistics which restore with the snapshot).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "elastic/elastic_buffer.hpp"
+#include "elastic/probe.hpp"
+#include "elastic/sink.hpp"
+#include "elastic/source.hpp"
+#include "kernel_lockstep.hpp"
+#include "md5/md5_circuit.hpp"
+#include "sim/snapshot.hpp"
+#include "snapshot_circuits.hpp"
+
+namespace {
+
+using namespace mte;
+using kerneltest::channels_equal;
+using kerneltest::probes_equal;
+using netlist::Elaboration;
+using snaptest::SnapshotCase;
+using snaptest::snapshot_cases;
+
+std::string snapshot_of(sim::Simulator& s) {
+  std::ostringstream os;
+  s.save(os);
+  return os.str();
+}
+
+void restore_from(sim::Simulator& s, const std::string& bytes) {
+  std::istringstream is(bytes);
+  s.restore(is);
+}
+
+std::unique_ptr<Elaboration> make_elab(const SnapshotCase& c, sim::KernelKind kernel) {
+  static const auto registry = netlist::FunctionRegistry::with_defaults();
+  static const auto factory = netlist::ComponentFactory::defaults();
+  netlist::ElaborationOptions opt;
+  opt.kernel = kernel;
+  opt.meb_shared_slots = c.meb_shared_slots;
+  auto e = std::make_unique<Elaboration>(c.net, registry, factory, opt);
+  c.configure(*e);
+  e->simulator().reset();
+  return e;
+}
+
+void step_n(sim::Simulator& s, sim::Cycle n) {
+  for (sim::Cycle i = 0; i < n; ++i) s.step();
+}
+
+constexpr std::array<sim::KernelKind, 2> kKernels = {sim::KernelKind::kNaive,
+                                                     sim::KernelKind::kEventDriven};
+
+const char* kernel_name(sim::KernelKind k) {
+  return k == sim::KernelKind::kNaive ? "naive" : "event";
+}
+
+// --- snapshot differ ---------------------------------------------------------
+
+// save -> reset -> run K -> save must byte-match run-K-from-fresh -> save:
+// any component whose reset() misses a field its save_state() covers (or
+// vice versa) diverges here.
+TEST(SnapshotDiffer, ResetRerunByteIdentical) {
+  for (const auto& c : snapshot_cases()) {
+    for (const auto kernel : kKernels) {
+      SCOPED_TRACE(c.name + std::string(" / ") + kernel_name(kernel));
+      auto e = make_elab(c, kernel);
+      step_n(e->simulator(), 400);
+      const std::string fresh = snapshot_of(e->simulator());
+
+      e->simulator().reset();
+      step_n(e->simulator(), 400);
+      const std::string rerun = snapshot_of(e->simulator());
+      EXPECT_EQ(fresh, rerun) << "reset() does not reproduce the fresh-run state";
+    }
+  }
+}
+
+// --- resume equivalence ------------------------------------------------------
+
+TEST(SnapshotRestore, ResumeMatchesStraightRun) {
+  constexpr sim::Cycle kWarm = 250;
+  constexpr sim::Cycle kTail = 250;
+  for (const auto& c : snapshot_cases()) {
+    for (const auto kernel : kKernels) {
+      SCOPED_TRACE(c.name + std::string(" / ") + kernel_name(kernel));
+      auto straight = make_elab(c, kernel);
+      step_n(straight->simulator(), kWarm);
+      const std::string snap = snapshot_of(straight->simulator());
+
+      auto resumed = make_elab(c, kernel);
+      restore_from(resumed->simulator(), snap);
+      ASSERT_EQ(resumed->simulator().now(), kWarm);
+
+      const auto names = straight->channel_names();
+      for (sim::Cycle i = 0; i < kTail; ++i) {
+        straight->simulator().step();
+        resumed->simulator().step();
+        const auto wires = channels_equal(*straight, *resumed, names);
+        if (!wires) {
+          ADD_FAILURE() << wires.message() << " at cycle " << kWarm + i + 1;
+          return;
+        }
+      }
+      EXPECT_TRUE(probes_equal(*straight, *resumed, names));
+      EXPECT_EQ(snapshot_of(straight->simulator()), snapshot_of(resumed->simulator()))
+          << "resumed run diverged from the straight run it restored";
+    }
+  }
+}
+
+TEST(SnapshotRestore, CrossKernelRestore) {
+  constexpr sim::Cycle kWarm = 250;
+  constexpr sim::Cycle kTail = 250;
+  for (const auto& c : snapshot_cases()) {
+    for (const auto save_kernel : kKernels) {
+      const auto restore_kernel = save_kernel == sim::KernelKind::kNaive
+                                      ? sim::KernelKind::kEventDriven
+                                      : sim::KernelKind::kNaive;
+      SCOPED_TRACE(c.name + std::string(" / save=") + kernel_name(save_kernel) +
+                   " restore=" + kernel_name(restore_kernel));
+      auto saver = make_elab(c, save_kernel);
+      step_n(saver->simulator(), kWarm);
+      const std::string snap = snapshot_of(saver->simulator());
+
+      // Straight run under the restore kernel is the reference.
+      auto straight = make_elab(c, restore_kernel);
+      step_n(straight->simulator(), kWarm);
+      auto resumed = make_elab(c, restore_kernel);
+      restore_from(resumed->simulator(), snap);
+      ASSERT_EQ(resumed->simulator().now(), kWarm);
+
+      const auto names = straight->channel_names();
+      for (sim::Cycle i = 0; i < kTail; ++i) {
+        straight->simulator().step();
+        resumed->simulator().step();
+        const auto wires = channels_equal(*straight, *resumed, names);
+        if (!wires) {
+          ADD_FAILURE() << wires.message() << " at cycle " << kWarm + i + 1;
+          return;
+        }
+      }
+      EXPECT_EQ(snapshot_of(straight->simulator()), snapshot_of(resumed->simulator()));
+    }
+  }
+}
+
+// --- malformed snapshots -----------------------------------------------------
+
+class SnapshotRejectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    case_ = snapshot_cases().front();  // fig1_full_rate
+    auto e = make_elab(case_, sim::KernelKind::kEventDriven);
+    step_n(e->simulator(), 100);
+    snap_ = snapshot_of(e->simulator());
+  }
+
+  void expect_reject(const std::string& bytes, const std::string& what) {
+    auto e = make_elab(case_, sim::KernelKind::kEventDriven);
+    EXPECT_THROW(restore_from(e->simulator(), bytes), sim::SnapshotError) << what;
+  }
+
+  SnapshotCase case_;
+  std::string snap_;
+};
+
+TEST_F(SnapshotRejectTest, BadMagic) {
+  std::string s = snap_;
+  s[0] ^= 0x40;
+  expect_reject(s, "bad magic");
+}
+
+TEST_F(SnapshotRejectTest, VersionMismatch) {
+  std::string s = snap_;
+  s[8] = static_cast<char>(sim::kSnapshotVersion + 1);  // version u32 LE at offset 8
+  expect_reject(s, "future version");
+}
+
+TEST_F(SnapshotRejectTest, Truncated) {
+  expect_reject(snap_.substr(0, 4), "cut inside the magic");
+  expect_reject(snap_.substr(0, snap_.size() / 2), "cut mid-payload");
+  expect_reject(snap_.substr(0, snap_.size() - 1), "one byte short");
+}
+
+TEST_F(SnapshotRejectTest, TrailingGarbage) {
+  expect_reject(snap_ + "tail", "trailing bytes");
+}
+
+TEST_F(SnapshotRejectTest, PayloadCorruption) {
+  // Flip a byte of the last component's CRC32 (the 4 bytes right before
+  // the 8-byte end marker): the frame check must fail loudly, never
+  // restore silently.
+  std::string s = snap_;
+  s[s.size() - 9] ^= 0x01;
+  expect_reject(s, "corrupt component frame CRC");
+}
+
+TEST_F(SnapshotRejectTest, WrongCircuit) {
+  const auto cases = snapshot_cases();
+  const auto& other = cases[2];  // fork_join_diamond
+  auto e = make_elab(other, sim::KernelKind::kEventDriven);
+  EXPECT_THROW(restore_from(e->simulator(), snap_), sim::SnapshotError);
+}
+
+// --- md5 digest cross-check --------------------------------------------------
+
+sim::Cycle md5_run_to_done(md5::Md5Circuit& c, sim::Cycle max_cycles = 1u << 20) {
+  while (!c.feeder().all_done()) {
+    if (c.simulator().now() >= max_cycles) return 0;
+    c.simulator().step();
+  }
+  return c.simulator().now();
+}
+
+TEST(SnapshotRestore, Md5DigestCrossCheck) {
+  const std::vector<std::string> msgs = {"checkpoint", std::string(100, 'x'),
+                                         "restore me"};
+  for (const mt::MebKind kind : {mt::MebKind::kFull, mt::MebKind::kReduced}) {
+    SCOPED_TRACE(to_string(kind));
+    // Straight run for the reference cycle count.
+    md5::Md5Circuit straight(msgs.size(), kind);
+    for (std::size_t t = 0; t < msgs.size(); ++t) straight.set_message(t, msgs[t]);
+    straight.simulator().reset();
+    const sim::Cycle total = md5_run_to_done(straight);
+    ASSERT_GT(total, 2u);
+    const sim::Cycle warm = total / 2;
+
+    // Save mid-flight under the naive kernel...
+    md5::Md5Circuit saver(msgs.size(), kind, sim::KernelKind::kNaive);
+    for (std::size_t t = 0; t < msgs.size(); ++t) saver.set_message(t, msgs[t]);
+    saver.simulator().reset();
+    for (sim::Cycle i = 0; i < warm; ++i) saver.simulator().step();
+    ASSERT_FALSE(saver.feeder().all_done());
+    std::ostringstream os;
+    saver.simulator().save(os);
+
+    // ...and restore under the event-driven kernel (the default).
+    md5::Md5Circuit resumed(msgs.size(), kind);
+    for (std::size_t t = 0; t < msgs.size(); ++t) resumed.set_message(t, msgs[t]);
+    resumed.simulator().reset();
+    std::istringstream is(os.str());
+    resumed.simulator().restore(is);
+    ASSERT_EQ(resumed.simulator().now(), warm);
+    ASSERT_EQ(md5_run_to_done(resumed), total);
+    for (std::size_t t = 0; t < msgs.size(); ++t) {
+      EXPECT_EQ(resumed.digest_hex(t), md5::hex_digest(msgs[t])) << "thread " << t;
+    }
+  }
+}
+
+// --- trace observers across restore ------------------------------------------
+
+namespace tracetest {
+
+struct Rig {
+  explicit Rig(sim::TraceRecorder& rec) : probe(s, out, rec, [](std::uint64_t v) {
+    return v;
+  }) {}
+  sim::Simulator s;
+  elastic::Channel<std::uint64_t> in{s, "in"};
+  elastic::Channel<std::uint64_t> out{s, "out"};
+  elastic::Source<std::uint64_t> src{s, "src", in};
+  elastic::ElasticBuffer<std::uint64_t> eb{s, "eb", in, out};
+  elastic::Sink<std::uint64_t> sink{s, "sink", out};
+  elastic::Probe<std::uint64_t> probe;
+};
+
+}  // namespace tracetest
+
+TEST(SnapshotRestore, TraceObserversRestartEmptyWithContinuedCycles) {
+  sim::TraceRecorder full;
+  tracetest::Rig straight(full);
+  straight.src.set_generator([](std::uint64_t i) { return i; });
+  straight.sink.set_rate(0.7, 9);
+  straight.s.reset();
+  step_n(straight.s, 120);
+
+  sim::TraceRecorder warm_rec;
+  tracetest::Rig warm(warm_rec);
+  warm.src.set_generator([](std::uint64_t i) { return i; });
+  warm.sink.set_rate(0.7, 9);
+  warm.s.reset();
+  step_n(warm.s, 60);
+  const std::string snap = snapshot_of(warm.s);
+
+  sim::TraceRecorder tail_rec;
+  tracetest::Rig resumed(tail_rec);
+  resumed.src.set_generator([](std::uint64_t i) { return i; });
+  resumed.sink.set_rate(0.7, 9);
+  resumed.s.reset();
+  restore_from(resumed.s, snap);
+  EXPECT_TRUE(tail_rec.events().empty()) << "restore must not synthesize trace events";
+  step_n(resumed.s, 60);
+
+  // The restarted recorder holds exactly the straight run's events after
+  // the snapshot point, with their original (continued) cycle stamps.
+  // tick() fires while now() is still the pre-increment cycle, so the
+  // first step after a restore at cycle 60 records events stamped 60.
+  std::vector<sim::TransferEvent> expected;
+  for (const auto& ev : full.events()) {
+    if (ev.cycle >= 60) expected.push_back(ev);
+  }
+  EXPECT_EQ(tail_rec.events(), expected);
+}
+
+// --- probe counters restore (not restart) ------------------------------------
+
+TEST(SnapshotRestore, ChannelProbeCountersRestoreFromSnapshot) {
+  const auto cases = snapshot_cases();
+  const auto& c = cases[1];  // fig1_backpressured: nontrivial waits
+  auto a = make_elab(c, sim::KernelKind::kEventDriven);
+  step_n(a->simulator(), 300);
+  const std::string snap = snapshot_of(a->simulator());
+
+  auto b = make_elab(c, sim::KernelKind::kEventDriven);
+  restore_from(b->simulator(), snap);
+  for (const auto& name : a->channel_names()) {
+    EXPECT_EQ(a->probe(name).count(), b->probe(name).count()) << name;
+    EXPECT_EQ(a->probe(name).cycles(), b->probe(name).cycles()) << name;
+    EXPECT_EQ(a->probe(name).mean_wait(), b->probe(name).mean_wait()) << name;
+    EXPECT_EQ(a->probe(name).last_value(), b->probe(name).last_value()) << name;
+  }
+  EXPECT_GT(a->probe(a->channel_names().front()).count(), 0u);
+}
+
+}  // namespace

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -55,6 +56,15 @@ using namespace mte;
       "  --shard I/N               run only points with index %% N == I\n"
       "  --spec FILE               read axes from a spec file (overrides axis flags)\n"
       "  --preset NAME             default | smoke | table1 | capacity | arbiter\n"
+      "checkpointing (netlist workloads only; md5/processor run normally):\n"
+      "  --checkpoint-dir DIR      write one snapshot per point at the warmup\n"
+      "                            cycle (dir is created if missing)\n"
+      "  --warmup N                warmup cycle for the snapshots (default\n"
+      "                            cycles/2)\n"
+      "  --restore                 warm-start every point from its snapshot in\n"
+      "                            --checkpoint-dir instead of re-simulating\n"
+      "                            the warmup prefix; the report is byte-\n"
+      "                            identical to the cold run's\n"
       "outputs:\n"
       "  --csv FILE | -            write CSV (- = stdout)\n"
       "  --json FILE | -           write JSON (- = stdout)\n"
@@ -210,6 +220,8 @@ int main(int argc, char** argv) {
   dse::SweepSpec spec = preset_spec("default");
   std::size_t workers = 0;  // auto
   dse::Shard shard;
+  dse::CheckpointPolicy ckpt;
+  bool warmup_set = false;
   std::string csv_path;
   std::string json_path;
   bool quiet = false;
@@ -330,6 +342,13 @@ int main(int argc, char** argv) {
                      v.c_str());
         return 2;
       }
+    } else if (arg == "--checkpoint-dir") {
+      ckpt.dir = arg_value(i);
+    } else if (arg == "--warmup") {
+      ckpt.warmup = parse_u64(arg_value(i), "--warmup");
+      warmup_set = true;
+    } else if (arg == "--restore") {
+      ckpt.restore = true;
     } else if (arg == "--csv") {
       csv_path = arg_value(i);
     } else if (arg == "--json") {
@@ -345,6 +364,28 @@ int main(int argc, char** argv) {
   if (print_spec) {
     std::fputs(spec.serialize().c_str(), stdout);
     return 0;
+  }
+
+  if (ckpt.restore && ckpt.dir.empty()) {
+    std::fprintf(stderr, "mte_dse: --restore needs --checkpoint-dir\n");
+    return 2;
+  }
+  if (!ckpt.dir.empty()) {
+    if (!warmup_set) ckpt.warmup = spec.cycles / 2;
+    if (ckpt.warmup == 0) {
+      std::fprintf(stderr, "mte_dse: --warmup must be positive\n");
+      return 2;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(ckpt.dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "mte_dse: cannot create checkpoint dir '%s': %s\n",
+                   ckpt.dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "mte_dse: checkpoints %s %s at cycle %llu\n",
+                 ckpt.restore ? "restored from" : "written to", ckpt.dir.c_str(),
+                 static_cast<unsigned long long>(ckpt.warmup));
   }
 
   try {
@@ -368,7 +409,7 @@ int main(int argc, char** argv) {
 
     const dse::CampaignRunner runner;
     const auto start = std::chrono::steady_clock::now();
-    const auto records = runner.run(spec, workers, shard);
+    const auto records = runner.run(spec, workers, shard, ckpt);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
