@@ -43,6 +43,7 @@
 
 #include "md5/md5_circuit.hpp"
 #include "netlist/builder.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -73,6 +74,8 @@ struct Measurement {
   double evals = 0.0;             // settle work, component-equivalent
   std::uint64_t sched_evals = 0;  // raw dispatched units
   double ticks = 0.0;             // tick() dispatches per cycle (commit work)
+  double elided = 0.0;            // ticks skipped by elision, per cycle
+  bool demoted = false;           // event kernel fell back to naive order
   double commit_share = 0.0;      // commit wall / (settle + commit) wall
   std::uint64_t tokens = 0;
   std::uint64_t digest_check = 0; // md5 rows: order-sensitive digest mix
@@ -150,6 +153,7 @@ Measurement measure_md5(const Workload& w, sim::KernelKind kernel) {
   const std::uint64_t evals_before = c.simulator().eval_count();
   const double work_before = c.simulator().settle_work();
   const std::uint64_t ticks_before = c.simulator().tick_count();
+  const std::uint64_t elided_before = c.simulator().elided_tick_count();
   for (int rep = 0; rep < kReps; ++rep) {
     std::uint64_t cycles = 0;
     const auto t0 = std::chrono::steady_clock::now();
@@ -168,6 +172,10 @@ Measurement measure_md5(const Workload& w, sim::KernelKind kernel) {
   m.evals = (c.simulator().settle_work() - work_before) / kReps;
   m.ticks = static_cast<double>(c.simulator().tick_count() - ticks_before) /
             static_cast<double>(kReps) / static_cast<double>(cycles_per_rep);
+  m.elided =
+      static_cast<double>(c.simulator().elided_tick_count() - elided_before) /
+      static_cast<double>(kReps) / static_cast<double>(cycles_per_rep);
+  m.demoted = c.simulator().demoted_to_naive();
   // Commit wall share from a separate phase-instrumented digest batch
   // (the clock reads would distort the timed reps above).
   c.simulator().set_phase_timing(true);
@@ -216,6 +224,7 @@ Measurement measure(const Workload& w, sim::KernelKind kernel) {
     const std::uint64_t evals_before = s.eval_count();
     const double work_before = s.settle_work();
     const std::uint64_t ticks_before = s.tick_count();
+    const std::uint64_t elided_before = s.elided_tick_count();
     double best = 0.0;
     for (int rep = 0; rep < kReps; ++rep) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -230,6 +239,9 @@ Measurement measure(const Workload& w, sim::KernelKind kernel) {
     m.evals = (s.settle_work() - work_before) / kReps;
     m.ticks = static_cast<double>(s.tick_count() - ticks_before) /
               static_cast<double>(kReps) / static_cast<double>(w.cycles);
+    m.elided = static_cast<double>(s.elided_tick_count() - elided_before) /
+               static_cast<double>(kReps) / static_cast<double>(w.cycles);
+    m.demoted = s.demoted_to_naive();
     // Commit wall share from a separate phase-instrumented stretch (the
     // clock reads would distort the timed reps above).
     s.set_phase_timing(true);
@@ -262,18 +274,19 @@ Measurement measure(const Workload& w, sim::KernelKind kernel) {
 }
 
 void append_json(std::string& out, const Measurement& m) {
-  char buf[768];
+  char buf[896];
   std::snprintf(buf, sizeof(buf),
                 "    {\"circuit\": \"%s\", \"threads\": %zu, \"kernel\": \"%s\", "
                 "\"cycles\": %llu, \"seconds\": %.6f, \"cycles_per_sec\": %.1f, "
                 "\"evals\": %.1f, \"sched_evals\": %llu, "
-                "\"ticks_per_cycle\": %.2f, \"commit_share\": %.3f, "
+                "\"ticks_per_cycle\": %.2f, \"elided_ticks_per_cycle\": %.2f, "
+                "\"demoted_to_naive\": %s, \"commit_share\": %.3f, "
                 "\"tokens\": %llu, \"digest_check\": %llu}",
                 m.circuit.c_str(), m.threads, m.kernel.c_str(),
                 static_cast<unsigned long long>(m.cycles), m.seconds,
                 m.cycles_per_sec, m.evals,
                 static_cast<unsigned long long>(m.sched_evals),
-                m.ticks, m.commit_share,
+                m.ticks, m.elided, m.demoted ? "true" : "false", m.commit_share,
                 static_cast<unsigned long long>(m.tokens),
                 static_cast<unsigned long long>(m.digest_check));
   out += buf;
@@ -311,10 +324,82 @@ int run_gate() {
   return settle_ok && commit_ok ? 0 : 1;
 }
 
+/// --profile: a dedicated profiled pass over the gate workload (fig5_full
+/// S=4 under backpressure, event kernel). Attaches a stride-1
+/// PhaseProfiler and prints the per-type settle/commit ranking — the
+/// table that sizes per-type batching candidates for a compiled kernel —
+/// then reports the observability wall-clock overhead by timing the same
+/// stretch with and without the profiler attached. The metrics registry
+/// itself is pull-based and adds no per-cycle work (the obs test suite
+/// pins settle_work/sched_evals equal with the registry on and off).
+void run_profile_pass() {
+  const Workload w{"fig5_full", 4, mt::MebKind::kFull, 20000, 0.75};
+  netlist::CircuitBuilder b;
+  describe_fig5(b);
+  netlist::ElaborationOptions options;
+  options.channel_probes = false;
+  options.kernel = sim::KernelKind::kEventDriven;
+  const auto registry = netlist::FunctionRegistry::with_defaults();
+  const auto factory = netlist::ComponentFactory::defaults();
+  auto design = b.then_multithreaded(w.threads, w.kind)
+                    .elaborate(registry, factory, options);
+  auto& src = design.mt_source("src");
+  auto& sink = design.mt_sink("sink");
+  for (std::size_t t = 0; t < w.threads; ++t) {
+    src.set_generator(t, [](std::uint64_t i) { return i; });
+    sink.set_rate(t, w.sink_rate, 42);
+  }
+  sim::Simulator& s = design.simulator();
+  s.reset();
+  s.run(512);  // warm up: discover sensitivities / levelize
+
+  const auto timed_run = [&] {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      s.run(w.cycles);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double dt = std::chrono::duration<double>(t1 - t0).count();
+      if (rep == 0 || dt < best) best = dt;
+    }
+    return best;
+  };
+  const double base = timed_run();
+  obs::PhaseProfiler prof;  // stride 1: every dispatch timed (worst case)
+  s.set_profiler(&prof);
+  const double profiled = timed_run();
+  s.set_profiler(nullptr);
+
+  std::printf("\nsim_speed --profile: fig5_full S=4 event kernel, %llu cycles\n",
+              static_cast<unsigned long long>(w.cycles));
+  std::fputs(prof.report(s.components()).to_table().c_str(), stdout);
+  std::printf(
+      "obs overhead: stride-1 profiler %+.1f%% wall (%.3fs profiled vs %.3fs "
+      "bare); metrics registry is pull-based (no per-cycle cost until "
+      "snapshot)\n",
+      base > 0.0 ? 100.0 * (profiled - base) / base : 0.0, profiled, base);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--gate") == 0) return run_gate();
+  bool gate = false;
+  bool profile = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_sim_speed [--gate] [--profile]\n");
+      return 2;
+    }
+  }
+  if (gate) {
+    const int rc = run_gate();
+    if (profile) run_profile_pass();
+    return rc;
+  }
 
   std::vector<Workload> workloads = {
       {"diamond_st", 1, mt::MebKind::kFull, 200000, 0.75},
@@ -396,5 +481,6 @@ int main(int argc, char** argv) {
   }
   std::printf("fig5 S>=4 settle-work budget (< %.1f/cycle): %s\n",
               kGateMaxWorkPerCycle, fig5_work_budget_met ? "met" : "NOT met");
+  if (profile) run_profile_pass();
   return fig5_work_budget_met ? 0 : 1;
 }

@@ -33,6 +33,9 @@ namespace {
 // ---------------------------------------------------------------------------
 class FetchStage : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "FetchStage";
+  }
   FetchStage(sim::Simulator& s, std::vector<ThreadArch>& arch,
              mt::MtChannel<Uop>& out, const ProcessorConfig& cfg)
       : Component(s, "fetch"), arch_(arch), out_(out), cfg_(cfg),
@@ -183,6 +186,9 @@ class FetchStage : public sim::Component {
 // ---------------------------------------------------------------------------
 class DecodeStage : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "DecodeStage";
+  }
   DecodeStage(sim::Simulator& s, std::vector<ThreadArch>& arch,
               mt::MtChannel<Uop>& in, mt::MtChannel<Uop>& out)
       : Component(s, "decode"), arch_(arch), in_(in), out_(out) {}
@@ -216,6 +222,9 @@ class DecodeStage : public sim::Component {
 // ---------------------------------------------------------------------------
 class ServerStage : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "ServerStage";
+  }
   ServerStage(sim::Simulator& s, std::string name, mt::MtChannel<Uop>& in,
               mt::MtChannel<Uop>& out)
       : Component(s, std::move(name)), in_(in), out_(out) {}
@@ -365,6 +374,9 @@ class MemStage : public ServerStage {
 /// WB: always ready; commits architectural state.
 class WbStage : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "WbStage";
+  }
   WbStage(sim::Simulator& s, std::vector<ThreadArch>& arch, mt::MtChannel<Uop>& in)
       : Component(s, "wb"), arch_(arch), in_(in) {}
 

@@ -159,6 +159,24 @@ std::string Report::to_csv() const {
   return os.str();
 }
 
+std::string Report::metrics_csv_header() {
+  return "index,label,kernel,settle_work,sched_evals,ticks,elided_ticks,"
+         "demoted_to_naive";
+}
+
+std::string Report::metrics_csv() const {
+  std::ostringstream os;
+  os << metrics_csv_header() << '\n';
+  for (const auto& r : records_) {
+    const KernelMetrics& m = r.result.kernel;
+    os << r.point.index << ',' << r.point.label() << ','
+       << kernel_name(r.point.kernel) << ',' << fmt("%.1f", m.settle_work) << ','
+       << m.sched_evals << ',' << m.ticks << ',' << m.elided_ticks << ','
+       << (m.demoted_to_naive ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
 std::string Report::to_json() const {
   std::ostringstream os;
   os << "{\n";

@@ -63,6 +63,16 @@ class Report {
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] std::string to_json() const;
 
+  /// The per-point kernel-metrics CSV (mte_dse --metrics-out): settle
+  /// work, dispatched evals/ticks, elisions and the demotion flag per
+  /// point. Deliberately a SEPARATE artifact from to_csv() — the main
+  /// report's schema (and its CI drift gate / golden campaign) is
+  /// untouched. Deterministic: kernel counters are a pure function of
+  /// (point, cycles, seed), so this file is byte-identical across worker
+  /// counts and shardings.
+  [[nodiscard]] std::string metrics_csv() const;
+  [[nodiscard]] static std::string metrics_csv_header();
+
   /// A plain-text summary table plus the Pareto frontier, for terminals.
   [[nodiscard]] std::string to_table() const;
 

@@ -8,8 +8,19 @@
 #include "cpu/processor.hpp"
 #include "md5/md5_circuit.hpp"
 #include "netlist/builder.hpp"
+#include "sim/simulator.hpp"
 
 namespace mte::dse {
+
+KernelMetrics KernelMetrics::capture(const sim::Simulator& sim) {
+  KernelMetrics m;
+  m.settle_work = sim.settle_work();
+  m.sched_evals = sim.eval_count();
+  m.ticks = sim.tick_count();
+  m.elided_ticks = sim.elided_tick_count();
+  m.demoted_to_naive = sim.demoted_to_naive();
+  return m;
+}
 
 namespace {
 
@@ -109,6 +120,7 @@ class NetlistSession : public WorkloadSession {
     r.tokens = elab_.probe(out_channel_).count();
     r.mean_wait = elab_.probe(in_channel_).mean_wait();
     r.area = netlist_area(net_, p, area::CostModel{});
+    r.kernel = KernelMetrics::capture(elab_.simulator());
     return r;
   }
 
@@ -196,6 +208,7 @@ WorkloadResult run_md5(const SweepPoint& p, sim::Cycle /*cycles*/,
   r.mean_wait = 0;  // the engine has no channel probes
   r.area = area::md5_design(area::CostModel{}, static_cast<unsigned>(p.threads),
                             base_kind(p.variant));
+  r.kernel = KernelMetrics::capture(circuit.simulator());
   return r;
 }
 
@@ -235,6 +248,7 @@ WorkloadResult run_processor(const SweepPoint& p, sim::Cycle /*cycles*/,
   r.area = area::processor_design(area::CostModel{},
                                   static_cast<unsigned>(p.threads),
                                   base_kind(p.variant));
+  r.kernel = KernelMetrics::capture(proc.simulator());
   return r;
 }
 

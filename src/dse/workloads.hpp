@@ -38,6 +38,23 @@ class Simulator;
 
 namespace mte::dse {
 
+/// Kernel-side diagnostics of one evaluated point, read off the point's
+/// Simulator after the run (obs category "kernel": deterministic per
+/// (kernel, seed), byte-identical across worker counts and shardings).
+/// These ride alongside the Report but render through the separate
+/// metrics CSV (Report::metrics_csv / mte_dse --metrics-out), so the
+/// schema-gated main report is untouched.
+struct KernelMetrics {
+  double settle_work = 0;          ///< component-equivalent settle evals
+  std::uint64_t sched_evals = 0;   ///< dispatched settle units
+  std::uint64_t ticks = 0;         ///< tick() dispatches
+  std::uint64_t elided_ticks = 0;  ///< commits skipped by tick elision
+  bool demoted_to_naive = false;
+
+  /// Reads every field from the simulator's counters.
+  [[nodiscard]] static KernelMetrics capture(const sim::Simulator& sim);
+};
+
 /// Simulation metrics of one evaluated point, joined with the structural
 /// area estimate of the elaborated design.
 struct WorkloadResult {
@@ -46,6 +63,7 @@ struct WorkloadResult {
   std::uint64_t tokens = 0;
   sim::Cycle cycles = 0;   ///< cycles actually simulated
   area::DesignEstimate area;
+  KernelMetrics kernel;
 };
 
 /// Which sweep axes a workload's hardware can vary. enumerate() pins the

@@ -70,6 +70,9 @@ template <typename T>
 class Branch : public sim::TwoPhaseComponent<Branch<T>> {
   friend sim::TwoPhaseComponent<Branch<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Branch";
+  }
   Branch(sim::Simulator& s, std::string name, Channel<T>& data, Channel<bool>& cond,
          Channel<T>& out_true, Channel<T>& out_false)
       : sim::TwoPhaseComponent<Branch<T>>(s, std::move(name)), data_(data), cond_(cond),

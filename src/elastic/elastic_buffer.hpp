@@ -24,6 +24,9 @@ template <typename T>
 class ElasticBuffer : public sim::TwoPhaseComponent<ElasticBuffer<T>> {
   friend sim::TwoPhaseComponent<ElasticBuffer<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "ElasticBuffer";
+  }
   ElasticBuffer(sim::Simulator& s, std::string name, Channel<T>& in, Channel<T>& out)
       : sim::TwoPhaseComponent<ElasticBuffer<T>>(s, std::move(name)), in_(in), out_(out) {}
 
@@ -99,6 +102,9 @@ template <typename T>
 class HalfBuffer : public sim::TwoPhaseComponent<HalfBuffer<T>> {
   friend sim::TwoPhaseComponent<HalfBuffer<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "HalfBuffer";
+  }
   HalfBuffer(sim::Simulator& s, std::string name, Channel<T>& in, Channel<T>& out)
       : sim::TwoPhaseComponent<HalfBuffer<T>>(s, std::move(name)), in_(in), out_(out) {}
 

@@ -60,6 +60,9 @@ class ForkControl {
 template <typename T>
 class Fork : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Fork";
+  }
   Fork(sim::Simulator& s, std::string name, Channel<T>& in,
        std::vector<Channel<T>*> outs)
       : Component(s, std::move(name)), in_(in), outs_(std::move(outs)),

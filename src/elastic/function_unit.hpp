@@ -23,6 +23,9 @@ namespace mte::elastic {
 template <typename In, typename Out>
 class FunctionUnit : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "FunctionUnit";
+  }
   using Fn = std::function<Out(const In&)>;
 
   FunctionUnit(sim::Simulator& s, std::string name, Channel<In>& in,

@@ -44,6 +44,9 @@ template <typename A, typename B, typename Out>
 class Join2 : public sim::TwoPhaseComponent<Join2<A, B, Out>> {
   friend sim::TwoPhaseComponent<Join2<A, B, Out>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Join2";
+  }
   using Combiner = std::function<Out(const A&, const B&)>;
 
   Join2(sim::Simulator& s, std::string name, Channel<A>& a, Channel<B>& b,
@@ -82,6 +85,9 @@ template <typename T>
 class JoinN : public sim::TwoPhaseComponent<JoinN<T>> {
   friend sim::TwoPhaseComponent<JoinN<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "JoinN";
+  }
   using Combiner = std::function<T(const std::vector<T>&)>;
 
   JoinN(sim::Simulator& s, std::string name, std::vector<Channel<T>*> ins,

@@ -22,6 +22,9 @@ namespace mte::elastic {
 template <typename T>
 class Merge : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Merge";
+  }
   Merge(sim::Simulator& s, std::string name, std::vector<Channel<T>*> ins,
         Channel<T>& out)
       : Component(s, std::move(name)), ins_(std::move(ins)), out_(out) {}
@@ -61,6 +64,9 @@ class Merge : public sim::Component {
 template <typename T>
 class ArbMerge : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "ArbMerge";
+  }
   ArbMerge(sim::Simulator& s, std::string name, std::vector<Channel<T>*> ins,
            Channel<T>& out)
       : Component(s, std::move(name)), ins_(std::move(ins)), out_(out) {}

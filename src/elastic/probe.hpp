@@ -17,6 +17,9 @@ namespace mte::elastic {
 template <typename T>
 class Probe : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Probe";
+  }
   using TagFn = std::function<std::uint64_t(const T&)>;
 
   Probe(sim::Simulator& s, Channel<T>& ch, sim::TraceRecorder& rec, TagFn tag)

@@ -19,6 +19,9 @@ namespace mte::elastic {
 template <typename T>
 class Sink : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Sink";
+  }
   Sink(sim::Simulator& s, std::string name, Channel<T>& in)
       : Component(s, std::move(name)), in_(in) {}
 

@@ -24,6 +24,9 @@ namespace mte::elastic {
 template <typename T>
 class Source : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Source";
+  }
   Source(sim::Simulator& s, std::string name, Channel<T>& out)
       : Component(s, std::move(name)), out_(out) {}
 

@@ -22,6 +22,9 @@ namespace mte::elastic {
 template <typename T>
 class VariableLatencyUnit : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "VariableLatencyUnit";
+  }
   /// Transform applied to the token while it is processed.
   using Fn = std::function<T(const T&)>;
   /// Latency chosen per accepted token; must return >= 1.

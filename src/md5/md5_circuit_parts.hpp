@@ -21,6 +21,9 @@ namespace mte::md5 {
 /// configuration.
 class RoundCounter : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "RoundCounter";
+  }
   RoundCounter(sim::Simulator& s, std::string name,
                const mt::Barrier<Md5Token>& barrier)
       : Component(s, std::move(name)), barrier_(barrier),
@@ -53,6 +56,9 @@ class RoundCounter : public sim::Component {
 /// configured by the global round counter.
 class Md5RoundUnit : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Md5RoundUnit";
+  }
   Md5RoundUnit(sim::Simulator& s, std::string name, mt::MtChannel<Md5Token>& in,
                mt::MtChannel<Md5Token>& out, const RoundCounter& counter)
       : Component(s, std::move(name)), in_(in), out_(out), counter_(counter) {}
@@ -85,6 +91,9 @@ class Md5RoundUnit : public sim::Component {
 /// paper's M-Branch with a globally-generated condition.
 class Md5Router : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Md5Router";
+  }
   Md5Router(sim::Simulator& s, std::string name, mt::MtChannel<Md5Token>& in,
             mt::MtChannel<Md5Token>& loop, mt::MtChannel<Md5Token>& exit,
             const RoundCounter& counter)

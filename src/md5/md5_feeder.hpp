@@ -26,6 +26,9 @@ namespace mte::md5 {
 
 class Md5Feeder : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Md5Feeder";
+  }
   Md5Feeder(sim::Simulator& s, std::string name, mt::MtChannel<Md5Token>& out,
             mt::MtChannel<Md5Token>& in)
       : Component(s, std::move(name)), out_(out), in_(in),

@@ -34,6 +34,9 @@ enum class BarrierState { kIdle, kWait, kFree };
 template <typename T>
 class Barrier : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "Barrier";
+  }
   Barrier(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out)
       : Component(s, std::move(name)), in_(in), out_(out),
         state_(in.threads(), BarrierState::kIdle), lgo_(in.threads(), false),

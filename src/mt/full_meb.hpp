@@ -34,6 +34,9 @@ template <typename T>
 class FullMeb : public sim::TwoPhaseComponent<FullMeb<T>> {
   friend sim::TwoPhaseComponent<FullMeb<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "FullMeb";
+  }
   FullMeb(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out,
           std::unique_ptr<Arbiter> arbiter = nullptr)
       : sim::TwoPhaseComponent<FullMeb<T>>(s, std::move(name)), in_(in), out_(out),

@@ -33,6 +33,9 @@ template <typename T>
 class HybridMeb : public sim::TwoPhaseComponent<HybridMeb<T>> {
   friend sim::TwoPhaseComponent<HybridMeb<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "HybridMeb";
+  }
   HybridMeb(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out,
             std::size_t shared_slots, std::unique_ptr<Arbiter> arbiter = nullptr)
       : sim::TwoPhaseComponent<HybridMeb<T>>(s, std::move(name)), in_(in), out_(out),

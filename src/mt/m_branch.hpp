@@ -23,6 +23,9 @@ template <typename T>
 class MBranch : public sim::TwoPhaseComponent<MBranch<T>> {
   friend sim::TwoPhaseComponent<MBranch<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MBranch";
+  }
   MBranch(sim::Simulator& s, std::string name, MtChannel<T>& data,
           MtChannel<bool>& cond, MtChannel<T>& out_true, MtChannel<T>& out_false)
       : sim::TwoPhaseComponent<MBranch<T>>(s, std::move(name)), data_(data), cond_(cond),

@@ -19,6 +19,9 @@ namespace mte::mt {
 template <typename T>
 class MFork : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MFork";
+  }
   MFork(sim::Simulator& s, std::string name, MtChannel<T>& in,
         std::vector<MtChannel<T>*> outs)
       : Component(s, std::move(name)), in_(in), outs_(std::move(outs)),

@@ -28,6 +28,9 @@ template <typename A, typename B, typename Out>
 class MJoin : public sim::TwoPhaseComponent<MJoin<A, B, Out>> {
   friend sim::TwoPhaseComponent<MJoin<A, B, Out>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MJoin";
+  }
   using Combiner = std::function<Out(const A&, const B&)>;
 
   MJoin(sim::Simulator& s, std::string name, MtChannel<A>& a, MtChannel<B>& b,

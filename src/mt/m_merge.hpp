@@ -28,6 +28,9 @@ namespace mte::mt {
 template <typename T>
 class MMerge : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MMerge";
+  }
   /// `exclusive` enforces the paper's per-thread path exclusivity (the
   /// M-Branch guarantee). Pass false for graphs where a thread can be
   /// present on both paths at once (e.g. loop entry merges): the selector

@@ -24,6 +24,9 @@ namespace mte::mt {
 template <typename In, typename Out>
 class MtFunctionUnit : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MtFunctionUnit";
+  }
   using Fn = std::function<Out(const In&)>;
 
   MtFunctionUnit(sim::Simulator& s, std::string name, MtChannel<In>& in,

@@ -17,6 +17,9 @@ namespace mte::mt {
 template <typename T>
 class MtProbe : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MtProbe";
+  }
   using TagFn = std::function<std::uint64_t(const T&)>;
 
   MtProbe(sim::Simulator& s, MtChannel<T>& ch, sim::TraceRecorder& rec, TagFn tag)

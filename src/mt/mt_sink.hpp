@@ -19,6 +19,9 @@ namespace mte::mt {
 template <typename T>
 class MtSink : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MtSink";
+  }
   MtSink(sim::Simulator& s, std::string name, MtChannel<T>& in)
       : Component(s, std::move(name)), in_(in), per_thread_(in.threads()) {}
 

@@ -26,6 +26,9 @@ namespace mte::mt {
 template <typename T>
 class MtSource : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MtSource";
+  }
   MtSource(sim::Simulator& s, std::string name, MtChannel<T>& out,
            std::unique_ptr<Arbiter> arbiter = nullptr)
       : Component(s, std::move(name)), out_(out),

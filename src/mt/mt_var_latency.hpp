@@ -21,6 +21,9 @@ namespace mte::mt {
 template <typename T>
 class MtVarLatencyUnit : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MtVarLatencyUnit";
+  }
   using Fn = std::function<T(const T&)>;
   using LatencyFn = std::function<unsigned(const T&)>;
 

@@ -31,6 +31,9 @@ template <typename T>
 class ReducedMeb : public sim::TwoPhaseComponent<ReducedMeb<T>> {
   friend sim::TwoPhaseComponent<ReducedMeb<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "ReducedMeb";
+  }
   ReducedMeb(sim::Simulator& s, std::string name, MtChannel<T>& in, MtChannel<T>& out,
              std::unique_ptr<Arbiter> arbiter = nullptr)
       : sim::TwoPhaseComponent<ReducedMeb<T>>(s, std::move(name)), in_(in), out_(out),

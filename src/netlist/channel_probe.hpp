@@ -27,6 +27,9 @@ using Word = std::uint64_t;
 
 class ChannelProbe : public sim::Component {
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "ChannelProbe";
+  }
   ChannelProbe(sim::Simulator& s, const std::string& label,
                elastic::Channel<Word>& ch)
       : Component(s, "probe:" + label), st_(&ch) {

@@ -78,6 +78,24 @@ Elaboration::Elaboration(const Netlist& netlist, const FunctionRegistry& registr
     const Node& from = netlist.node(e.from);
     if (from.outputs == 1) channel_aliases_[from.name] = channel_name(netlist, e);
   }
+  // Publish every probe's statistics on the simulator's registry under
+  // the stable channel.* scheme — the machine-readable counterpart of
+  // stats_report(). Semantic category: probe statistics are settled-state
+  // observables, identical across settle kernels on lockstep-equivalent
+  // runs. The lambda outlives nothing it touches: sim_ is this class's
+  // first member, so the registry inside it is destroyed after the maps.
+  sim_.metrics().add_source([this](obs::MetricsSink& sink) {
+    for (const auto& name : channel_order_) {
+      const auto it = probes_.find(name);
+      if (it == probes_.end()) continue;
+      const ChannelProbe& p = *it->second;
+      const std::string base = "channel." + name + ".";
+      sink.counter(base + "transfers", p.count());
+      sink.gauge(base + "throughput", p.throughput());
+      sink.gauge(base + "mean_wait", p.mean_wait());
+      sink.counter(base + "max_wait", p.wait_histogram().max());
+    }
+  });
 }
 
 void Elaboration::elaborate_single(const Netlist& netlist,

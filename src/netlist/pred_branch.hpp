@@ -24,6 +24,9 @@ template <typename T>
 class PredBranch : public sim::TwoPhaseComponent<PredBranch<T>> {
   friend sim::TwoPhaseComponent<PredBranch<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "PredBranch";
+  }
   using Pred = std::function<bool(const T&)>;
 
   PredBranch(sim::Simulator& s, std::string name, elastic::Channel<T>& in,
@@ -62,6 +65,9 @@ template <typename T>
 class MtPredBranch : public sim::TwoPhaseComponent<MtPredBranch<T>> {
   friend sim::TwoPhaseComponent<MtPredBranch<T>>;
  public:
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "MtPredBranch";
+  }
   using Pred = std::function<bool(const T&)>;
 
   MtPredBranch(sim::Simulator& s, std::string name, mt::MtChannel<T>& in,

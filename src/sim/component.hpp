@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace mte::sim {
 
@@ -150,6 +151,14 @@ class Component {
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Simulator& sim() const noexcept { return *sim_; }
+
+  /// The component's type label for profiling/metrics attribution
+  /// (obs::PhaseProfiler buckets settle/commit cost by this). Overrides
+  /// must return a string with static lifetime — a literal such as
+  /// "ElasticBuffer". The default groups unlabeled components together.
+  [[nodiscard]] virtual std::string_view type_name() const noexcept {
+    return "Component";
+  }
 
   /// Kernel-maintained call counters (both kernels): how many times this
   /// component's eval()/eval_process() and tick() actually ran. The

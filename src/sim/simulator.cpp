@@ -5,9 +5,20 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/profiler.hpp"
+#include "obs/trace_session.hpp"
 #include "sim/snapshot.hpp"
 
 namespace mte::sim {
+namespace {
+
+using ProfClock = std::chrono::steady_clock;
+
+[[nodiscard]] inline double seconds_since(ProfClock::time_point t0) noexcept {
+  return std::chrono::duration<double>(ProfClock::now() - t0).count();
+}
+
+}  // namespace
 
 Component::Component(Simulator& sim, std::string name)
     : sim_(&sim), name_(std::move(name)) {
@@ -26,6 +37,32 @@ void Component::set_process_split(bool enabled) {
 
 Simulator::Simulator(KernelKind kernel) : kernel_(kernel) {
   tracker_.set_event_mode(kernel_ == KernelKind::kEventDriven);
+  // The registry outlives nothing that feeds this source: the lambda reads
+  // only the simulator's own members and its registered components, both
+  // of which are valid whenever a snapshot can be taken.
+  metrics_.add_source([this](obs::MetricsSink& sink) { emit_sim_metrics(sink); });
+}
+
+void Simulator::emit_sim_metrics(obs::MetricsSink& sink) const {
+  using obs::MetricCategory;
+  sink.counter("sim.cycles", cycle_, MetricCategory::kSemantic);
+  sink.counter("sim.components", components_.size(), MetricCategory::kSemantic);
+  sink.counter("sim.sched_evals", eval_count_, MetricCategory::kKernel);
+  sink.gauge("sim.settle_work", settle_work_, MetricCategory::kKernel);
+  sink.counter("sim.ticks", tick_count_, MetricCategory::kKernel);
+  sink.counter("sim.elided_ticks", elided_tick_count_, MetricCategory::kKernel);
+  sink.counter("sim.demoted_to_naive", demoted_to_naive_ ? 1 : 0,
+               MetricCategory::kKernel);
+  sink.gauge("sim.settle_seconds", settle_seconds_, MetricCategory::kTiming);
+  sink.gauge("sim.commit_seconds", commit_seconds_, MetricCategory::kTiming);
+  for (const Component* c : components_) {
+    sink.counter("component." + c->name() + ".evals", c->kernel_eval_calls(),
+                 MetricCategory::kKernel);
+    sink.counter("component." + c->name() + ".ticks", c->kernel_tick_calls(),
+                 MetricCategory::kKernel);
+  }
+  if (profiler_ != nullptr) profiler_->report(components_).emit_metrics(sink);
+  if (trace_ != nullptr) trace_->emit_metrics(sink);
 }
 
 Simulator::~Simulator() {
@@ -120,9 +157,22 @@ void Simulator::settle_naive() {
           "settle loop did not converge after " + std::to_string(limit) +
           " iterations; the circuit most likely contains a combinational cycle");
     }
-    for (Component* c : components_) {
-      c->eval();
-      ++c->eval_calls_;
+    if (profiler_ == nullptr) {
+      for (Component* c : components_) {
+        c->eval();
+        ++c->eval_calls_;
+      }
+    } else {
+      for (Component* c : components_) {
+        if (profiler_->sample_now()) {
+          const auto t0 = ProfClock::now();
+          c->eval();
+          profiler_->record_eval(*c, seconds_since(t0));
+        } else {
+          c->eval();
+        }
+        ++c->eval_calls_;
+      }
     }
     eval_count_ += components_.size();
     settle_work_ += static_cast<double>(components_.size());
@@ -222,7 +272,13 @@ void Simulator::settle_event() {
           ++c->eval_calls_;
           settle_work_ += p.work;
           tracker_.begin_eval(p);
-          c->eval_process(i);
+          if (profiler_ != nullptr && profiler_->sample_now()) {
+            const auto t0 = ProfClock::now();
+            c->eval_process(i);
+            profiler_->record_eval(*c, seconds_since(t0));
+          } else {
+            c->eval_process(i);
+          }
           tracker_.end_eval();
           // A first-ever wire read during this early eval means its output
           // may predate inputs the sweep computes: re-run it in order.
@@ -258,7 +314,13 @@ void Simulator::settle_event() {
       ++owner.eval_calls_;
       settle_work_ += p->work;
       tracker_.begin_eval(*p);
-      owner.eval_process(p->index);
+      if (profiler_ != nullptr && profiler_->sample_now()) {
+        const auto t0 = ProfClock::now();
+        owner.eval_process(p->index);
+        profiler_->record_eval(owner, seconds_since(t0));
+      } else {
+        owner.eval_process(p->index);
+      }
       tracker_.end_eval();
       // Changed wires enqueued their fanout; newly discovered edges can
       // enqueue below the sweep point and pull it back down.
@@ -500,6 +562,9 @@ void Simulator::restore(std::istream& is) {
   }
 
   cycle_ = cycle;
+  // Profiler samples are scratch, like the diagnostics counters: a
+  // restored run's profile covers only what it replays.
+  if (profiler_ != nullptr) profiler_->reset();
   // Kernel bookkeeping is rebuilt, not restored: schedule a full
   // evaluation exactly like reset(), which rematerializes process slots,
   // re-discovers sensitivities, and re-levelizes on the next settle —
@@ -517,6 +582,17 @@ void Simulator::restore(std::istream& is) {
 
 void Simulator::step() {
   using clock = std::chrono::steady_clock;
+  // Trace bookkeeping: this cycle's activity is the counter deltas.
+  std::uint64_t trace_evals0 = 0;
+  std::uint64_t trace_ticks0 = 0;
+  std::uint64_t trace_elided0 = 0;
+  bool was_demoted = false;
+  if (trace_ != nullptr) {
+    trace_evals0 = eval_count_;
+    trace_ticks0 = tick_count_;
+    trace_elided0 = elided_tick_count_;
+    was_demoted = demoted_to_naive_;
+  }
   clock::time_point t0{};
   if (phase_timing_) t0 = clock::now();
   settle();
@@ -527,9 +603,22 @@ void Simulator::step() {
     settle_seconds_ += std::chrono::duration<double>(t1 - t0).count();
   }
   if (kernel_ == KernelKind::kNaive) {
-    for (Component* c : components_) {
-      c->tick();
-      ++c->tick_calls_;
+    if (profiler_ == nullptr) {
+      for (Component* c : components_) {
+        c->tick();
+        ++c->tick_calls_;
+      }
+    } else {
+      for (Component* c : components_) {
+        if (profiler_->sample_now()) {
+          const auto pt0 = ProfClock::now();
+          c->tick();
+          profiler_->record_tick(*c, seconds_since(pt0));
+        } else {
+          c->tick();
+        }
+        ++c->tick_calls_;
+      }
     }
     tick_count_ += components_.size();
   } else {
@@ -550,7 +639,13 @@ void Simulator::step() {
       // declares touched (set_tick_touched; default all) have stale
       // eval() outputs and seed the next settle.
       c->kernel_seed_mask_ = Component::kAllProcesses;
-      c->tick();
+      if (profiler_ != nullptr && profiler_->sample_now()) {
+        const auto pt0 = ProfClock::now();
+        c->tick();
+        profiler_->record_tick(*c, seconds_since(pt0));
+      } else {
+        c->tick();
+      }
       ++c->tick_calls_;
       ++tick_count_;
     }
@@ -558,6 +653,12 @@ void Simulator::step() {
   }
   if (phase_timing_) {
     commit_seconds_ += std::chrono::duration<double>(clock::now() - t1).count();
+  }
+  if (trace_ != nullptr) {
+    trace_->record_cycle(cycle_, eval_count_ - trace_evals0,
+                         tick_count_ - trace_ticks0,
+                         elided_tick_count_ - trace_elided0);
+    if (!was_demoted && demoted_to_naive_) trace_->record_demotion(cycle_);
   }
   ++cycle_;
 }

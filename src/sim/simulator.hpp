@@ -82,9 +82,15 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/component.hpp"
 #include "sim/types.hpp"
 #include "sim/wire.hpp"
+
+namespace mte::obs {
+class PhaseProfiler;
+class TraceSession;
+}  // namespace mte::obs
 
 namespace mte::sim {
 
@@ -248,7 +254,33 @@ class Simulator {
   [[nodiscard]] double settle_seconds() const noexcept { return settle_seconds_; }
   [[nodiscard]] double commit_seconds() const noexcept { return commit_seconds_; }
 
+  // --- observability --------------------------------------------------------
+  /// The simulator's metrics registry. The simulator itself registers one
+  /// source publishing sim.* and component.* (and, when attached, the
+  /// profiler's profile.* and the trace session's trace.*) under the
+  /// stable label scheme documented in obs/metrics.hpp. Attachments
+  /// (Elaboration channel probes, user code) add their own sources. The
+  /// registry is pull-based: nothing here costs the simulation loop
+  /// anything until snapshot() is called.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Attaches a profiler: every stride-th eval/tick dispatch is timed and
+  /// attributed to the component's type_name(). The profiler must outlive
+  /// the attachment; detach with nullptr. Profiler state is scratch:
+  /// restore() resets it (diagnostics restart, mirroring the counters'
+  /// not-in-snapshot rule).
+  void set_profiler(obs::PhaseProfiler* profiler) noexcept { profiler_ = profiler; }
+  [[nodiscard]] obs::PhaseProfiler* profiler() const noexcept { return profiler_; }
+
+  /// Attaches a trace session: each step() records its phase spans and
+  /// activity (dispatched evals/ticks, elisions, demotion). Must outlive
+  /// the attachment; detach with nullptr.
+  void set_trace(obs::TraceSession* trace) noexcept { trace_ = trace; }
+  [[nodiscard]] obs::TraceSession* trace() const noexcept { return trace_; }
+
  private:
+  void emit_sim_metrics(obs::MetricsSink& sink) const;
   [[nodiscard]] std::size_t effective_settle_limit() const noexcept;
   void ensure_processes(Component& c);
   void settle_naive();
@@ -282,6 +314,9 @@ class Simulator {
   bool phase_timing_ = false;
   double settle_seconds_ = 0.0;
   double commit_seconds_ = 0.0;
+  obs::MetricsRegistry metrics_;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  obs::TraceSession* trace_ = nullptr;
   std::size_t level_count_ = 0;      // acyclic levels; cyclic bucket follows
   std::vector<Component*> seq_components_;
   std::vector<std::vector<Process*>> buckets_;  // worklist, by level

@@ -47,6 +47,27 @@ TEST(CampaignRunner, ReportIsByteIdenticalAcrossWorkerCounts) {
     const Report parallel(spec, runner.run(spec, workers));
     EXPECT_EQ(serial.to_csv(), parallel.to_csv()) << workers << " workers";
     EXPECT_EQ(serial.to_json(), parallel.to_json()) << workers << " workers";
+    EXPECT_EQ(serial.metrics_csv(), parallel.metrics_csv()) << workers << " workers";
+  }
+}
+
+TEST(CampaignRunner, MetricsCsvCarriesKernelCountersPerPoint) {
+  // The --metrics-out artifact: one row per point with the kernel-side
+  // counters, under its own header (the schema-gated main report is a
+  // separate file and stays untouched).
+  const SweepSpec spec = small_netlist_spec();
+  const Report report(spec, CampaignRunner{}.run(spec, 1));
+  const std::string csv = report.metrics_csv();
+  EXPECT_EQ(csv.rfind(Report::metrics_csv_header() + "\n", 0), 0u);
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, report.records().size() + 1);
+  for (const auto& r : report.records()) {
+    EXPECT_GT(r.result.kernel.sched_evals, 0u) << r.point.label();
+    EXPECT_GT(r.result.kernel.ticks, 0u) << r.point.label();
+    EXPECT_FALSE(r.result.kernel.demoted_to_naive) << r.point.label();
   }
 }
 

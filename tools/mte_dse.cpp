@@ -68,6 +68,9 @@ using namespace mte;
       "outputs:\n"
       "  --csv FILE | -            write CSV (- = stdout)\n"
       "  --json FILE | -           write JSON (- = stdout)\n"
+      "  --metrics-out FILE | -    write the per-point kernel-metrics CSV\n"
+      "                            (settle work, evals, ticks, elisions,\n"
+      "                            demotions; separate schema from --csv)\n"
       "  --quiet                   suppress the terminal table\n"
       "subcommands:\n"
       "  merge [-o FILE] SHARD...  join shard reports (CSV or JSON, auto-\n"
@@ -224,6 +227,7 @@ int main(int argc, char** argv) {
   bool warmup_set = false;
   std::string csv_path;
   std::string json_path;
+  std::string metrics_path;
   bool quiet = false;
   bool print_spec = false;
 
@@ -353,6 +357,8 @@ int main(int argc, char** argv) {
       csv_path = arg_value(i);
     } else if (arg == "--json") {
       json_path = arg_value(i);
+    } else if (arg == "--metrics-out") {
+      metrics_path = arg_value(i);
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -425,6 +431,9 @@ int main(int argc, char** argv) {
     if (!quiet) std::fputs(report.to_table().c_str(), stdout);
     if (!csv_path.empty()) write_output(csv_path, report.to_csv(), "CSV");
     if (!json_path.empty()) write_output(json_path, report.to_json(), "JSON");
+    if (!metrics_path.empty()) {
+      write_output(metrics_path, report.metrics_csv(), "metrics CSV");
+    }
     return failed == 0 ? 0 : 1;
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "mte_dse: %s\n", ex.what());
