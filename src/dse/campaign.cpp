@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
 
+#include "netlist/elaborate.hpp"
+#include "sim/protocol_monitor.hpp"
 #include "sim/simulator.hpp"
 
 namespace mte::dse {
@@ -19,69 +22,163 @@ std::string CheckpointPolicy::snapshot_path(const SweepPoint& point,
          std::to_string(warmup) + ".snap";
 }
 
+std::string RobustnessPolicy::point_dir(const SweepPoint& point,
+                                        std::uint64_t seed) const {
+  std::string key = point.label();
+  std::replace(key.begin(), key.end(), '/', '_');
+  return artifact_dir + "/" + key + "_seed" + std::to_string(seed);
+}
+
 namespace {
 
-/// Checkpointed evaluation: cold runs snapshot at the warmup cycle and
-/// keep going; warm runs restore that snapshot and simulate only the tail.
-WorkloadResult run_with_checkpoint(const Workload& w, const SweepPoint& point,
-                                   sim::Cycle cycles, std::uint64_t seed,
-                                   const CheckpointPolicy& ckpt) {
+/// Session-driven evaluation: optional checkpoint warm-start (cold runs
+/// snapshot at the warmup cycle and keep going; warm runs restore that
+/// snapshot and simulate only the tail) and optional robustness hardening
+/// (protocol monitors on every channel, per-point no-progress watchdog).
+/// On a monitor violation the point's record is marked quarantined here;
+/// a watchdog expiry surfaces as sim::WatchdogError for the caller.
+WorkloadResult run_session_point(const Workload& w, const SweepPoint& point,
+                                 sim::Cycle cycles, std::uint64_t seed,
+                                 const CheckpointPolicy& ckpt,
+                                 const RobustnessPolicy& robust,
+                                 PointRecord& rec) {
+  // The monitor outlives the session (and its simulator), so the
+  // attachment pointer can never dangle.
+  sim::ProtocolMonitor monitor;
   auto session = w.make_session(point, cycles, seed);
   sim::Simulator& s = session->simulator();
-  const sim::Cycle warmup = std::min(ckpt.warmup, cycles);
-  const std::string path = ckpt.snapshot_path(point, seed);
-  if (ckpt.restore) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      throw std::runtime_error("checkpoint restore: cannot read '" + path + "'");
-    }
-    s.restore(in);
-    if (s.now() != warmup) {
-      throw std::runtime_error("checkpoint restore: '" + path + "' is at cycle " +
-                               std::to_string(s.now()) + ", expected " +
-                               std::to_string(warmup));
-    }
-  } else {
-    s.run(warmup);
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-      throw std::runtime_error("checkpoint save: cannot write '" + path + "'");
-    }
-    s.save(out);
+  netlist::Elaboration* elab =
+      robust.enabled() ? session->elaboration() : nullptr;
+  const std::string point_dir =
+      robust.enabled() && !robust.artifact_dir.empty()
+          ? robust.point_dir(point, seed)
+          : std::string{};
+  if (elab != nullptr) {
+    elab->attach_monitor(monitor);
+    if (robust.watchdog > 0) s.set_watchdog(robust.watchdog, point_dir);
   }
-  s.run(cycles - warmup);
-  return session->finish(point, cycles);
+  if (ckpt.enabled()) {
+    const sim::Cycle warmup = std::min(ckpt.warmup, cycles);
+    const std::string path = ckpt.snapshot_path(point, seed);
+    if (ckpt.restore) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        throw std::runtime_error("checkpoint restore: cannot read '" + path + "'");
+      }
+      s.restore(in);
+      if (s.now() != warmup) {
+        throw std::runtime_error("checkpoint restore: '" + path +
+                                 "' is at cycle " + std::to_string(s.now()) +
+                                 ", expected " + std::to_string(warmup));
+      }
+    } else {
+      s.run(warmup);
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        throw std::runtime_error("checkpoint save: cannot write '" + path + "'");
+      }
+      s.save(out);
+    }
+    s.run(cycles - warmup);
+  } else {
+    s.run(cycles);
+  }
+  WorkloadResult result = session->finish(point, cycles);
+  if (elab != nullptr && !monitor.violations().empty()) {
+    rec.failure_kind = "violation";
+    rec.error = "protocol violation: " + monitor.violations().front().format();
+    if (monitor.violations().size() > 1) {
+      rec.error += " (+" + std::to_string(monitor.violations().size() - 1) +
+                   " more violations)";
+    }
+    if (!point_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(point_dir, ec);
+      if (!ec) {
+        std::ofstream snap(point_dir + "/violation.snap", std::ios::binary);
+        if (snap) s.save(snap);
+        std::ofstream report(point_dir + "/violations.txt");
+        if (report) report << monitor.report();
+      }
+    }
+  }
+  return result;
+}
+
+/// Commits the quarantined point's repro artifact: the spec point, seed,
+/// failure kind, full violation/diagnosis text, and where the snapshot
+/// landed — everything needed to re-run the point in isolation.
+void write_repro(const RobustnessPolicy& robust, const SweepPoint& point,
+                 sim::Cycle cycles, const PointRecord& rec) {
+  const std::string dir = robust.point_dir(point, rec.seed);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  std::ofstream os(dir + "/repro.txt");
+  if (!os) return;
+  os << "quarantined campaign point\n"
+     << "label: " << point.label() << '\n'
+     << "index: " << point.index << '\n'
+     << "workload: " << point.workload << '\n'
+     << "variant: " << to_string(point.variant) << '\n'
+     << "threads: " << point.threads << '\n'
+     << "shared_slots: " << point.shared_slots << '\n'
+     << "arbiter: " << mt::to_string(point.arbiter) << '\n'
+     << "kernel: " << sim::to_string(point.kernel) << '\n'
+     << "seed: " << rec.seed << '\n'
+     << "cycles: " << cycles << '\n'
+     << "failure_kind: " << rec.failure_kind << '\n'
+     << "snapshot: " << dir << '/'
+     << (rec.failure_kind == "watchdog" ? "postmortem_c<cycle>.snap"
+                                        : "violation.snap")
+     << '\n'
+     << "error:\n"
+     << rec.error << '\n';
 }
 
 }  // namespace
 
 PointRecord CampaignRunner::run_point(const SweepPoint& point, const SweepSpec& spec,
-                                      const CheckpointPolicy& ckpt) const {
+                                      const CheckpointPolicy& ckpt,
+                                      const RobustnessPolicy& robust) const {
   PointRecord rec;
   rec.point = point;
   rec.seed = point_seed(spec.seed, point.index);
   try {
     const Workload& w = workloads_.at(point.workload);
-    if (ckpt.enabled() && w.make_session != nullptr) {
-      rec.result = run_with_checkpoint(w, point, spec.cycles, rec.seed, ckpt);
+    if ((ckpt.enabled() || robust.enabled()) && w.make_session != nullptr) {
+      rec.result =
+          run_session_point(w, point, spec.cycles, rec.seed, ckpt, robust, rec);
     } else {
       rec.result = w.evaluate(point, spec.cycles, rec.seed);
     }
     rec.les = rec.result.area.total_les();
     rec.mhz = area::CostModel{}.frequency_mhz(rec.result.area);
+  } catch (const sim::WatchdogError& ex) {
+    // The per-point deadline: the point is quarantined, not campaign-fatal.
+    // The simulator already wrote its post-mortem bundle into the point's
+    // artifact directory before throwing.
+    rec.failure_kind = "watchdog";
+    rec.error = ex.what();
   } catch (const std::exception& ex) {
+    rec.failure_kind = "exception";
     rec.error = ex.what();
   } catch (...) {
     // A non-std::exception from a user workload must still become a
     // failed record — escaping a pool thread would std::terminate().
+    rec.failure_kind = "exception";
     rec.error = "non-standard exception";
+  }
+  if (!rec.error.empty() && robust.enabled() && !robust.artifact_dir.empty()) {
+    write_repro(robust, point, spec.cycles, rec);
   }
   return rec;
 }
 
 std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
                                              std::size_t workers, const Shard& shard,
-                                             const CheckpointPolicy& ckpt) const {
+                                             const CheckpointPolicy& ckpt,
+                                             const RobustnessPolicy& robust) const {
   if (shard.count == 0 || shard.index >= std::max<std::size_t>(shard.count, 1)) {
     throw std::invalid_argument("CampaignRunner: shard index " +
                                 std::to_string(shard.index) + " outside 0.." +
@@ -103,7 +200,7 @@ std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < points.size(); ++i) {
-      records[i] = run_point(points[i], spec, ckpt);
+      records[i] = run_point(points[i], spec, ckpt, robust);
     }
     return records;
   }
@@ -117,7 +214,7 @@ std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= points.size()) return;
-      records[i] = run_point(points[i], spec, ckpt);
+      records[i] = run_point(points[i], spec, ckpt, robust);
     }
   };
   std::vector<std::thread> pool;

@@ -27,7 +27,12 @@ struct PointRecord {
   std::uint64_t seed = 0;   ///< the per-point seed the workload ran with
   double les = 0;           ///< total logic elements (area model)
   double mhz = 0;           ///< modelled design frequency
-  std::string error;        ///< non-empty when evaluation threw
+  /// Failure classification: "" (ok), "exception" (evaluation threw),
+  /// "violation" (protocol monitor recorded violations), or "watchdog"
+  /// (the no-progress watchdog fired). The latter two only arise under a
+  /// RobustnessPolicy and are quarantined, not campaign-fatal.
+  std::string failure_kind;
+  std::string error;        ///< non-empty when evaluation failed
 
   [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 
@@ -56,6 +61,30 @@ struct CheckpointPolicy {
   /// seed and warmup cycle fully key the simulation prefix.
   [[nodiscard]] std::string snapshot_path(const SweepPoint& point,
                                           std::uint64_t seed) const;
+};
+
+/// Campaign hardening: runs every session-capable point with protocol
+/// monitors attached and (optionally) a per-point no-progress deadline.
+/// A point that violates the handshake contract or trips the watchdog is
+/// QUARANTINED: it becomes a failed record carrying the violation text
+/// (failure_kind "violation"/"watchdog") plus a committed repro artifact,
+/// and the campaign's exit disposition treats it as handled — reports
+/// stay byte-identical for the surviving points because monitors never
+/// write wires or consume randomness. Workloads without a make_session
+/// hook (md5, processor) evaluate normally.
+struct RobustnessPolicy {
+  bool monitors = false;     ///< attach a ProtocolMonitor to every channel
+  sim::Cycle watchdog = 0;   ///< per-point no-progress deadline; 0 = off
+  std::string artifact_dir;  ///< repro bundles per quarantined point; "" = none
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return monitors || watchdog > 0;
+  }
+
+  /// "<artifact_dir>/<label with / -> _>_seed<seed>" — the per-point
+  /// directory the repro artifact and post-mortem bundle land in.
+  [[nodiscard]] std::string point_dir(const SweepPoint& point,
+                                      std::uint64_t seed) const;
 };
 
 /// Selects a 1/count slice of a campaign: the points whose dense index i
@@ -87,12 +116,14 @@ class CampaignRunner {
   [[nodiscard]] std::vector<PointRecord> run(const SweepSpec& spec,
                                              std::size_t workers = 1,
                                              const Shard& shard = {},
-                                             const CheckpointPolicy& ckpt = {}) const;
+                                             const CheckpointPolicy& ckpt = {},
+                                             const RobustnessPolicy& robust = {}) const;
 
   /// Evaluates a single already-enumerated point (the serial building
   /// block run() parallelizes).
   [[nodiscard]] PointRecord run_point(const SweepPoint& point, const SweepSpec& spec,
-                                      const CheckpointPolicy& ckpt = {}) const;
+                                      const CheckpointPolicy& ckpt = {},
+                                      const RobustnessPolicy& robust = {}) const;
 
  private:
   WorkloadSet workloads_;

@@ -79,20 +79,23 @@ constexpr std::size_t kCsvIndexField = 1;
 constexpr std::size_t kCsvThroughputField = 12;
 constexpr std::size_t kCsvLesField = 14;
 constexpr std::size_t kCsvParetoField = 17;
+constexpr std::size_t kCsvFailureKindField = 18;  // schema v2
 
 Line parse_csv_record(const std::string& line) {
-  const auto fields = leading_fields(line, kCsvParetoField + 1);
+  const auto fields = leading_fields(line, kCsvFailureKindField + 1);
   Line rec;
   rec.index = std::strtoull(fields[kCsvIndexField].c_str(), nullptr, 10);
   rec.throughput = std::strtod(fields[kCsvThroughputField].c_str(), nullptr);
   rec.les = std::strtod(fields[kCsvLesField].c_str(), nullptr);
-  rec.ok = fields[kCsvParetoField + 1] == "\"\"";  // empty quoted error
+  // An ok record has no failure classification and an empty quoted error.
+  rec.ok = fields[kCsvFailureKindField].empty() &&
+           fields[kCsvFailureKindField + 1] == "\"\"";
   rec.text = line;
   return rec;
 }
 
 std::string set_csv_pareto(const std::string& line, bool pareto) {
-  auto fields = leading_fields(line, kCsvParetoField + 1);
+  auto fields = leading_fields(line, kCsvFailureKindField + 1);
   std::string out;
   for (std::size_t k = 0; k < kCsvParetoField; ++k) {
     out += fields[k];
@@ -100,7 +103,9 @@ std::string set_csv_pareto(const std::string& line, bool pareto) {
   }
   out += pareto ? '1' : '0';
   out += ',';
-  out += fields[kCsvParetoField + 1];
+  out += fields[kCsvFailureKindField];
+  out += ',';
+  out += fields[kCsvFailureKindField + 1];
   return out;
 }
 

@@ -130,7 +130,7 @@ const PointRecord* Report::cheapest() const {
 std::string Report::csv_header() {
   return "schema_version,index,workload,variant,threads,shared_slots,"
          "capacity_slots,arbiter,kernel,seed,cycles,tokens,throughput,"
-         "mean_wait,les,mhz,throughput_per_kle,pareto,error";
+         "mean_wait,les,mhz,throughput_per_kle,pareto,failure_kind,error";
 }
 
 std::vector<std::string> Report::json_point_fields() {
@@ -138,7 +138,7 @@ std::vector<std::string> Report::json_point_fields() {
           "shared_slots", "capacity_slots", "arbiter", "kernel",
           "seed",      "cycles",   "tokens",    "throughput",
           "mean_wait", "les",      "mhz",       "throughput_per_kle",
-          "pareto",    "error"};
+          "pareto",    "failure_kind", "error"};
 }
 
 std::string Report::to_csv() const {
@@ -153,8 +153,8 @@ std::string Report::to_csv() const {
        << fmt("%.6f", r.result.throughput) << ',' << fmt("%.6f", r.result.mean_wait)
        << ',' << fmt("%.1f", r.les) << ',' << fmt("%.3f", r.mhz) << ','
        << fmt("%.6f", r.throughput_per_kle()) << ','
-       << (is_pareto(r.point.index) ? 1 : 0) << ',' << csv_escape(r.error)
-       << '\n';
+       << (is_pareto(r.point.index) ? 1 : 0) << ',' << r.failure_kind << ','
+       << csv_escape(r.error) << '\n';
   }
   return os.str();
 }
@@ -200,9 +200,10 @@ std::string Report::to_json() const {
        << fmt("%.6f", r.result.mean_wait) << ", \"les\": " << fmt("%.1f", r.les)
        << ", \"mhz\": " << fmt("%.3f", r.mhz) << ", \"throughput_per_kle\": "
        << fmt("%.6f", r.throughput_per_kle()) << ", \"pareto\": "
-       << (is_pareto(r.point.index) ? "true" : "false") << ", \"error\": \""
-       << json_escape(r.error) << "\"}" << (i + 1 < records_.size() ? "," : "")
-       << '\n';
+       << (is_pareto(r.point.index) ? "true" : "false")
+       << ", \"failure_kind\": \"" << json_escape(r.failure_kind)
+       << "\", \"error\": \"" << json_escape(r.error) << "\"}"
+       << (i + 1 < records_.size() ? "," : "") << '\n';
   }
   os << "  ],\n";
   os << "  \"pareto\": [";

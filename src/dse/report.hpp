@@ -20,7 +20,10 @@ namespace mte::dse {
 
 /// Bump when a field is added, removed, renamed or reordered in the CSV
 /// header or the JSON point objects.
-inline constexpr int kReportSchemaVersion = 1;
+/// v2: added failure_kind (""/"exception"/"violation"/"watchdog") between
+/// pareto and error, classifying failed records for the robustness layer;
+/// error stays the final (quoted) field in both formats.
+inline constexpr int kReportSchemaVersion = 2;
 
 /// One record's inputs to the throughput-vs-LE Pareto rule, at the
 /// precision the decision is made at (the REPORTED precision — %.6f

@@ -111,7 +111,7 @@ class NetlistSession : public WorkloadSession {
         in_channel_(std::move(in_channel)) {}
 
   sim::Simulator& simulator() override { return elab_.simulator(); }
-  netlist::Elaboration& elaboration() { return elab_; }
+  netlist::Elaboration* elaboration() override { return &elab_; }
 
   WorkloadResult finish(const SweepPoint& p, sim::Cycle cycles) override {
     WorkloadResult r;
@@ -140,7 +140,7 @@ std::unique_ptr<WorkloadSession> session_fig1(const SweepPoint& p,
   b.source("src") >> b.buffer("meb") >> b.sink("sink");
   b.then_multithreaded(p.threads, base_kind(p.variant));
   auto session = std::make_unique<NetlistSession>(b.build(), p, "meb", "src");
-  auto& src = session->elaboration().mt_source("src");
+  auto& src = session->elaboration()->mt_source("src");
   for (std::size_t t = 0; t < p.threads; ++t) {
     src.set_generator(t, [t](std::uint64_t i) { return (t << 32) + i; });
     src.set_rate(t, 0.7, seed + 13 * t);
@@ -160,8 +160,8 @@ std::unique_ptr<WorkloadSession> session_fig5(const SweepPoint& p, sim::Cycle cy
   b.source("src") >> b.buffer("meb0") >> b.buffer("meb1") >> b.sink("sink");
   b.then_multithreaded(p.threads, base_kind(p.variant));
   auto session = std::make_unique<NetlistSession>(b.build(), p, "meb1", "src");
-  auto& src = session->elaboration().mt_source("src");
-  auto& sink = session->elaboration().mt_sink("sink");
+  auto& src = session->elaboration()->mt_source("src");
+  auto& sink = session->elaboration()->mt_sink("sink");
   for (std::size_t t = 0; t < p.threads; ++t) {
     src.set_generator(t, [t](std::uint64_t i) { return (t << 32) + i; });
     src.set_rate(t, 1.0, seed + 13 * t);
@@ -173,6 +173,49 @@ std::unique_ptr<WorkloadSession> session_fig5(const SweepPoint& p, sim::Cycle cy
   }
   session->simulator().reset();
   return session;
+}
+
+/// deadlock: the MTE030 fixture shape (a join whose second input is fed
+/// from its own downstream fork) under the MT transform — an intentional
+/// structural deadlock for exercising the campaign's watchdog quarantine.
+/// Without a watchdog it runs its cycle budget producing zero tokens;
+/// with RobustnessPolicy::watchdog set it becomes a quarantined failed
+/// record with a wait-for-graph diagnosis. The oblivious arbiter is
+/// forced at construction: the fork/join reconvergence would otherwise be
+/// rejected at elaboration before the deadlock is ever reached.
+std::unique_ptr<WorkloadSession> session_deadlock(const SweepPoint& p,
+                                                  sim::Cycle /*cycles*/,
+                                                  std::uint64_t /*seed*/) {
+  netlist::Netlist n;
+  const auto src = n.add_source("src");
+  const auto j = n.add_join("j", 2);
+  const auto b0 = n.add_buffer("b0");
+  const auto f = n.add_fork("f", 2);
+  const auto snk = n.add_sink("snk");
+  const auto b1 = n.add_buffer("b1");
+  n.connect(src, 0, j, 0);
+  n.connect(j, 0, b0, 0);
+  n.connect(b0, 0, f, 0);
+  n.connect(f, 0, snk, 0);
+  n.connect(f, 1, b1, 0);
+  n.connect(b1, 0, j, 1);
+  SweepPoint p2 = p;
+  p2.arbiter = mt::ArbiterKind::kOblivious;
+  auto session = std::make_unique<NetlistSession>(
+      n.to_multithreaded(p.threads, base_kind(p.variant)), p2, "b0", "src");
+  auto& source = session->elaboration()->mt_source("src");
+  for (std::size_t t = 0; t < p.threads; ++t) {
+    source.set_generator(t, [t](std::uint64_t i) { return (t << 32) + i; });
+  }
+  session->simulator().reset();
+  return session;
+}
+
+WorkloadResult run_deadlock(const SweepPoint& p, sim::Cycle cycles,
+                            std::uint64_t seed) {
+  auto session = session_deadlock(p, cycles, seed);
+  session->simulator().run(cycles);
+  return session->finish(p, cycles);
 }
 
 WorkloadResult run_fig1(const SweepPoint& p, sim::Cycle cycles, std::uint64_t seed) {
@@ -298,6 +341,12 @@ const WorkloadSet& WorkloadSet::builtin() {
            WorkloadTraits{.supports_hybrid = false, .supports_arbiter = false,
                           .supports_kernel = true},
            run_processor});
+    s.add({"deadlock",
+           "intentional structural deadlock (MTE030 fixture) for watchdog "
+           "quarantine testing",
+           WorkloadTraits{.supports_hybrid = false, .supports_arbiter = false,
+                          .supports_kernel = true},
+           run_deadlock, session_deadlock});
     return s;
   }();
   return set;

@@ -36,6 +36,10 @@ namespace mte::sim {
 class Simulator;
 }
 
+namespace mte::netlist {
+class Elaboration;
+}
+
 namespace mte::dse {
 
 /// Kernel-side diagnostics of one evaluated point, read off the point's
@@ -83,6 +87,10 @@ class WorkloadSession {
   virtual ~WorkloadSession() = default;
   virtual sim::Simulator& simulator() = 0;
   virtual WorkloadResult finish(const SweepPoint& point, sim::Cycle cycles) = 0;
+  /// The underlying netlist elaboration when the workload has one —
+  /// the hook the campaign's robustness policy uses to attach protocol
+  /// monitors. Null for hand-built engines without an Elaboration.
+  virtual netlist::Elaboration* elaboration() { return nullptr; }
 };
 
 struct Workload {

@@ -67,8 +67,9 @@ ComponentFactory ComponentFactory::with_defaults() {
     ctx.elab.expose_sink(ctx.node.name, snk);
   });
   f.register_st(NodeType::kBuffer, [](const StContext& ctx) {
-    ctx.sim.make<elastic::ElasticBuffer<Word>>(ctx.sim, ctx.node.name, ctx.in(0),
-                                               ctx.out(0));
+    auto& eb = ctx.sim.make<elastic::ElasticBuffer<Word>>(
+        ctx.sim, ctx.node.name, ctx.in(0), ctx.out(0));
+    ctx.elab.expose_buffer(ctx.node.name, [&eb] { return eb.occupancy(); });
   });
   f.register_st(NodeType::kFork, [](const StContext& ctx) {
     std::vector<elastic::Channel<Word>*> outs;

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "elastic/channel.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/protocol_monitor.hpp"
 
 namespace mte::netlist {
 
@@ -73,10 +76,23 @@ Elaboration::Elaboration(const Netlist& netlist, const FunctionRegistry& registr
   } else {
     elaborate_single(netlist, registry, factory, options.channel_probes);
   }
-  // Bare-name aliases for channels whose driver has a single output.
+  // Bare-name aliases for channels whose driver has a single output, plus
+  // the endpoint records the robustness layer needs (violation loci,
+  // wait-for-graph nodes, MEB conservation watches).
   for (const auto& e : netlist.edges()) {
     const Node& from = netlist.node(e.from);
-    if (from.outputs == 1) channel_aliases_[from.name] = channel_name(netlist, e);
+    const Node& to = netlist.node(e.to);
+    const std::string name = channel_name(netlist, e);
+    if (from.outputs == 1) channel_aliases_[from.name] = name;
+    ChannelEnds ends;
+    ends.producer = from.name;
+    ends.producer_port = "out" + std::to_string(e.from_port);
+    ends.consumer = to.name;
+    ends.producer_is_buffer = from.type == NodeType::kBuffer;
+    ends.consumer_is_buffer = to.type == NodeType::kBuffer;
+    channel_ends_[name] = std::move(ends);
+    if (to.type == NodeType::kBuffer) buffer_io_[to.name].in_channel = name;
+    if (from.type == NodeType::kBuffer) buffer_io_[from.name].out_channel = name;
   }
   // Publish every probe's statistics on the simulator's registry under
   // the stable channel.* scheme — the machine-readable counterpart of
@@ -223,6 +239,89 @@ const mt::AnyMeb<Word>& Elaboration::meb(const std::string& node_name) const {
   return it->second;
 }
 
+void Elaboration::attach_monitor(sim::ProtocolMonitor& monitor) {
+  for (const auto& name : channel_order_) {
+    const ChannelEnds& ends = channel_ends_.at(name);
+    if (multithreaded_) {
+      auto& ch = *mt_channels_.at(name);
+      std::vector<const sim::Wire<bool>*> valid;
+      std::vector<const sim::Wire<bool>*> ready;
+      for (std::size_t t = 0; t < threads_; ++t) {
+        valid.push_back(&ch.valid(t));
+        ready.push_back(&ch.ready(t));
+      }
+      // MT valid is never persistent: every MEB/MtSource drives it
+      // through a rotating arbiter, so a stalled thread's valid legally
+      // drops when the grant moves on. Per-thread ready persists only at
+      // full-MEB inputs (private slots per thread); reduced/hybrid MEBs
+      // share slots, so a peer thread's accept retracts this thread's
+      // ready without a transfer.
+      bool persistent_ready = false;
+      if (ends.consumer_is_buffer) {
+        const auto meb_it = mebs_.find(ends.consumer);
+        persistent_ready = meb_it != mebs_.end() &&
+                           !meb_it->second.is_hybrid() &&
+                           meb_it->second.kind() == mt::MebKind::kFull;
+      }
+      monitor.watch_mt_channel(
+          name, ends.producer, ends.producer_port, ends.consumer,
+          std::move(valid), std::move(ready),
+          [&data = ch.data] { return data.get(); },
+          /*persistent_valid=*/false, persistent_ready);
+    } else {
+      auto& ch = *channels_.at(name);
+      // ST elastic-buffer outputs hold valid until the pop (occupancy
+      // semantics); rate-gated sources and derived valids (forks, joins,
+      // function units) may legally withdraw an offer.
+      monitor.watch_channel(name, ends.producer, ends.producer_port,
+                            ends.consumer, ch.valid, ch.ready,
+                            [&data = ch.data] { return data.get(); },
+                            ends.producer_is_buffer, ends.consumer_is_buffer);
+    }
+  }
+  // Token conservation across every buffer whose input and output are
+  // both internal channels (boundary buffers lack one side): MEBs via
+  // AnyMeb::total_occupancy, ST elastic buffers via the occupancy
+  // accessor their builder exposed.
+  const auto watch_buffer = [&](const std::string& node,
+                                std::function<int()> occupancy) {
+    const auto it = buffer_io_.find(node);
+    if (it == buffer_io_.end() || it->second.in_channel.empty() ||
+        it->second.out_channel.empty()) {
+      return;
+    }
+    monitor.watch_conservation(node, it->second.in_channel,
+                               it->second.out_channel, std::move(occupancy));
+  };
+  for (const auto& [node, meb] : mebs_) {
+    watch_buffer(node, [m = meb] { return m.total_occupancy(); });
+  }
+  for (const auto& [node, occupancy] : buffer_occupancy_) {
+    watch_buffer(node, occupancy);
+  }
+  sim_.set_monitor(&monitor);
+}
+
+void Elaboration::bind_faults(sim::FaultInjector& injector) {
+  for (const auto& name : channel_order_) {
+    if (multithreaded_) {
+      auto& ch = *mt_channels_.at(name);
+      std::vector<sim::Wire<bool>*> valid;
+      std::vector<sim::Wire<bool>*> ready;
+      for (std::size_t t = 0; t < threads_; ++t) {
+        valid.push_back(&ch.valid(t));
+        ready.push_back(&ch.ready(t));
+      }
+      injector.bind_mt_channel(name, std::move(valid), std::move(ready),
+                               ch.data);
+    } else {
+      auto& ch = *channels_.at(name);
+      injector.bind_channel(name, ch.valid, ch.ready, ch.data);
+    }
+  }
+  sim_.set_fault_injector(&injector);
+}
+
 void Elaboration::expose_source(const std::string& name, elastic::Source<Word>& src) {
   sources_[name] = &src;
 }
@@ -231,6 +330,10 @@ void Elaboration::expose_sink(const std::string& name, elastic::Sink<Word>& snk)
 }
 void Elaboration::expose_mt_source(const std::string& name, mt::MtSource<Word>& src) {
   mt_sources_[name] = &src;
+}
+void Elaboration::expose_buffer(const std::string& name,
+                                std::function<int()> occupancy) {
+  buffer_occupancy_[name] = std::move(occupancy);
 }
 void Elaboration::expose_mt_sink(const std::string& name, mt::MtSink<Word>& snk) {
   mt_sinks_[name] = &snk;

@@ -134,6 +134,19 @@ class Elaboration {
   /// The MEB elaborated for a buffer node (is_multithreaded() only).
   [[nodiscard]] const mt::AnyMeb<Word>& meb(const std::string& node_name) const;
 
+  // --- runtime robustness -------------------------------------------------
+  /// Watches every channel of this design with `monitor` (handshake
+  /// invariants MTE101..MTE104, plus MTE105 token conservation across each
+  /// MEB) and attaches it to the simulator. The monitor must outlive the
+  /// attachment (or be detached with simulator().set_monitor(nullptr)).
+  /// Monitors read settled wires outside the eval phase only: they add
+  /// zero settle evaluations and zero ticks.
+  void attach_monitor(sim::ProtocolMonitor& monitor);
+
+  /// Binds every channel's wires into `injector` (by channel name, same
+  /// "node:port" scheme as probe()) and attaches it to the simulator.
+  void bind_faults(sim::FaultInjector& injector);
+
   // --- factory-facing registration ---------------------------------------
   // Node builders call these to publish handles under the node's name.
   void expose_source(const std::string& name, elastic::Source<Word>& src);
@@ -141,6 +154,9 @@ class Elaboration {
   void expose_mt_source(const std::string& name, mt::MtSource<Word>& src);
   void expose_mt_sink(const std::string& name, mt::MtSink<Word>& snk);
   void expose_meb(const std::string& name, mt::AnyMeb<Word> meb);
+  /// ST buffer builders publish an occupancy accessor so attach_monitor
+  /// can add an MTE105 token-conservation watch across the buffer.
+  void expose_buffer(const std::string& name, std::function<int()> occupancy);
 
  private:
   void elaborate_single(const Netlist& netlist, const FunctionRegistry& registry,
@@ -158,11 +174,29 @@ class Elaboration {
   std::map<std::string, mt::MtSource<Word>*> mt_sources_;
   std::map<std::string, mt::MtSink<Word>*> mt_sinks_;
   std::map<std::string, mt::AnyMeb<Word>> mebs_;
+  std::map<std::string, std::function<int()>> buffer_occupancy_;
   std::map<std::string, elastic::Channel<Word>*> channels_;
   std::map<std::string, mt::MtChannel<Word>*> mt_channels_;
   std::map<std::string, ChannelProbe*> probes_;
   std::map<std::string, std::string> channel_aliases_;  // "node" -> "node:0"
   std::vector<std::string> channel_order_;
+
+  // Endpoint records for the robustness layer: which nodes drive and
+  // consume each channel (violation locus, wait-for-graph nodes), and each
+  // buffer node's in/out channels (MEB conservation watch).
+  struct ChannelEnds {
+    std::string producer;
+    std::string producer_port;
+    std::string consumer;
+    bool producer_is_buffer = false;
+    bool consumer_is_buffer = false;
+  };
+  struct BufferIo {
+    std::string in_channel;
+    std::string out_channel;
+  };
+  std::map<std::string, ChannelEnds> channel_ends_;
+  std::map<std::string, BufferIo> buffer_io_;
 };
 
 }  // namespace mte::netlist

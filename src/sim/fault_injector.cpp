@@ -1,0 +1,88 @@
+#include "sim/fault_injector.hpp"
+
+#include <utility>
+
+namespace mte::sim {
+
+namespace {
+
+/// splitmix64: the same stateless mixer the DSE layer uses for per-point
+/// seeds — deterministic corrupt masks with no shared RNG stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kStuckValid: return "stuck-valid";
+    case FaultKind::kDropValid: return "drop-valid";
+    case FaultKind::kDropReady: return "drop-ready";
+    case FaultKind::kCorruptData: return "corrupt-data";
+    case FaultKind::kDuplicate: return "duplicate";
+  }
+  return "unknown";
+}
+
+void FaultInjector::bind_channel(const std::string& name, Wire<bool>& valid,
+                                 Wire<bool>& ready,
+                                 Wire<std::uint64_t>& data) {
+  Binding b;
+  b.valid = {&valid};
+  b.ready = {&ready};
+  b.data = &data;
+  bindings_[name] = std::move(b);
+}
+
+void FaultInjector::bind_mt_channel(const std::string& name,
+                                    std::vector<Wire<bool>*> valid,
+                                    std::vector<Wire<bool>*> ready,
+                                    Wire<std::uint64_t>& data) {
+  Binding b;
+  b.valid = std::move(valid);
+  b.ready = std::move(ready);
+  b.data = &data;
+  bindings_[name] = std::move(b);
+}
+
+bool FaultInjector::apply(Cycle now) {
+  bool wrote = false;
+  for (std::size_t fi = 0; fi < plan_.size(); ++fi) {
+    const Fault& f = plan_[fi];
+    if (now < f.from || now >= f.to) continue;
+    const auto it = bindings_.find(f.channel);
+    if (it == bindings_.end()) {
+      throw SimulationError(std::string("FaultInjector: fault '") +
+                            to_string(f.kind) + "' targets unbound channel '" +
+                            f.channel + "'");
+    }
+    Binding& b = it->second;
+    const std::size_t t = f.thread < b.valid.size() ? f.thread : 0;
+    switch (f.kind) {
+      case FaultKind::kStuckValid:
+      case FaultKind::kDuplicate:
+        b.valid[t]->set(true);
+        break;
+      case FaultKind::kDropValid:
+        b.valid[t]->set(false);
+        break;
+      case FaultKind::kDropReady:
+        b.ready[t]->set(false);
+        break;
+      case FaultKind::kCorruptData: {
+        const std::uint64_t mask = mix64(seed_ ^ mix64(now) ^ fi) | 1;
+        b.data->set(b.data->get() ^ mask);
+        break;
+      }
+    }
+    ++injected_;
+    wrote = true;
+  }
+  return wrote;
+}
+
+}  // namespace mte::sim

@@ -1,0 +1,353 @@
+#include "sim/protocol_monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/trace_session.hpp"
+
+namespace mte::sim {
+
+std::string ProtocolViolation::format() const {
+  std::ostringstream os;
+  os << code << " cycle " << cycle << " channel '" << channel << "'";
+  if (thread >= 0) os << " thread " << thread;
+  os << " [component '" << component << "' port '" << port << "']: " << message;
+  return os.str();
+}
+
+std::size_t ProtocolMonitor::add_channel(WatchedChannel ch) {
+  if (by_name_.count(ch.name) != 0) {
+    throw SimulationError("ProtocolMonitor: channel '" + ch.name +
+                          "' is already watched");
+  }
+  if (ch.valid.size() != ch.ready.size() || ch.valid.empty()) {
+    throw SimulationError("ProtocolMonitor: channel '" + ch.name +
+                          "' has mismatched valid/ready wire counts");
+  }
+  ch.prev.assign(ch.valid.size(), ThreadState{});
+  const std::size_t index = channels_.size();
+  by_name_.emplace(ch.name, index);
+  channels_.push_back(std::move(ch));
+  return index;
+}
+
+void ProtocolMonitor::watch_channel(const std::string& name,
+                                    const std::string& producer,
+                                    const std::string& producer_port,
+                                    const std::string& consumer,
+                                    const Wire<bool>& valid,
+                                    const Wire<bool>& ready,
+                                    std::function<std::uint64_t()> data,
+                                    bool persistent_valid,
+                                    bool persistent_ready) {
+  WatchedChannel ch;
+  ch.name = name;
+  ch.producer = producer;
+  ch.producer_port = producer_port;
+  ch.consumer = consumer;
+  ch.valid = {&valid};
+  ch.ready = {&ready};
+  ch.data = std::move(data);
+  ch.persistent_valid = persistent_valid;
+  ch.persistent_ready = persistent_ready;
+  ch.mt = false;
+  add_channel(std::move(ch));
+}
+
+void ProtocolMonitor::watch_mt_channel(const std::string& name,
+                                       const std::string& producer,
+                                       const std::string& producer_port,
+                                       const std::string& consumer,
+                                       std::vector<const Wire<bool>*> valid,
+                                       std::vector<const Wire<bool>*> ready,
+                                       std::function<std::uint64_t()> data,
+                                       bool persistent_valid,
+                                       bool persistent_ready) {
+  WatchedChannel ch;
+  ch.name = name;
+  ch.producer = producer;
+  ch.producer_port = producer_port;
+  ch.consumer = consumer;
+  ch.valid = std::move(valid);
+  ch.ready = std::move(ready);
+  ch.data = std::move(data);
+  ch.persistent_valid = persistent_valid;
+  ch.persistent_ready = persistent_ready;
+  ch.mt = true;
+  add_channel(std::move(ch));
+}
+
+void ProtocolMonitor::watch_conservation(const std::string& component,
+                                         const std::string& in_channel,
+                                         const std::string& out_channel,
+                                         std::function<int()> occupancy) {
+  const auto in_it = by_name_.find(in_channel);
+  const auto out_it = by_name_.find(out_channel);
+  if (in_it == by_name_.end() || out_it == by_name_.end()) {
+    throw SimulationError(
+        "ProtocolMonitor: watch_conservation('" + component +
+        "') requires both '" + in_channel + "' and '" + out_channel +
+        "' to be watched first");
+  }
+  ConservationWatch w;
+  w.component = component;
+  w.in_index = in_it->second;
+  w.out_index = out_it->second;
+  w.occupancy = std::move(occupancy);
+  conservation_.push_back(std::move(w));
+}
+
+void ProtocolMonitor::record(const WatchedChannel& ch, const char* code,
+                             int thread, Cycle cycle, std::string message) {
+  if (violations_.size() >= max_violations_) {
+    ++dropped_violations_;
+    return;
+  }
+  ProtocolViolation v;
+  v.code = code;
+  v.channel = ch.name;
+  v.component = ch.producer;
+  v.port = ch.producer_port;
+  v.thread = thread;
+  v.cycle = cycle;
+  v.message = std::move(message);
+  violations_.push_back(std::move(v));
+}
+
+void ProtocolMonitor::on_cycle(Cycle now) {
+  for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+    WatchedChannel& ch = channels_[ci];
+    const std::uint64_t data = ch.data ? ch.data() : 0;
+    ch.fired_now = 0;
+    std::size_t valid_count = 0;
+    int first_valid = -1;
+    int extra_valid = -1;
+    for (std::size_t t = 0; t < ch.valid.size(); ++t) {
+      const bool v = ch.valid[t]->get();
+      const bool r = ch.ready[t]->get();
+      const bool fired = v && r;
+      const int thread = ch.mt ? static_cast<int>(t) : -1;
+      if (v) {
+        ++valid_count;
+        if (first_valid < 0) {
+          first_valid = static_cast<int>(t);
+        } else if (extra_valid < 0) {
+          extra_valid = static_cast<int>(t);
+        }
+      }
+      if (ch.has_prev) {
+        const ThreadState& p = ch.prev[t];
+        if (p.valid && !p.ready) {  // a transfer was pending last cycle
+          if (!v) {
+            // Only a contract violation where valid derives from buffer
+            // occupancy; rate-gated sources and arbitrated MEB outputs
+            // may legally withdraw the offer.
+            if (ch.persistent_valid) {
+              record(ch, "MTE101", thread, now,
+                     "valid retracted while stalled (producer '" +
+                         ch.producer +
+                         "' is an elastic buffer whose valid only drops by a "
+                         "completed transfer)");
+            }
+          } else if (data != p.data) {
+            std::ostringstream os;
+            os << "data changed while stalled (0x" << std::hex << p.data
+               << " -> 0x" << data << "); the word must be stable until the "
+               << "transfer is accepted";
+            record(ch, "MTE102", thread, now, os.str());
+          }
+        }
+        if (ch.persistent_ready && p.ready && !p.fired && !r) {
+          record(ch, "MTE103", thread, now,
+                 "ready retracted without a transfer (consumer '" +
+                     ch.consumer +
+                     "' is an elastic buffer whose can_accept only drops by "
+                     "accepting)");
+        }
+      }
+      if (fired) {
+        ++ch.fired_now;
+        ch.ever_fired = true;
+        ch.last_fire = now;
+        ++transfers_;
+        if (tail_.size() >= tail_capacity_) tail_.pop_front();
+        tail_.push_back(TraceEvent{now, ci, thread, data});
+      }
+      ch.prev[t].valid = v;
+      ch.prev[t].ready = r;
+      ch.prev[t].fired = fired;
+      ch.prev[t].data = data;
+    }
+    if (ch.mt && valid_count > 1) {
+      std::ostringstream os;
+      os << valid_count << " threads assert valid in the same cycle (threads "
+         << first_valid << " and " << extra_valid
+         << "); an MT channel carries at most one active thread";
+      record(ch, "MTE104", extra_valid, now, os.str());
+    }
+    ch.has_prev = true;
+  }
+
+  for (ConservationWatch& w : conservation_) {
+    const int occupancy = w.occupancy();
+    if (w.has_prev) {
+      const int expected = static_cast<int>(w.prev_in_fired) -
+                           static_cast<int>(w.prev_out_fired);
+      const int delta = occupancy - w.prev_occupancy;
+      if (delta != expected) {
+        const WatchedChannel& out = channels_[w.out_index];
+        std::ostringstream os;
+        os << "token conservation violated across '" << w.component
+           << "': occupancy changed by " << delta << " but saw "
+           << w.prev_in_fired << " input and " << w.prev_out_fired
+           << " output transfer(s) last cycle";
+        record(out, "MTE105", -1, now, os.str());
+      }
+    }
+    w.prev_occupancy = occupancy;
+    w.prev_in_fired = channels_[w.in_index].fired_now;
+    w.prev_out_fired = channels_[w.out_index].fired_now;
+    w.has_prev = true;
+  }
+}
+
+void ProtocolMonitor::reset() {
+  for (WatchedChannel& ch : channels_) {
+    ch.has_prev = false;
+    ch.prev.assign(ch.valid.size(), ThreadState{});
+    ch.fired_now = 0;
+    ch.ever_fired = false;
+    ch.last_fire = 0;
+  }
+  for (ConservationWatch& w : conservation_) w.has_prev = false;
+  violations_.clear();
+  dropped_violations_ = 0;
+  transfers_ = 0;
+  tail_.clear();
+}
+
+std::string ProtocolMonitor::report() const {
+  std::ostringstream os;
+  for (const ProtocolViolation& v : violations_) os << v.format() << '\n';
+  if (dropped_violations_ != 0) {
+    os << "(+" << dropped_violations_ << " further violations dropped)\n";
+  }
+  return os.str();
+}
+
+std::string ProtocolMonitor::diagnose_stall(Cycle now, Cycle idle) const {
+  struct WaitEdge {
+    const WatchedChannel* ch;
+    const std::string* from;  // waiting component
+    const std::string* to;    // component it waits on
+    bool starved;             // else backpressured
+  };
+  std::vector<WaitEdge> edges;
+  std::map<std::string, std::vector<std::size_t>> out_edges;
+  for (const WatchedChannel& ch : channels_) {
+    bool any_valid = false;
+    bool any_stalled = false;
+    for (std::size_t t = 0; t < ch.valid.size(); ++t) {
+      const bool v = ch.valid[t]->get();
+      any_valid |= v;
+      any_stalled |= v && !ch.ready[t]->get();
+    }
+    WaitEdge e{&ch, nullptr, nullptr, false};
+    if (any_stalled) {
+      // Backpressure: the producer holds a token the consumer won't take.
+      e.from = &ch.producer;
+      e.to = &ch.consumer;
+      e.starved = false;
+    } else if (!any_valid) {
+      // Starvation: the consumer is waiting for the producer to supply.
+      e.from = &ch.consumer;
+      e.to = &ch.producer;
+      e.starved = true;
+    } else {
+      continue;  // valid && ready: about to fire, not waiting
+    }
+    out_edges[*e.from].push_back(edges.size());
+    edges.push_back(e);
+  }
+
+  std::ostringstream os;
+  os << "no-progress watchdog: no transfer on " << channels_.size()
+     << " watched channel(s) for " << idle << " cycles (cycle " << now
+     << ")\n";
+
+  auto describe = [&](const WaitEdge& e) {
+    std::ostringstream line;
+    line << "  '" << *e.from << "' waits for '" << *e.to << "' (channel '"
+         << e.ch->name << "' " << (e.starved ? "starved" : "backpressured")
+         << ", ";
+    if (e.ch->ever_fired) {
+      line << "last transfer at cycle " << e.ch->last_fire;
+    } else {
+      line << "never fired";
+    }
+    line << ")";
+    return line.str();
+  };
+
+  // DFS for a wait cycle over the component graph.
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::size_t> stack;    // edge indices of the current path
+  std::function<bool(const std::string&)> dfs = [&](const std::string& node) {
+    state[node] = 1;
+    const auto it = out_edges.find(node);
+    if (it != out_edges.end()) {
+      for (const std::size_t ei : it->second) {
+        const std::string& next = *edges[ei].to;
+        const int s = state.count(next) ? state[next] : 0;
+        if (s == 1) {
+          // Found a cycle: emit the path suffix starting at `next`.
+          os << "wait-for cycle detected:\n";
+          bool in_cycle = false;
+          stack.push_back(ei);
+          for (const std::size_t pe : stack) {
+            if (*edges[pe].from == next) in_cycle = true;
+            if (in_cycle) os << describe(edges[pe]) << '\n';
+          }
+          stack.pop_back();
+          return true;
+        }
+        if (s == 0) {
+          stack.push_back(ei);
+          if (dfs(next)) return true;
+          stack.pop_back();
+        }
+      }
+    }
+    state[node] = 2;
+    return false;
+  };
+  bool found = false;
+  for (const WaitEdge& e : edges) {
+    if ((state.count(*e.from) ? state[*e.from] : 0) == 0 && dfs(*e.from)) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    os << "no wait-for cycle; waiting edges:\n";
+    std::size_t shown = 0;
+    for (const WaitEdge& e : edges) {
+      if (shown++ >= 16) {
+        os << "  (+" << edges.size() - 16 << " more)\n";
+        break;
+      }
+      os << describe(e) << '\n';
+    }
+    if (edges.empty()) os << "  (none: all watched channels are firing)\n";
+  }
+  return os.str();
+}
+
+void ProtocolMonitor::export_trace_tail(obs::TraceSession& trace) const {
+  for (const TraceEvent& e : tail_) {
+    trace.add_transfer(e.cycle, channels_[e.channel].name, e.thread, e.data);
+  }
+}
+
+}  // namespace mte::sim

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "obs/profiler.hpp"
 #include "obs/trace_session.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/protocol_monitor.hpp"
 #include "sim/snapshot.hpp"
 
 namespace mte::sim {
@@ -469,6 +475,74 @@ void Simulator::reset() {
   }
   clear_pending();
   full_eval_pending_ = true;
+  if (monitor_ != nullptr) monitor_->reset();
+  watchdog_seen_ = 0;
+  watchdog_idle_ = 0;
+}
+
+void Simulator::set_monitor(ProtocolMonitor* monitor) noexcept {
+  monitor_ = monitor;
+  watchdog_seen_ = 0;
+  watchdog_idle_ = 0;
+}
+
+void Simulator::set_watchdog(Cycle cycles, std::string postmortem_dir) {
+  watchdog_cycles_ = cycles;
+  watchdog_dir_ = std::move(postmortem_dir);
+  watchdog_seen_ = monitor_ != nullptr ? monitor_->transfer_count() : 0;
+  watchdog_idle_ = 0;
+}
+
+void Simulator::check_watchdog() {
+  const std::uint64_t seen = monitor_->transfer_count();
+  if (seen != watchdog_seen_) {
+    watchdog_seen_ = seen;
+    watchdog_idle_ = 0;
+    return;
+  }
+  if (++watchdog_idle_ < watchdog_cycles_) return;
+  const std::string diagnosis = monitor_->diagnose_stall(cycle_, watchdog_idle_);
+  const std::string bundle = write_postmortem(diagnosis);
+  watchdog_idle_ = 0;  // a caught WatchdogError leaves the watchdog re-armed
+  std::ostringstream os;
+  os << "MTE110 " << diagnosis;
+  if (!bundle.empty()) os << "post-mortem bundle: " << bundle << '\n';
+  throw WatchdogError(os.str(), diagnosis);
+}
+
+std::string Simulator::write_postmortem(const std::string& diagnosis) const {
+  std::string dir = watchdog_dir_;
+  if (dir.empty()) {
+    const char* env = std::getenv("MTE_POSTMORTEM_DIR");
+    if (env != nullptr) dir = env;
+  }
+  if (dir.empty()) return {};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  const std::string prefix =
+      dir + "/postmortem_c" + std::to_string(cycle_);
+  {
+    // The pre-tick state of the stalled cycle: restoring it into a fresh
+    // elaboration and stepping reproduces the stall.
+    std::ofstream os(prefix + ".snap", std::ios::binary);
+    if (os) save(os);
+  }
+  {
+    obs::TraceSession tail;
+    monitor_->export_trace_tail(tail);
+    tail.write_file(prefix + ".trace.json");
+  }
+  {
+    std::ofstream os(prefix + ".diagnosis.txt");
+    if (os) {
+      os << diagnosis;
+      if (!monitor_->violations().empty()) {
+        os << "\nrecorded protocol violations:\n" << monitor_->report();
+      }
+    }
+  }
+  return prefix + ".{snap,trace.json,diagnosis.txt}";
 }
 
 void Simulator::save(std::ostream& os) const {
@@ -565,6 +639,11 @@ void Simulator::restore(std::istream& is) {
   // Profiler samples are scratch, like the diagnostics counters: a
   // restored run's profile covers only what it replays.
   if (profiler_ != nullptr) profiler_->reset();
+  // Monitor and watchdog state likewise: a restored run re-observes from
+  // the snapshot point with a fresh progress window.
+  if (monitor_ != nullptr) monitor_->reset();
+  watchdog_seen_ = 0;
+  watchdog_idle_ = 0;
   // Kernel bookkeeping is rebuilt, not restored: schedule a full
   // evaluation exactly like reset(), which rematerializes process slots,
   // re-discovers sensitivities, and re-levelizes on the next settle —
@@ -597,6 +676,21 @@ void Simulator::step() {
   if (phase_timing_) t0 = clock::now();
   settle();
   for (const auto& fn : observers_) fn(cycle_);
+  if (injector_ != nullptr && injector_->apply(cycle_)) {
+    // An external wire write never re-schedules its writer: force the next
+    // settle to re-evaluate everything so producers restore the true
+    // values identically under both kernels.
+    full_eval_pending_ = true;
+  }
+  if (monitor_ != nullptr) {
+    monitor_->on_cycle(cycle_);
+    if (watchdog_cycles_ != 0) check_watchdog();
+  } else if (watchdog_cycles_ != 0) {
+    throw SimulationError(
+        "Simulator::set_watchdog is armed but no ProtocolMonitor is "
+        "attached; the watchdog takes its progress signal from the "
+        "monitor's transfer count");
+  }
   clock::time_point t1{};
   if (phase_timing_) {
     t1 = clock::now();

@@ -94,6 +94,9 @@ class TraceSession;
 
 namespace mte::sim {
 
+class FaultInjector;
+class ProtocolMonitor;
+
 /// Selects the settle/commit implementation of a Simulator.
 enum class KernelKind { kNaive, kEventDriven };
 
@@ -279,6 +282,41 @@ class Simulator {
   void set_trace(obs::TraceSession* trace) noexcept { trace_ = trace; }
   [[nodiscard]] obs::TraceSession* trace() const noexcept { return trace_; }
 
+  // --- robustness -----------------------------------------------------------
+  /// Attaches a protocol monitor: each step() runs its handshake checks on
+  /// the settled state after the observers and before the clock edge. The
+  /// monitor is pull-based like the profiler — detached it costs nothing,
+  /// attached it adds zero settle evals and zero ticks. Must outlive the
+  /// attachment; detach with nullptr. Monitor state is scratch: reset()
+  /// and restore() clear it.
+  void set_monitor(ProtocolMonitor* monitor) noexcept;
+  [[nodiscard]] ProtocolMonitor* monitor() const noexcept { return monitor_; }
+
+  /// Attaches a fault injector: each step() applies the active faults to
+  /// the settled wires after the observers and before the monitor checks
+  /// (so every injected fault is visible to the monitor and the commit
+  /// phase), then forces a full re-settle so producers re-drive the truth
+  /// next cycle identically under both kernels. Detach with nullptr.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+    return injector_;
+  }
+
+  /// Arms the no-progress watchdog: if no watched channel fires a
+  /// transfer for `cycles` consecutive cycles, step() throws
+  /// WatchdogError carrying a wait-for-graph diagnosis, after writing a
+  /// post-mortem bundle (snapshot + trailing Chrome-trace window +
+  /// diagnosis report) to `postmortem_dir`, or to $MTE_POSTMORTEM_DIR
+  /// when the argument is empty (no bundle if neither is set). The
+  /// progress signal and the diagnosis come from the attached
+  /// ProtocolMonitor — attach one (e.g. Elaboration::attach_monitor)
+  /// before stepping; an armed watchdog without a monitor throws
+  /// SimulationError at the first step. Disarm with cycles = 0.
+  void set_watchdog(Cycle cycles, std::string postmortem_dir = {});
+  [[nodiscard]] Cycle watchdog() const noexcept { return watchdog_cycles_; }
+
  private:
   void emit_sim_metrics(obs::MetricsSink& sink) const;
   [[nodiscard]] std::size_t effective_settle_limit() const noexcept;
@@ -290,6 +328,8 @@ class Simulator {
   void seed_process(Process& p, std::size_t& pending, std::size_t& min_level);
   void flush_worklist_to_buckets(std::size_t& pending, std::size_t& min_level);
   void clear_pending() noexcept;
+  void check_watchdog();
+  [[nodiscard]] std::string write_postmortem(const std::string& diagnosis) const;
 
   ChangeTracker tracker_;
   std::vector<Component*> components_;
@@ -317,6 +357,12 @@ class Simulator {
   obs::MetricsRegistry metrics_;
   obs::PhaseProfiler* profiler_ = nullptr;
   obs::TraceSession* trace_ = nullptr;
+  ProtocolMonitor* monitor_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  Cycle watchdog_cycles_ = 0;        // 0 = disarmed
+  std::string watchdog_dir_;         // post-mortem dir ("" => env)
+  std::uint64_t watchdog_seen_ = 0;  // monitor transfer count at last progress
+  Cycle watchdog_idle_ = 0;          // cycles since last progress
   std::size_t level_count_ = 0;      // acyclic levels; cyclic bucket follows
   std::vector<Component*> seq_components_;
   std::vector<std::vector<Process*>> buckets_;  // worklist, by level

@@ -31,4 +31,18 @@ class ProtocolError : public SimulationError {
   using SimulationError::SimulationError;
 };
 
+/// Raised by the no-progress watchdog (Simulator::set_watchdog) when no
+/// watched channel fires a transfer for the configured number of cycles.
+/// Carries the wait-for-graph diagnosis naming the cyclic dependency (or,
+/// absent a cycle, the longest-waiting channels) alongside what().
+class WatchdogError : public SimulationError {
+ public:
+  WatchdogError(const std::string& what, std::string diagnosis)
+      : SimulationError(what), diagnosis_(std::move(diagnosis)) {}
+  [[nodiscard]] const std::string& diagnosis() const noexcept { return diagnosis_; }
+
+ private:
+  std::string diagnosis_;
+};
+
 }  // namespace mte::sim

@@ -22,6 +22,7 @@
 #include "netlist/elaborate.hpp"
 #include "netlist/fuzz.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/protocol_monitor.hpp"
 
 namespace {
 
@@ -75,6 +76,30 @@ RunResult run_kernel(const Netlist& net, sim::KernelKind kernel,
   for (const auto& name : e->channel_names()) r.transfers += e->probe(name).count();
   r.demoted = e->simulator().demoted_to_naive();
   return r;
+}
+
+/// Runs with protocol monitors attached and a no-progress watchdog armed;
+/// returns the WatchdogError diagnosis, or "" when it never fired.
+std::string run_with_watchdog(const Netlist& net, sim::KernelKind kernel,
+                              mt::ArbiterKind arbiter, sim::Cycle deadline,
+                              sim::Cycle cycles = 400) {
+  const auto registry = netlist::FunctionRegistry::with_defaults();
+  const auto factory = netlist::ComponentFactory::defaults();
+  sim::ProtocolMonitor monitor;  // outlives the simulator below
+  ElaborationOptions opt;
+  opt.kernel = kernel;
+  opt.arbiter = arbiter;
+  auto e = std::make_unique<Elaboration>(net, registry, factory, opt);
+  arm_sources(net, *e);
+  e->attach_monitor(monitor);
+  e->simulator().set_watchdog(deadline);
+  e->simulator().reset();
+  try {
+    e->simulator().run(cycles);
+  } catch (const sim::WatchdogError& ex) {
+    return ex.diagnosis();
+  }
+  return {};
 }
 
 bool has_code(const analysis::AnalysisReport& report, const std::string& code) {
@@ -152,6 +177,75 @@ TEST(LintVsSim, FlaggedStructuralDeadlockStallsMultithreaded) {
   for (const auto kernel : {sim::KernelKind::kNaive, sim::KernelKind::kEventDriven}) {
     const RunResult r = run_kernel(mt, kernel, mt::ArbiterKind::kOblivious);
     EXPECT_EQ(r.transfers, 0u) << "deadlocked MT netlist transferred tokens";
+  }
+}
+
+/// MTE030 locus components of `report` — the node names the runtime
+/// wait-for diagnosis must agree with.
+std::vector<std::string> mte030_loci(const analysis::AnalysisReport& report) {
+  std::vector<std::string> loci;
+  for (const auto& d : report.diagnostics()) {
+    if (d.code == "MTE030" && !d.component.empty()) loci.push_back(d.component);
+  }
+  return loci;
+}
+
+TEST(LintVsSim, FlaggedDeadlockTripsWatchdogWithLintLocus) {
+  // The static verdict and the runtime diagnosis must agree: an
+  // MTE030-flagged netlist trips the no-progress watchdog from reset, and
+  // the wait-for-graph cycle names at least one MTE030 locus component.
+  const Netlist net = join_cycle_netlist();
+  const auto loci = mte030_loci(analysis::analyze(net));
+  ASSERT_FALSE(loci.empty());
+
+  for (const auto kernel : {sim::KernelKind::kNaive, sim::KernelKind::kEventDriven}) {
+    const std::string diag =
+        run_with_watchdog(net, kernel, mt::ArbiterKind::kRoundRobin, 60);
+    ASSERT_FALSE(diag.empty()) << "MTE030 netlist did not trip the watchdog";
+    EXPECT_NE(diag.find("wait-for cycle"), std::string::npos) << diag;
+    bool named = false;
+    for (const auto& locus : loci) {
+      named = named || diag.find("'" + locus + "'") != std::string::npos;
+    }
+    EXPECT_TRUE(named) << "diagnosis names no MTE030 locus:\n" << diag;
+  }
+}
+
+TEST(LintVsSim, FlaggedDeadlockTripsWatchdogMultithreaded) {
+  const Netlist mt = join_cycle_netlist().to_multithreaded(2, mt::MebKind::kFull);
+  analysis::AnalysisOptions options;
+  options.arbiter = mt::ArbiterKind::kOblivious;
+  const auto loci = mte030_loci(analysis::analyze(mt, options));
+  ASSERT_FALSE(loci.empty());
+
+  for (const auto kernel : {sim::KernelKind::kNaive, sim::KernelKind::kEventDriven}) {
+    const std::string diag =
+        run_with_watchdog(mt, kernel, mt::ArbiterKind::kOblivious, 60);
+    ASSERT_FALSE(diag.empty()) << "MT MTE030 netlist did not trip the watchdog";
+    bool named = false;
+    for (const auto& locus : loci) {
+      named = named || diag.find("'" + locus + "'") != std::string::npos;
+    }
+    EXPECT_TRUE(named) << "diagnosis names no MTE030 locus:\n" << diag;
+  }
+}
+
+TEST(LintVsSim, CleanFuzzNetlistsDoNotTripTheWatchdog) {
+  // The other direction of the cross-check: lint-clean netlists keep
+  // making progress, so a generous deadline must never expire.
+  const std::uint64_t base = base_seed();
+  for (int k = 0; k < 6; ++k) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(k);
+    SCOPED_TRACE("MTE_FUZZ_SEED=" + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    bool has_mt_join = false;
+    const Netlist net = netlist::random_fuzz_netlist(rng, has_mt_join);
+    const mt::ArbiterKind arbiter =
+        has_mt_join ? mt::ArbiterKind::kOblivious : mt::ArbiterKind::kRoundRobin;
+    ASSERT_FALSE(analysis::analyze(net, {.arbiter = arbiter}).has_errors());
+    const std::string diag =
+        run_with_watchdog(net, sim::KernelKind::kEventDriven, arbiter, 300);
+    EXPECT_TRUE(diag.empty()) << "clean netlist tripped the watchdog:\n" << diag;
   }
 }
 

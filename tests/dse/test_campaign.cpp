@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <stdexcept>
+#include <string>
 
 #include "dse/campaign.hpp"
 #include "dse/report.hpp"
@@ -113,7 +115,9 @@ TEST(CampaignRunner, ThrowingPointBecomesFailedRecordNotAbort) {
   const auto records = CampaignRunner{set}.run(spec, 2);
   ASSERT_EQ(records.size(), 3u);
   EXPECT_TRUE(records[0].ok());
+  EXPECT_TRUE(records[0].failure_kind.empty());
   EXPECT_FALSE(records[1].ok());
+  EXPECT_EQ(records[1].failure_kind, "exception");
   EXPECT_EQ(records[1].error, "injected failure");
   EXPECT_TRUE(records[2].ok());
 
@@ -123,6 +127,76 @@ TEST(CampaignRunner, ThrowingPointBecomesFailedRecordNotAbort) {
   EXPECT_FALSE(report.is_pareto(1));
   EXPECT_NE(report.to_csv().find("injected failure"), std::string::npos);
   EXPECT_NE(report.to_json().find("injected failure"), std::string::npos);
+}
+
+TEST(CampaignRunner, DeadlockPointIsQuarantinedWithReproArtifact) {
+  // An intentionally deadlocking point under the robustness policy is
+  // QUARANTINED: the campaign completes, the point becomes a failed
+  // record classified "watchdog" with the MTE110 diagnosis in its error,
+  // and the artifact directory holds a committed repro plus the watchdog's
+  // post-mortem bundle. Healthy points in the same campaign are untouched.
+  SweepSpec spec;
+  spec.workloads = {"fig1", "deadlock"};
+  spec.variants = {MebVariant::kFull};
+  spec.threads = {2};
+  spec.cycles = 400;
+  spec.seed = 11;
+
+  RobustnessPolicy robust;
+  robust.monitors = true;
+  robust.watchdog = 100;
+  robust.artifact_dir = ::testing::TempDir() + "mte_quarantine";
+  std::filesystem::remove_all(robust.artifact_dir);
+
+  const auto records = CampaignRunner{}.run(spec, 1, {}, {}, robust);
+  ASSERT_EQ(records.size(), 2u);
+  const PointRecord* healthy = nullptr;
+  const PointRecord* quarantined = nullptr;
+  for (const auto& r : records) {
+    (r.point.workload == "deadlock" ? quarantined : healthy) = &r;
+  }
+  ASSERT_NE(healthy, nullptr);
+  ASSERT_NE(quarantined, nullptr);
+
+  EXPECT_TRUE(healthy->ok()) << healthy->error;
+  EXPECT_TRUE(healthy->failure_kind.empty());
+  EXPECT_GT(healthy->result.tokens, 0u);
+
+  EXPECT_FALSE(quarantined->ok());
+  EXPECT_EQ(quarantined->failure_kind, "watchdog");
+  EXPECT_NE(quarantined->error.find("MTE110"), std::string::npos)
+      << quarantined->error;
+
+  const std::string dir =
+      robust.point_dir(quarantined->point, quarantined->seed);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/repro.txt")) << dir;
+  bool has_snapshot = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string file = entry.path().filename().string();
+    has_snapshot = has_snapshot || (file.rfind("postmortem_c", 0) == 0 &&
+                                    file.find(".snap") != std::string::npos);
+  }
+  EXPECT_TRUE(has_snapshot) << "no post-mortem snapshot in " << dir;
+}
+
+TEST(CampaignRunner, MonitorsDoNotPerturbSurvivingPoints) {
+  // The quarantine contract's other half: on a campaign with no failures,
+  // running under monitors + watchdog produces BYTE-identical reports —
+  // monitors never write wires or consume workload randomness, across all
+  // MEB variants (full, hybrid, reduced).
+  const SweepSpec spec = small_netlist_spec();
+  const CampaignRunner runner;
+  const Report plain(spec, runner.run(spec, 1));
+  RobustnessPolicy robust;
+  robust.monitors = true;
+  robust.watchdog = 200;
+  const Report hardened(spec, runner.run(spec, 1, {}, {}, robust));
+  for (const auto& r : hardened.records()) {
+    EXPECT_TRUE(r.ok()) << r.point.label() << ": " << r.error;
+  }
+  EXPECT_EQ(plain.to_csv(), hardened.to_csv());
+  EXPECT_EQ(plain.to_json(), hardened.to_json());
+  EXPECT_EQ(plain.metrics_csv(), hardened.metrics_csv());
 }
 
 TEST(CampaignRunner, OwnsItsWorkloadSet) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "netlist/builder.hpp"
+#include "sim/protocol_monitor.hpp"
 
 namespace mte::kerneltest {
 
@@ -68,6 +69,11 @@ struct LockstepOptions {
   /// Receives the bisection result (window, snapshots, replay verdict).
   /// Artifacts are additionally written to $MTE_BISECT_DIR when set.
   BisectReport* bisect = nullptr;
+  /// Attach a ProtocolMonitor to both elaborations and fail the run on any
+  /// recorded violation — a lint-clean circuit must honour the SELF
+  /// contract under both kernels. The fuzz suite turns this on via
+  /// MTE_FUZZ_MONITORS=1.
+  bool monitors = false;
 };
 
 /// Per-cycle wire comparison across every channel of the two elaborations.
@@ -217,6 +223,10 @@ inline bool run_lockstep(const Netlist& net,
                          const LockstepOptions& opt = {}) {
   const auto registry = netlist::FunctionRegistry::with_defaults();
   const auto factory = netlist::ComponentFactory::defaults();
+  // Declared before the elaborations so the simulators' attachment
+  // pointers never outlive the monitors.
+  sim::ProtocolMonitor ref_monitor;
+  sim::ProtocolMonitor dut_monitor;
   netlist::ElaborationOptions ref_opt;
   ref_opt.channel_probes = opt.channel_probes;
   ref_opt.kernel = sim::KernelKind::kNaive;
@@ -230,6 +240,10 @@ inline bool run_lockstep(const Netlist& net,
 
   configure(*ref);
   configure(*dut);
+  if (opt.monitors) {
+    ref->attach_monitor(ref_monitor);
+    dut->attach_monitor(dut_monitor);
+  }
   ref->simulator().reset();
   dut->simulator().reset();
 
@@ -295,6 +309,16 @@ inline bool run_lockstep(const Netlist& net,
     }
   }
   EXPECT_EQ(ref->simulator().now(), dut->simulator().now());
+  if (opt.monitors) {
+    if (!ref_monitor.violations().empty()) {
+      ADD_FAILURE() << "naive kernel protocol violations:\n" << ref_monitor.report();
+      return false;
+    }
+    if (!dut_monitor.violations().empty()) {
+      ADD_FAILURE() << "event kernel protocol violations:\n" << dut_monitor.report();
+      return false;
+    }
+  }
   if (opt.channel_probes) {
     const auto stats = probes_equal(*ref, *dut, names);
     if (!stats) {

@@ -80,6 +80,10 @@ bool run_fuzz_case(std::uint64_t seed) {
     }
   };
 
+  // MTE_FUZZ_MONITORS=1 additionally attaches protocol monitors to both
+  // elaborations: a violation on a lint-clean fuzz netlist is a hard
+  // failure (the robustness CI job runs the corpus this way).
+  const char* mon = std::getenv("MTE_FUZZ_MONITORS");
   // snapshot_interval bounds any divergence replay to a 200-cycle window:
   // a fuzz failure prints the offending (begin, end] window and, when
   // MTE_BISECT_DIR is set (CI), drops the snapshot pair as artifacts.
@@ -88,7 +92,8 @@ bool run_fuzz_case(std::uint64_t seed) {
                        .allow_divergent = true,
                        .arbiter = has_mt_join ? mt::ArbiterKind::kOblivious
                                               : mt::ArbiterKind::kRoundRobin,
-                       .snapshot_interval = 200});
+                       .snapshot_interval = 200,
+                       .monitors = mon != nullptr && std::string(mon) == "1"});
 }
 
 std::uint64_t fuzz_base_seed() {

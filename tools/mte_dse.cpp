@@ -65,6 +65,17 @@ using namespace mte;
       "                            --checkpoint-dir instead of re-simulating\n"
       "                            the warmup prefix; the report is byte-\n"
       "                            identical to the cold run's\n"
+      "robustness (netlist workloads only; md5/processor run normally):\n"
+      "  --monitors                attach SELF protocol monitors to every\n"
+      "                            channel; a violating point is quarantined\n"
+      "                            as a failed record (failure_kind\n"
+      "                            'violation'), not campaign-fatal\n"
+      "  --watchdog N              per-point no-progress deadline: N cycles\n"
+      "                            without a transfer quarantines the point\n"
+      "                            (failure_kind 'watchdog') with a wait-for\n"
+      "                            diagnosis; implies --monitors\n"
+      "  --artifacts DIR           commit a repro bundle (repro.txt, snapshot,\n"
+      "                            diagnosis) per quarantined point under DIR\n"
       "outputs:\n"
       "  --csv FILE | -            write CSV (- = stdout)\n"
       "  --json FILE | -           write JSON (- = stdout)\n"
@@ -224,6 +235,7 @@ int main(int argc, char** argv) {
   std::size_t workers = 0;  // auto
   dse::Shard shard;
   dse::CheckpointPolicy ckpt;
+  dse::RobustnessPolicy robust;
   bool warmup_set = false;
   std::string csv_path;
   std::string json_path;
@@ -353,6 +365,13 @@ int main(int argc, char** argv) {
       warmup_set = true;
     } else if (arg == "--restore") {
       ckpt.restore = true;
+    } else if (arg == "--monitors") {
+      robust.monitors = true;
+    } else if (arg == "--watchdog") {
+      robust.watchdog = parse_u64(arg_value(i), "--watchdog");
+      robust.monitors = true;  // the watchdog's progress signal
+    } else if (arg == "--artifacts") {
+      robust.artifact_dir = arg_value(i);
     } else if (arg == "--csv") {
       csv_path = arg_value(i);
     } else if (arg == "--json") {
@@ -394,6 +413,25 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(ckpt.warmup));
   }
 
+  if (!robust.artifact_dir.empty() && !robust.enabled()) {
+    std::fprintf(stderr, "mte_dse: --artifacts needs --monitors or --watchdog\n");
+    return 2;
+  }
+  if (!robust.artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(robust.artifact_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "mte_dse: cannot create artifact dir '%s': %s\n",
+                   robust.artifact_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+  if (robust.enabled()) {
+    std::fprintf(stderr, "mte_dse: robustness on (monitors%s%s)\n",
+                 robust.watchdog > 0 ? ", watchdog" : "",
+                 robust.artifact_dir.empty() ? "" : ", artifacts");
+  }
+
   try {
     const auto points = spec.enumerate();
     if (points.empty()) {
@@ -415,18 +453,30 @@ int main(int argc, char** argv) {
 
     const dse::CampaignRunner runner;
     const auto start = std::chrono::steady_clock::now();
-    const auto records = runner.run(spec, workers, shard, ckpt);
+    const auto records = runner.run(spec, workers, shard, ckpt, robust);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
 
     const dse::Report report(spec, std::move(records));
+    // With robustness active, quarantined points (violation/watchdog) are
+    // the hardening layer doing its job: they are reported as failed
+    // records but don't flip the exit code. Plain exceptions still do.
     std::size_t failed = 0;
+    std::size_t quarantined = 0;
     for (const auto& r : report.records()) {
-      if (!r.ok()) ++failed;
+      if (r.ok()) continue;
+      if (robust.enabled() &&
+          (r.failure_kind == "violation" || r.failure_kind == "watchdog")) {
+        ++quarantined;
+      } else {
+        ++failed;
+      }
     }
-    std::fprintf(stderr, "mte_dse: evaluated %zu points in %.2fs (%zu failed)\n",
-                 report.records().size(), secs, failed);
+    std::fprintf(stderr,
+                 "mte_dse: evaluated %zu points in %.2fs (%zu failed, %zu "
+                 "quarantined)\n",
+                 report.records().size(), secs, failed, quarantined);
 
     if (!quiet) std::fputs(report.to_table().c_str(), stdout);
     if (!csv_path.empty()) write_output(csv_path, report.to_csv(), "CSV");

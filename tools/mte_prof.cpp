@@ -22,7 +22,8 @@
 //   mte_prof --cycles 5000 --metrics m.json --trace t.json design.enl
 //   mte_prof --kernel naive --metrics m.csv design.enl
 //
-// Exit codes: 0 = success, 2 = usage/I-O/parse/elaboration failure.
+// Exit codes: 0 = success, 2 = usage/I-O/parse/elaboration failure,
+// 3 = protocol violation or watchdog expiry under --monitors/--watchdog.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -37,6 +38,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_session.hpp"
+#include "sim/protocol_monitor.hpp"
 #include "sim/vcd.hpp"
 
 namespace {
@@ -74,6 +76,12 @@ void usage(std::ostream& os) {
         "                       time every dispatch)\n"
         "  --top <n>            instances in the profiler ranking\n"
         "                       (default 8)\n"
+        "  --monitors           attach SELF protocol monitors to every\n"
+        "                       channel; violations print to stderr and\n"
+        "                       the exit code becomes 3\n"
+        "  --watchdog <n>       no-progress deadline: abort (exit 3) with\n"
+        "                       a wait-for diagnosis after n cycles\n"
+        "                       without a transfer; implies --monitors\n"
         "  --quiet              suppress the report tables on stdout\n"
         "  -h, --help           this message\n";
 }
@@ -92,6 +100,8 @@ struct Args {
   std::string vcd_path;
   std::uint32_t stride = 1;
   std::size_t top = 8;
+  bool monitors = false;
+  std::uint64_t watchdog = 0;
   bool quiet = false;
 };
 
@@ -153,6 +163,11 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.stride = static_cast<std::uint32_t>(std::stoul(value("--stride")));
     } else if (arg == "--top") {
       a.top = std::stoull(value("--top"));
+    } else if (arg == "--monitors") {
+      a.monitors = true;
+    } else if (arg == "--watchdog") {
+      a.watchdog = std::stoull(value("--watchdog"));
+      a.monitors = true;  // the watchdog's progress signal
     } else if (arg == "--quiet") {
       a.quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -236,6 +251,12 @@ int main(int argc, char** argv) {
     mte::obs::PhaseProfiler profiler(args.stride);
     sim.set_profiler(&profiler);
 
+    mte::sim::ProtocolMonitor monitor;
+    if (args.monitors) {
+      e.attach_monitor(monitor);
+      if (args.watchdog > 0) sim.set_watchdog(args.watchdog);
+    }
+
     mte::obs::TraceSession trace(
         mte::obs::TraceSession::Options{args.trace_limit});
     std::vector<std::pair<std::string, mte::elastic::Channel<Word>*>> st_chs;
@@ -294,7 +315,13 @@ int main(int argc, char** argv) {
     }
 
     sim.set_phase_timing(true);
-    sim.run(args.cycles);
+    bool watchdog_fired = false;
+    try {
+      sim.run(args.cycles);
+    } catch (const mte::sim::WatchdogError& ex) {
+      watchdog_fired = true;
+      std::cerr << "mte_prof: " << ex.what() << '\n';
+    }
 
     const auto mask = args.all_categories ? mte::obs::kAllCategories
                                           : mte::obs::kStableCategories;
@@ -336,10 +363,19 @@ int main(int argc, char** argv) {
                   << args.trace_path << "\n";
       }
     }
-    // Detach before the profiler/trace go out of scope (defensive; the
-    // simulator dies with the Elaboration right after anyway).
+    if (args.monitors && !monitor.violations().empty()) {
+      std::cerr << "mte_prof: " << monitor.violations().size()
+                << " protocol violation(s):\n"
+                << monitor.report();
+    }
+    // Detach before the profiler/trace/monitor go out of scope (defensive;
+    // the simulator dies with the Elaboration right after anyway).
     sim.set_profiler(nullptr);
     sim.set_trace(nullptr);
+    sim.set_monitor(nullptr);
+    if (watchdog_fired || (args.monitors && !monitor.violations().empty())) {
+      return 3;
+    }
   } catch (const std::exception& ex) {
     std::cerr << "mte_prof: " << ex.what() << '\n';
     return 2;
