@@ -1,12 +1,15 @@
 #include "analysis/analyze.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <limits>
 #include <map>
 #include <optional>
 #include <set>
 #include <sstream>
+
+#include "analysis/perf.hpp"
 
 namespace mte::analysis {
 namespace {
@@ -113,6 +116,11 @@ class Analyzer {
     check_names();
     const bool refs_ok = check_wiring();
     if (refs_ok) {
+      // Solve the cycle-ratio bound before the reconvergence pass so
+      // MTE031 can quantify the imbalance it reports.
+      if (opt_.perf) {
+        perf_ = analyze_perf(net_, PerfOptions{opt_.arbiter, opt_.meb_shared_slots});
+      }
       check_liveness();
       check_comb_cycles();
       check_deadlock();
@@ -120,6 +128,7 @@ class Analyzer {
       check_signal_graph();
     }
     check_capacity();
+    if (perf_) check_perf();
     return AnalysisReport(std::move(out_));
   }
 
@@ -380,13 +389,24 @@ class Analyzer {
     if (arms < 2 || mx - mn < 2) return;
     const Node& f = nodes[pair.fork_id];
     const Node& j = nodes[pair.join_id];
-    emit("MTE031", Severity::kWarning, j.name, "",
-         "reconvergent paths from fork '" + f.name + "' to join '" + j.name +
-             "' have unbalanced buffering (min " + std::to_string(mn) + ", max " +
-             std::to_string(mx) +
-             " storage elements): the shallow arm backpressures the fork while "
-             "the deep arm drains, throttling throughput",
-         "add ~" + std::to_string(mx - mn) + " buffer(s) to the shallow arm");
+    std::string message =
+        "reconvergent paths from fork '" + f.name + "' to join '" + j.name +
+        "' have unbalanced buffering (min " + std::to_string(mn) + ", max " +
+        std::to_string(mx) +
+        " storage elements): the shallow arm backpressures the fork while "
+        "the deep arm drains, throttling throughput";
+    std::string hint = "add ~" + std::to_string(mx - mn) + " buffer(s) to the shallow arm";
+    // With the perf pass on, quantify the imbalance from the bottleneck
+    // cycle instead of guessing from path depths alone.
+    if (perf_ && perf_->bottleneck) {
+      const PerfCycle& c = *perf_->bottleneck;
+      message += ", costing " + fmt_ratio(c.cost) + " tokens/cycle";
+      hint = "add " + std::to_string(c.fix_slots) +
+             " buffer slot(s) on the bottleneck cycle (bound " + fmt_ratio(c.ratio) +
+             " -> 1 tokens/cycle; see MTE052)";
+    }
+    emit("MTE031", Severity::kWarning, j.name, "", std::move(message),
+         std::move(hint));
   }
 
   // --- MTE022/023: port-granular combinational valid/ready feedback ------
@@ -605,11 +625,71 @@ class Analyzer {
     }
   }
 
+  // --- MTE050-054: static throughput bounds (analysis/perf.hpp) ----------
+  static std::string fmt_ratio(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+  }
+
+  void check_perf() {
+    const PerfReport& p = *perf_;
+    std::string msg = "static throughput bound: " + fmt_ratio(p.aggregate_bound) +
+                      " tokens/cycle aggregate";
+    for (const auto& s : p.sinks) {
+      msg += "; sink '" + s.sink + "' <= " + fmt_ratio(s.theta) +
+             (s.reachable
+                  ? " (fill latency " + std::to_string(s.fill_latency) + ")"
+                  : " (unreachable from every source)");
+    }
+    emit("MTE050", Severity::kNote, "", "", std::move(msg),
+         "minimum cycle ratio of the marked graph (Howard policy iteration)");
+    if (!p.per_thread_bounds.empty()) {
+      emit("MTE051", Severity::kNote, "", "",
+           "per-thread sustained rate <= " + fmt_ratio(p.per_thread_bounds.front()) +
+               " tokens/cycle for each of " +
+               std::to_string(p.per_thread_bounds.size()) + " thread(s)",
+           "MEB service and arbitration caps; oblivious TDM grants each "
+           "thread 1/S of the channel");
+    }
+    if (p.bottleneck) {
+      const PerfCycle& c = *p.bottleneck;
+      std::string cycle;
+      for (const auto& name : c.loci) {
+        if (!cycle.empty()) cycle += " -> ";
+        cycle += name;
+      }
+      emit("MTE052", Severity::kWarning, c.loci.empty() ? "" : c.loci.front(), "",
+           "bottleneck cycle {" + cycle + "} carries " + std::to_string(c.tokens) +
+               " token(s) over " + std::to_string(c.hops) +
+               " cycle(s): throughput bound " + fmt_ratio(c.ratio) +
+               " tokens/cycle, losing " + fmt_ratio(c.cost) +
+               " tokens/cycle vs a balanced design",
+           "add " + std::to_string(c.fix_slots) +
+               " buffer slot(s) on the cycle to restore bound 1");
+    }
+    for (const auto& note : p.rate_notes) {
+      emit("MTE053", Severity::kNote, "", "", note,
+           "expected-load information only; the bound ignores Bernoulli gates");
+    }
+    if (!p.converged) {
+      emit("MTE054", Severity::kError, "", "",
+           "cycle-ratio solver did not converge after " +
+               std::to_string(p.iterations) + " iteration(s)",
+           "report this netlist: Howard policy iteration should always converge");
+    } else if (!p.karp_agrees) {
+      emit("MTE054", Severity::kError, "", "",
+           "Howard and Karp minimum cycle ratios disagree",
+           "report this netlist: the two solvers bound the same quantity");
+    }
+  }
+
   const Netlist& net_;
   const AnalysisOptions& opt_;
   std::vector<Diagnostic> out_;
   std::set<std::size_t> comb_cycle_nodes_;  // members of MTE020 cycles
   std::set<std::size_t> hazard_joins_;      // joins of MTE021 pairs
+  std::optional<PerfReport> perf_;          // set when opt_.perf
 };
 
 }  // namespace

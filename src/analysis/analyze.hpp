@@ -24,6 +24,12 @@
 //   MTE031      reconvergent fork/join path-slack imbalance
 //   MTE040-044  capacity/rate sanity: zero threads, hybrid pool K vs S,
 //               K = 0 throughput cap, S = 1 design point, rate-0 ends
+//   MTE050-054  static performance (opt-in via AnalysisOptions::perf):
+//               aggregate/per-sink throughput bounds from the minimum
+//               cycle ratio of the marked graph (analysis/perf.hpp),
+//               per-thread caps, the bottleneck cycle with a buffer
+//               fix-it, informational Bernoulli rate caps, and solver
+//               self-check failures (non-convergence, Howard vs Karp)
 //
 // The port-granular signal model encodes each component's real
 // combinational dependencies (who reads which wire during eval), taken
@@ -55,6 +61,12 @@ struct AnalysisOptions {
   /// Hybrid MEB shared-pool size K (ElaborationOptions::meb_shared_slots).
   /// Enables the MTE041/042 pool-capacity checks when set.
   std::optional<std::size_t> meb_shared_slots;
+
+  /// Runs the static performance pass (analysis/perf.hpp) and emits the
+  /// MTE050-054 diagnostics. Off by default: the cycle-ratio solve costs
+  /// more than every structural check combined, and the bounds are only
+  /// meaningful on netlists that already pass the wiring checks.
+  bool perf = false;
 };
 
 /// Runs every check and returns the deterministic report.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 #include <sstream>
 #include <tuple>
 
@@ -81,6 +82,86 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+namespace {
+
+/// SARIF level for a severity; the repo's names happen to coincide with
+/// SARIF's ("note"/"warning"/"error"), but keep the mapping explicit.
+const char* sarif_level(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string render_sarif(
+    const std::vector<std::pair<std::string, AnalysisReport>>& inputs) {
+  // Rule table: every distinct code, sorted (std::set iterates sorted).
+  std::set<std::string> codes;
+  for (const auto& [name, report] : inputs) {
+    for (const auto& d : report.diagnostics()) codes.insert(d.code);
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  os << "  \"version\": \"2.1.0\",\n";
+  os << "  \"runs\": [\n";
+  os << "    {\n";
+  os << "      \"tool\": {\n";
+  os << "        \"driver\": {\n";
+  os << "          \"name\": \"mte_lint\",\n";
+  os << "          \"rules\": [";
+  bool first = true;
+  for (const auto& code : codes) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "            {\"id\": \"" << json_escape(code)
+       << "\", \"shortDescription\": {\"text\": \"" << json_escape(code)
+       << " (see the MTE code table in README.md)\"}}";
+  }
+  if (!codes.empty()) os << "\n          ";
+  os << "]\n";
+  os << "        }\n";
+  os << "      },\n";
+  os << "      \"results\": [";
+  first = true;
+  for (const auto& [name, report] : inputs) {
+    for (const auto& d : report.diagnostics()) {
+      std::string text = d.message;
+      if (!d.hint.empty()) text += "\nhint: " + d.hint;
+      std::string fqn = name + "/" + (d.component.empty() ? "<netlist>" : d.component);
+      if (!d.port.empty()) fqn += ":" + d.port;
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "        {\n";
+      os << "          \"ruleId\": \"" << json_escape(d.code) << "\",\n";
+      os << "          \"level\": \"" << sarif_level(d.severity) << "\",\n";
+      os << "          \"message\": {\"text\": \"" << json_escape(text) << "\"},\n";
+      os << "          \"locations\": [\n";
+      os << "            {\n";
+      os << "              \"logicalLocations\": [\n";
+      os << "                {\"name\": \""
+         << json_escape(d.component.empty() ? name : d.component)
+         << "\", \"fullyQualifiedName\": \"" << json_escape(fqn)
+         << "\", \"kind\": \"element\"}\n";
+      os << "              ]\n";
+      os << "            }\n";
+      os << "          ]\n";
+      os << "        }";
+    }
+  }
+  if (!first) os << "\n      ";
+  os << "]\n";
+  os << "    }\n";
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
 }
 
 std::string AnalysisReport::render_json() const {

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mte::analysis {
@@ -87,5 +88,14 @@ class AnalysisReport {
 /// JSON string escaping shared by the report renderer and mte_lint's
 /// multi-file wrapper object.
 [[nodiscard]] std::string json_escape(const std::string& s);
+
+/// SARIF 2.1.0 rendering of a batch of named reports as one run: stable
+/// rule ids are the MTE codes (collected, deduplicated and sorted into
+/// tool.driver.rules), severities map onto SARIF levels, and each
+/// diagnostic's component/port locus becomes a logicalLocation whose
+/// fullyQualifiedName is "<input>/<component>[:<port>]". Deterministic
+/// for golden and schema-shape tests.
+[[nodiscard]] std::string render_sarif(
+    const std::vector<std::pair<std::string, AnalysisReport>>& inputs);
 
 }  // namespace mte::analysis

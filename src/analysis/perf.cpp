@@ -1,0 +1,739 @@
+#include "analysis/perf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace mte::analysis {
+namespace {
+
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeType;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+constexpr double kEps = 1e-9;
+
+// ---------------------------------------------------------------------------
+// Marked-graph construction
+// ---------------------------------------------------------------------------
+
+/// One acceptance-event vertex. Var-latency units own a head (issue)
+/// vertex plus latency_lo - 1 internal delay vertices that all report
+/// the unit's name in cycle loci.
+struct Vertex {
+  std::size_t node = kNone;
+  bool dummy = false;
+};
+
+struct GraphModel {
+  MarkedGraph graph;
+  std::vector<Vertex> verts;
+  std::vector<std::size_t> head;  ///< node id -> acceptance vertex (or kNone)
+  std::vector<std::size_t> tail;  ///< node id -> last delay vertex (== head
+                                  ///< except var-latency)
+};
+
+bool is_storage(NodeType t) {
+  return t == NodeType::kBuffer || t == NodeType::kVarLatency;
+}
+
+/// Nodes whose token-index alignment is data-dependent: constraint arcs
+/// must not cross them (dropping constraints keeps the bound sound).
+bool breaks_alignment(NodeType t) {
+  return t == NodeType::kBranch || t == NodeType::kMerge || t == NodeType::kCustom;
+}
+
+std::size_t clamped_lo(const Node& n) {
+  return n.latency_lo == 0 ? 1 : n.latency_lo;
+}
+
+/// Token capacity of a storage node: how many acceptances may outrun the
+/// downstream consumption of the oldest held token.
+std::size_t capacity_of(const Node& n, const Netlist& net, const PerfOptions& opt) {
+  const std::size_t s = net.is_multithreaded() ? net.threads() : 1;
+  if (n.type == NodeType::kVarLatency) return net.is_multithreaded() ? s : 1;
+  if (!net.is_multithreaded()) return 2;  // the 2-slot EB
+  if (opt.meb_shared_slots) return s + *opt.meb_shared_slots;  // hybrid MEB
+  return net.meb_kind() == mt::MebKind::kReduced ? s + 1 : 2 * s;
+}
+
+GraphModel build_model(const Netlist& net, const PerfOptions& opt) {
+  GraphModel m;
+  const auto& nodes = net.nodes();
+  m.head.assign(nodes.size(), kNone);
+  m.tail.assign(nodes.size(), kNone);
+
+  const auto add_vertex = [&m](std::size_t node, bool dummy) {
+    m.verts.push_back(Vertex{node, dummy});
+    m.graph.adj.emplace_back();
+    return m.verts.size() - 1;
+  };
+  const auto arc = [&m](std::size_t from, std::size_t to, std::size_t tokens) {
+    m.graph.adj[from].push_back(PerfArc{to, tokens});
+  };
+
+  for (const auto& n : nodes) {
+    const bool event_vertex = n.type == NodeType::kSource ||
+                              n.type == NodeType::kSink || is_storage(n.type);
+    if (!event_vertex) continue;
+    const std::size_t h = add_vertex(n.id, false);
+    m.head[n.id] = h;
+    std::size_t t = h;
+    if (n.type == NodeType::kVarLatency) {
+      for (std::size_t i = 1; i < clamped_lo(n); ++i) {
+        const std::size_t d = add_vertex(n.id, true);
+        arc(t, d, 0);
+        t = d;
+      }
+    }
+    m.tail[n.id] = t;
+  }
+
+  // Out-edges per node for the combinational closure walk.
+  std::vector<std::vector<std::size_t>> out(nodes.size());
+  for (const auto& e : net.edges()) {
+    if (e.from < nodes.size() && e.to < nodes.size()) out[e.from].push_back(e.to);
+  }
+
+  const std::size_t s = net.is_multithreaded() ? net.threads() : 1;
+  for (const auto& u : nodes) {
+    const bool producer = u.type == NodeType::kSource || is_storage(u.type);
+    if (!producer) continue;
+
+    // Combinational closure: every storage/sink acceptance fed from u's
+    // output without crossing an alignment-breaking node.
+    std::set<std::size_t> consumers;
+    std::set<std::size_t> visited;
+    std::vector<std::size_t> stack(out[u.id].begin(), out[u.id].end());
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      if (!visited.insert(v).second) continue;
+      const Node& nv = nodes[v];
+      if (is_storage(nv.type) || nv.type == NodeType::kSink) {
+        consumers.insert(v);
+        continue;
+      }
+      if (breaks_alignment(nv.type) || nv.type == NodeType::kSource) continue;
+      for (const std::size_t w : out[v]) stack.push_back(w);
+    }
+
+    const std::size_t cap = capacity_of(u, net, opt);
+    for (const std::size_t c : consumers) {
+      // Forward: c's n-th acceptance trails u's n-th offer by >= 1 cycle.
+      // A path looping back to u itself re-enters as acceptance n+1.
+      arc(m.tail[u.id], m.head[c], c == u.id ? 1 : 0);
+      // Backward slot release (sources hold no tokens).
+      if (is_storage(u.type)) arc(m.head[c], m.head[u.id], cap);
+    }
+    // Cross-consumer coupling: >= 2 consumers of one output only arise
+    // through forks, whose eager control holds the head token until all
+    // arms consumed it. Aggregate index shift is 1 per thread stream.
+    if (consumers.size() >= 2) {
+      for (const std::size_t ci : consumers) {
+        for (const std::size_t cj : consumers) {
+          if (ci != cj) arc(m.head[cj], m.head[ci], s);
+        }
+      }
+    }
+  }
+
+  // A channel moves at most one token per cycle.
+  for (std::size_t v = 0; v < m.verts.size(); ++v) arc(v, v, 1);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Weak components (constraint coupling groups)
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> weak_components(const MarkedGraph& g) {
+  std::vector<std::size_t> parent(g.adj.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::vector<std::size_t> path;
+  const auto find = [&parent, &path](std::size_t x) {
+    path.clear();
+    while (parent[x] != x) {
+      path.push_back(x);
+      x = parent[x];
+    }
+    for (const std::size_t p : path) parent[p] = x;
+    return x;
+  };
+  for (std::size_t u = 0; u < g.adj.size(); ++u) {
+    for (const auto& a : g.adj[u]) {
+      const std::size_t ru = find(u);
+      const std::size_t rv = find(a.to);
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  }
+  std::vector<std::size_t> comp(g.adj.size());
+  for (std::size_t u = 0; u < g.adj.size(); ++u) comp[u] = find(u);
+  return comp;
+}
+
+// ---------------------------------------------------------------------------
+// Fill latency: earliest first-arrival cycle per node
+// ---------------------------------------------------------------------------
+
+/// dist[v] = minimum cycle at which a token can first be offered on v's
+/// output: sources offer at 0, each storage element adds a cycle, a
+/// var-latency unit adds latency_lo, combinational nodes add nothing.
+/// Joins take the min over inputs (a lower bound — sound for an upper
+/// throughput bound) so plain Dijkstra applies.
+std::vector<std::size_t> fill_latency(const Netlist& net) {
+  const auto& nodes = net.nodes();
+  std::vector<std::vector<std::size_t>> in(nodes.size());
+  for (const auto& e : net.edges()) {
+    if (e.from < nodes.size() && e.to < nodes.size()) in[e.to].push_back(e.from);
+  }
+  const auto weight = [&nodes](std::size_t v) -> std::size_t {
+    if (nodes[v].type == NodeType::kBuffer) return 1;
+    if (nodes[v].type == NodeType::kVarLatency) return clamped_lo(nodes[v]);
+    return 0;
+  };
+  std::vector<std::size_t> dist(nodes.size(), kNone);
+  using Item = std::pair<std::size_t, std::size_t>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (const auto& n : nodes) {
+    if (n.type == NodeType::kSource) {
+      dist[n.id] = 0;
+      pq.push({0, n.id});
+    }
+  }
+  std::vector<std::vector<std::size_t>> outadj(nodes.size());
+  for (const auto& e : net.edges()) {
+    if (e.from < nodes.size() && e.to < nodes.size())
+      outadj[e.from].push_back(e.to);
+  }
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const std::size_t v : outadj[u]) {
+      const std::size_t nd = d + weight(v);
+      if (dist[v] == kNone || nd < dist[v]) {
+        dist[v] = nd;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+// ---------------------------------------------------------------------------
+// Karp helpers
+// ---------------------------------------------------------------------------
+
+/// Iterative Tarjan returning nontrivial SCCs (>= 2 vertices, or one
+/// vertex with a self-arc).
+std::vector<std::vector<std::size_t>> nontrivial_sccs(const MarkedGraph& g) {
+  const std::size_t n = g.adj.size();
+  std::vector<std::size_t> index(n, kNone);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t child = 0;
+  };
+  std::vector<Frame> frames;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kNone) continue;
+    frames.push_back({root});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t v = f.v;
+      if (f.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      } else {
+        const std::size_t w = g.adj[v][f.child - 1].to;
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      }
+      bool descended = false;
+      while (f.child < g.adj[v].size()) {
+        const std::size_t w = g.adj[v][f.child++].to;
+        if (index[w] == kNone) {
+          frames.push_back({w});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        std::vector<std::size_t> scc;
+        while (true) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        const bool self_arc =
+            scc.size() == 1 &&
+            std::any_of(g.adj[v].begin(), g.adj[v].end(),
+                        [v](const PerfArc& a) { return a.to == v; });
+        if (scc.size() >= 2 || self_arc) sccs.push_back(std::move(scc));
+      }
+      frames.pop_back();
+    }
+  }
+  return sccs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Howard's policy iteration (minimum cycle mean, unit delays)
+// ---------------------------------------------------------------------------
+
+CycleMeanResult howard_min_cycle_mean(const MarkedGraph& g) {
+  const std::size_t n = g.adj.size();
+  CycleMeanResult r;
+  r.ratio = kInf;
+  r.vertex_ratio.assign(n, kInf);
+  if (n == 0) {
+    r.converged = true;
+    return r;
+  }
+
+  std::vector<std::size_t> policy(n, kNone);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!g.adj[v].empty()) policy[v] = 0;
+  }
+  std::vector<double> eta(n, kInf);
+  std::vector<double> val(n, 0.0);
+  const auto succ = [&](std::size_t v) {
+    return policy[v] == kNone ? kNone : g.adj[v][policy[v]].to;
+  };
+  const auto wgt = [&](std::size_t v) {
+    return static_cast<double>(g.adj[v][policy[v]].tokens);
+  };
+
+  const std::size_t max_iter = 100 + 10 * n;
+  bool changed = true;
+  while (changed && r.iterations < max_iter) {
+    ++r.iterations;
+
+    // --- evaluate the current policy (a functional graph) ----------------
+    std::fill(eta.begin(), eta.end(), kInf);
+    std::fill(val.begin(), val.end(), 0.0);
+    std::vector<int> state(n, 0);  // 0 new, 1 on current path, 2 settled
+    for (std::size_t s = 0; s < n; ++s) {
+      if (state[s] != 0) continue;
+      std::vector<std::size_t> path;
+      std::size_t u = s;
+      while (u != kNone && state[u] == 0) {
+        state[u] = 1;
+        path.push_back(u);
+        u = succ(u);
+      }
+      if (u != kNone && state[u] == 1) {
+        // New cycle discovered along this path.
+        std::size_t pos = 0;
+        while (path[pos] != u) ++pos;
+        double tokens = 0.0;
+        for (std::size_t i = pos; i < path.size(); ++i) tokens += wgt(path[i]);
+        const double mean = tokens / static_cast<double>(path.size() - pos);
+        val[u] = 0.0;
+        eta[u] = mean;
+        for (std::size_t i = path.size(); i-- > pos + 1;) {
+          const std::size_t x = path[i];
+          const std::size_t nx = i + 1 < path.size() ? path[i + 1] : u;
+          eta[x] = mean;
+          val[x] = wgt(x) - mean + val[nx];
+        }
+      }
+      // Settle the remaining prefix against its (now settled) successor.
+      for (std::size_t i = path.size(); i-- > 0;) {
+        const std::size_t x = path[i];
+        if (state[x] == 2) continue;
+        const std::size_t nx = succ(x);
+        if (eta[x] == kInf) {  // not part of the cycle just found
+          if (nx != kNone && eta[nx] != kInf) {
+            eta[x] = eta[nx];
+            val[x] = wgt(x) - eta[nx] + val[nx];
+          }
+        }
+        state[x] = 2;
+      }
+    }
+
+    // --- improve: per vertex, the index-first argmin of (eta, bias) ------
+    changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (policy[u] == kNone) continue;
+      std::size_t best = policy[u];
+      std::size_t bx = g.adj[u][best].to;
+      double be = eta[bx];
+      double bv = be == kInf ? kInf
+                             : static_cast<double>(g.adj[u][best].tokens) + val[bx];
+      for (std::size_t a = 0; a < g.adj[u].size(); ++a) {
+        const std::size_t x = g.adj[u][a].to;
+        if (eta[x] == kInf) continue;
+        const double cv = static_cast<double>(g.adj[u][a].tokens) + val[x];
+        if (eta[x] < be - kEps || (eta[x] < be + kEps && cv < bv - kEps)) {
+          best = a;
+          bx = x;
+          be = eta[x];
+          bv = cv;
+        }
+      }
+      if (best != policy[u]) {
+        policy[u] = best;
+        changed = true;
+      }
+    }
+  }
+  r.converged = !changed;
+  r.vertex_ratio = eta;
+  r.policy = policy;
+
+  // Global minimum + one critical cycle, walked off the final policy.
+  std::size_t argmin = kNone;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (eta[v] < r.ratio - kEps) {
+      r.ratio = eta[v];
+      argmin = v;
+    }
+  }
+  if (argmin != kNone) {
+    std::vector<int> seen(n, 0);
+    std::size_t u = argmin;
+    while (u != kNone && !seen[u]) {
+      seen[u] = 1;
+      u = succ(u);
+    }
+    if (u != kNone) {
+      std::size_t x = u;
+      do {
+        r.cycle.push_back(x);
+        r.cycle_tokens += g.adj[x][policy[x]].tokens;
+        ++r.cycle_hops;
+        x = succ(x);
+      } while (x != u);
+    }
+  }
+  return r;
+}
+
+namespace {
+
+/// Walks the converged policy from `start` until it closes a cycle;
+/// returns the cycle's vertices plus its (tokens, hops) weight.
+struct WalkedCycle {
+  std::vector<std::size_t> verts;
+  std::size_t tokens = 0;
+  std::size_t hops = 0;
+};
+
+WalkedCycle walk_cycle(const MarkedGraph& g, const std::vector<std::size_t>& policy,
+                       std::size_t start) {
+  WalkedCycle out;
+  std::vector<int> seen(g.adj.size(), 0);
+  std::size_t u = start;
+  while (u != kNone && !seen[u]) {
+    seen[u] = 1;
+    u = policy[u] == kNone ? kNone : g.adj[u][policy[u]].to;
+  }
+  if (u == kNone) return out;
+  std::size_t x = u;
+  do {
+    out.verts.push_back(x);
+    out.tokens += g.adj[x][policy[x]].tokens;
+    ++out.hops;
+    x = g.adj[x][policy[x]].to;
+  } while (x != u);
+  return out;
+}
+
+/// Token-weighted shortest distance from every vertex TO `target`
+/// (Dijkstra over the reversed arcs, weight = initial tokens): the
+/// transient slack a downstream measurement at `target` can collect from
+/// a constraint at that vertex. kNone where no directed path exists.
+std::vector<std::size_t> token_distance_to(const MarkedGraph& g,
+                                           std::size_t target) {
+  const std::size_t n = g.adj.size();
+  std::vector<std::vector<PerfArc>> rev(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const auto& a : g.adj[u]) rev[a.to].push_back({u, a.tokens});
+  }
+  std::vector<std::size_t> dist(n, kNone);
+  using Item = std::pair<std::size_t, std::size_t>;  // (dist, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[target] = 0;
+  heap.push({0, target});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const auto& a : rev[v]) {
+      const std::size_t nd = d + a.tokens;
+      if (nd < dist[a.to]) {
+        dist[a.to] = nd;
+        heap.push({nd, a.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Karp's algorithm (cross-check)
+// ---------------------------------------------------------------------------
+
+double karp_min_cycle_mean(const MarkedGraph& g) {
+  double best = kInf;
+  for (const auto& scc : nontrivial_sccs(g)) {
+    const std::size_t nc = scc.size();
+    std::vector<std::size_t> local(g.adj.size(), kNone);
+    for (std::size_t i = 0; i < nc; ++i) local[scc[i]] = i;
+    // arcs[v] = incoming (from, weight) pairs within the SCC.
+    std::vector<std::vector<std::pair<std::size_t, double>>> in(nc);
+    for (const std::size_t u : scc) {
+      for (const auto& a : g.adj[u]) {
+        if (local[a.to] != kNone) {
+          in[local[a.to]].push_back({local[u], static_cast<double>(a.tokens)});
+        }
+      }
+    }
+    // D[k][v]: min weight of a k-arc walk from scc[0].
+    std::vector<std::vector<double>> d(nc + 1, std::vector<double>(nc, kInf));
+    d[0][0] = 0.0;
+    for (std::size_t k = 1; k <= nc; ++k) {
+      for (std::size_t v = 0; v < nc; ++v) {
+        for (const auto& [u, w] : in[v]) {
+          if (d[k - 1][u] != kInf) d[k][v] = std::min(d[k][v], d[k - 1][u] + w);
+        }
+      }
+    }
+    for (std::size_t v = 0; v < nc; ++v) {
+      if (d[nc][v] == kInf) continue;
+      double worst = -kInf;
+      for (std::size_t k = 0; k < nc; ++k) {
+        if (d[k][v] == kInf) continue;
+        worst = std::max(worst, (d[nc][v] - d[k][v]) / static_cast<double>(nc - k));
+      }
+      if (worst != -kInf) best = std::min(best, worst);
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Finite-horizon bound
+// ---------------------------------------------------------------------------
+
+double windowed_bound(const PerfSinkBound& sink, std::size_t cycles) {
+  if (!sink.reachable || cycles == 0 || sink.fill_latency >= cycles) return 0.0;
+  const std::size_t w = cycles - sink.fill_latency;
+  double count = static_cast<double>(w);
+  for (const auto& cand : sink.candidates) {
+    if (cand.hops == 0) continue;
+    // A through-sink cycle (slack 0) constrains the fill-adjusted window;
+    // a remote cycle constrains the whole run plus its in-flight slack.
+    const std::size_t win = cand.slack == 0 ? w : cycles;
+    const double c = static_cast<double>(((win - 1) / cand.hops + 1) * cand.tokens +
+                                         cand.slack);
+    count = std::min(count, c);
+  }
+  return count / static_cast<double>(cycles);
+}
+
+// ---------------------------------------------------------------------------
+// The full pass
+// ---------------------------------------------------------------------------
+
+PerfReport analyze_perf(const Netlist& net, const PerfOptions& options) {
+  PerfReport rep;
+  const auto& nodes = net.nodes();
+
+  // Defensive: dangling edge references make the graph walk unsafe; the
+  // MTE005 wiring check owns that report, we just bail to bound 1.
+  for (const auto& e : net.edges()) {
+    if (e.from >= nodes.size() || e.to >= nodes.size() ||
+        e.from_port >= nodes[e.from].outputs || e.to_port >= nodes[e.to].inputs) {
+      return rep;
+    }
+  }
+
+  const GraphModel model = build_model(net, options);
+  const CycleMeanResult howard = howard_min_cycle_mean(model.graph);
+  const double karp = karp_min_cycle_mean(model.graph);
+  rep.converged = howard.converged;
+  rep.iterations = howard.iterations;
+  rep.karp_agrees =
+      (howard.ratio == kInf && karp == kInf) || std::abs(howard.ratio - karp) <= kEps;
+
+  const std::vector<std::size_t> comp = weak_components(model.graph);
+  const std::vector<std::size_t> fill = fill_latency(net);
+
+  // Aggregate MEB service cap: the hybrid MEB caps each thread's
+  // sustained rate at (1+K)/2, so S threads together move at most
+  // S*(1+K)/2 tokens per cycle through any MEB station.
+  const std::size_t s = net.is_multithreaded() ? net.threads() : 1;
+  std::optional<std::pair<std::size_t, std::size_t>> service_cap;  // (T, H)
+  if (net.is_multithreaded() && options.meb_shared_slots) {
+    const std::size_t k = *options.meb_shared_slots;
+    if (s * (1 + k) < 2) service_cap = {s * (1 + k), 2};
+  }
+
+  // Which components contain an MEB station (the service cap's scope).
+  std::set<std::size_t> meb_comps;
+  for (const auto& n : nodes) {
+    if (n.type == NodeType::kBuffer && model.head[n.id] != kNone) {
+      meb_comps.insert(comp[model.head[n.id]]);
+    }
+  }
+
+  // Per-component structural minimum and its representative vertex.
+  std::map<std::size_t, std::pair<double, std::size_t>> comp_min;
+  for (std::size_t v = 0; v < model.verts.size(); ++v) {
+    const double e = howard.vertex_ratio[v];
+    auto [it, inserted] = comp_min.emplace(comp[v], std::make_pair(e, v));
+    if (!inserted && e < it->second.first - kEps) it->second = {e, v};
+  }
+
+  // Channel feeding each sink, as elaboration names it ("driver:port").
+  std::map<std::size_t, std::string> sink_channel;
+  for (const auto& e : net.edges()) {
+    if (nodes[e.to].type == NodeType::kSink) {
+      sink_channel[e.to] = nodes[e.from].name + ":" + std::to_string(e.from_port);
+    }
+  }
+
+  // Turns a walked critical cycle into the user-facing locus list.
+  const auto describe_cycle = [&](const WalkedCycle& wc, double ratio) {
+    PerfCycle c;
+    c.ratio = ratio;
+    c.tokens = wc.tokens;
+    c.hops = wc.hops;
+    for (const std::size_t v : wc.verts) {
+      const std::string& name = nodes[model.verts[v].node].name;
+      if (c.loci.empty() || c.loci.back() != name) c.loci.push_back(name);
+    }
+    if (c.loci.size() > 1 && c.loci.front() == c.loci.back()) c.loci.pop_back();
+    c.fix_slots = c.hops > c.tokens ? c.hops - c.tokens : 0;
+    c.cost = 1.0 - ratio;
+    return c;
+  };
+
+  double worst_structural = 1.0;
+  std::optional<WalkedCycle> worst_cycle;
+  for (const auto& n : nodes) {
+    if (n.type != NodeType::kSink) continue;
+    PerfSinkBound sb;
+    sb.sink = n.name;
+    const auto ch = sink_channel.find(n.id);
+    if (ch != sink_channel.end()) sb.channel = ch->second;
+    sb.reachable = fill[n.id] != kNone;
+    sb.fill_latency = sb.reachable ? fill[n.id] : 0;
+    sb.candidates.push_back({1, 1, 0});
+
+    const std::size_t sink_vertex = model.head[n.id];
+    const std::size_t c = comp[sink_vertex];
+    const auto cm = comp_min.find(c);
+    double structural = 1.0;
+    if (cm != comp_min.end() && cm->second.first != kInf) {
+      structural = std::min(1.0, cm->second.first);
+    }
+    sb.structural_ratio = structural;
+    double theta = structural;
+    // Token slack from every vertex to this sink — the additive transient
+    // a remote constraint leaves the sink free to collect.
+    const std::vector<std::size_t> slack_to_sink =
+        token_distance_to(model.graph, sink_vertex);
+    const auto min_slack = [&](const std::vector<std::size_t>& verts) {
+      std::size_t best = kNone;
+      for (const std::size_t v : verts) best = std::min(best, slack_to_sink[v]);
+      return best;
+    };
+    if (structural < 1.0 - kEps) {
+      // The component's own critical cycle (walked from its argmin
+      // vertex), not the global one — they differ in multi-sink nets.
+      const WalkedCycle wc =
+          walk_cycle(model.graph, howard.policy, cm->second.second);
+      if (wc.hops > 0) {
+        // A cycle with no directed path to the sink imposes no count
+        // recurrence on it (theta still records the steady-state cap).
+        const std::size_t slack = min_slack(wc.verts);
+        if (slack != kNone) sb.candidates.push_back({wc.tokens, wc.hops, slack});
+      }
+      if (structural < worst_structural - kEps) {
+        worst_structural = structural;
+        worst_cycle = wc;
+      }
+    }
+    if (service_cap && meb_comps.count(c) != 0) {
+      // The cap binds at each MEB station; the sink additionally collects
+      // the slack buffered past the nearest constraining MEB.
+      std::size_t slack = kNone;
+      for (const auto& meb : nodes) {
+        if (meb.type == NodeType::kBuffer && model.head[meb.id] != kNone &&
+            comp[model.head[meb.id]] == c) {
+          slack = std::min(slack, slack_to_sink[model.head[meb.id]]);
+        }
+      }
+      if (slack != kNone) {
+        sb.candidates.push_back({service_cap->first, service_cap->second, slack});
+      }
+      theta = std::min(theta, static_cast<double>(service_cap->first) /
+                                  static_cast<double>(service_cap->second));
+    }
+    sb.theta = theta;
+    rep.sinks.push_back(std::move(sb));
+  }
+  std::sort(rep.sinks.begin(), rep.sinks.end(),
+            [](const PerfSinkBound& a, const PerfSinkBound& b) {
+              return a.sink < b.sink;
+            });
+  rep.aggregate_bound = 1.0;
+  for (const auto& sb : rep.sinks) {
+    rep.aggregate_bound = std::min(rep.aggregate_bound, sb.theta);
+  }
+  if (worst_cycle && !worst_cycle->verts.empty()) {
+    rep.bottleneck = describe_cycle(*worst_cycle, worst_structural);
+  }
+
+  if (net.is_multithreaded() && s > 0) {
+    double per_thread = 1.0;
+    if (options.meb_shared_slots) {
+      per_thread = std::min(
+          per_thread, (1.0 + static_cast<double>(*options.meb_shared_slots)) / 2.0);
+    }
+    if (options.arbiter == mt::ArbiterKind::kOblivious) {
+      per_thread = std::min(per_thread, 1.0 / static_cast<double>(s));
+    }
+    per_thread = std::min(per_thread, rep.aggregate_bound);
+    rep.per_thread_bounds.assign(s, per_thread);
+  }
+
+  for (const auto& n : nodes) {
+    if (n.rate >= 1.0 || n.rate <= 0.0) continue;
+    if (n.type == NodeType::kSource || n.type == NodeType::kSink) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", n.rate);
+      rep.rate_notes.push_back(
+          std::string(n.type == NodeType::kSource ? "source '" : "sink '") + n.name +
+          "' rate " + buf +
+          " caps expected load (Bernoulli gate; not a hard bound)");
+    }
+  }
+  return rep;
+}
+
+}  // namespace mte::analysis

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <optional>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
 
+#include "analysis/perf.hpp"
 #include "netlist/elaborate.hpp"
 #include "sim/protocol_monitor.hpp"
 #include "sim/simulator.hpp"
@@ -136,6 +140,55 @@ void write_repro(const RobustnessPolicy& robust, const SweepPoint& point,
      << rec.error << '\n';
 }
 
+/// The point priced without simulating it: its static throughput bound
+/// (windowed to the campaign's cycle budget, so finite-horizon fill
+/// effects are inside the bound) plus the area-model figures, all read
+/// off the workload's StaticModel. Empty when the workload has no
+/// make_netlist hook, the model's measured sink is missing, or the
+/// analysis did not converge — such points always simulate.
+struct StaticPrice {
+  double bound = 1.0;
+  double les = 0;
+  double mhz = 0;
+};
+
+std::optional<StaticPrice> static_price(const Workload& w, const SweepPoint& point,
+                                        sim::Cycle cycles) {
+  if (w.make_netlist == nullptr) return std::nullopt;
+  const StaticModel model = w.make_netlist(point);
+  analysis::PerfOptions opt;
+  opt.arbiter = point.arbiter;
+  if (point.variant == MebVariant::kHybrid) opt.meb_shared_slots = point.shared_slots;
+  const analysis::PerfReport perf = analysis::analyze_perf(model.net, opt);
+  if (!perf.converged || !perf.karp_agrees) return std::nullopt;
+  for (const auto& sink : perf.sinks) {
+    if (sink.sink != model.sink) continue;
+    StaticPrice price;
+    price.bound = analysis::windowed_bound(sink, cycles);
+    const area::CostModel cost;
+    const area::DesignEstimate est = netlist_area(model.net, point, cost);
+    price.les = est.total_les();
+    price.mhz = cost.frequency_mhz(est);
+    return price;
+  }
+  return std::nullopt;
+}
+
+/// Screening compares at the precision the report renders (and the
+/// Pareto rule decides) at: %.6f throughput, %.1f LEs. This keeps the
+/// skip decision a pure function of data that survives a CSV round-trip.
+double round6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return std::strtod(buf, nullptr);
+}
+
+double round1(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return std::strtod(buf, nullptr);
+}
+
 }  // namespace
 
 PointRecord CampaignRunner::run_point(const SweepPoint& point, const SweepSpec& spec,
@@ -146,6 +199,9 @@ PointRecord CampaignRunner::run_point(const SweepPoint& point, const SweepSpec& 
   rec.seed = point_seed(spec.seed, point.index);
   try {
     const Workload& w = workloads_.at(point.workload);
+    if (const auto price = static_price(w, point, spec.cycles)) {
+      rec.static_bound = price->bound;
+    }
     if ((ckpt.enabled() || robust.enabled()) && w.make_session != nullptr) {
       rec.result =
           run_session_point(w, point, spec.cycles, rec.seed, ckpt, robust, rec);
@@ -178,11 +234,17 @@ PointRecord CampaignRunner::run_point(const SweepPoint& point, const SweepSpec& 
 std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
                                              std::size_t workers, const Shard& shard,
                                              const CheckpointPolicy& ckpt,
-                                             const RobustnessPolicy& robust) const {
+                                             const RobustnessPolicy& robust,
+                                             bool screen) const {
   if (shard.count == 0 || shard.index >= std::max<std::size_t>(shard.count, 1)) {
     throw std::invalid_argument("CampaignRunner: shard index " +
                                 std::to_string(shard.index) + " outside 0.." +
                                 std::to_string(shard.count) + "-1");
+  }
+  if (screen && shard.count > 1) {
+    throw std::invalid_argument(
+        "CampaignRunner: screening is incompatible with sharding (the skip "
+        "decision depends on every earlier point's result)");
   }
   std::vector<SweepPoint> points = spec.enumerate(workloads_);
   if (shard.count > 1) {
@@ -192,6 +254,45 @@ std::vector<PointRecord> CampaignRunner::run(const SweepSpec& spec,
   }
   std::vector<PointRecord> records(points.size());
   if (points.empty()) return records;
+
+  if (screen) {
+    // Serial by construction: point i's skip decision reads the measured
+    // throughput of every earlier simulated point.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Workload& w = workloads_.at(points[i].workload);
+      const std::optional<StaticPrice> price =
+          static_price(w, points[i], spec.cycles);
+      const PointRecord* dominator = nullptr;
+      if (price) {
+        for (std::size_t j = 0; j < i && dominator == nullptr; ++j) {
+          if (records[j].ok() &&
+              round6(records[j].result.throughput) >= round6(price->bound) &&
+              round1(records[j].les) <= round1(price->les)) {
+            dominator = &records[j];
+          }
+        }
+      }
+      if (dominator == nullptr) {
+        records[i] = run_point(points[i], spec, ckpt, robust);
+        continue;
+      }
+      PointRecord& rec = records[i];
+      rec.point = points[i];
+      rec.seed = point_seed(spec.seed, points[i].index);
+      rec.static_bound = price->bound;
+      rec.les = price->les;
+      rec.mhz = price->mhz;
+      rec.failure_kind = "screened";
+      char text[160];
+      std::snprintf(text, sizeof text,
+                    "screened: static bound %.6f tokens/cycle dominated by "
+                    "point %zu (measured %.6f at %.1f LEs)",
+                    price->bound, dominator->point.index,
+                    dominator->result.throughput, dominator->les);
+      rec.error = text;
+    }
+    return records;
+  }
 
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());

@@ -27,10 +27,16 @@ struct PointRecord {
   std::uint64_t seed = 0;   ///< the per-point seed the workload ran with
   double les = 0;           ///< total logic elements (area model)
   double mhz = 0;           ///< modelled design frequency
+  /// Static throughput upper bound (analysis::windowed_bound over the
+  /// workload's StaticModel at the campaign's cycle budget); < 0 when the
+  /// workload has no make_netlist hook and the bound is unavailable.
+  double static_bound = -1.0;
   /// Failure classification: "" (ok), "exception" (evaluation threw),
-  /// "violation" (protocol monitor recorded violations), or "watchdog"
-  /// (the no-progress watchdog fired). The latter two only arise under a
-  /// RobustnessPolicy and are quarantined, not campaign-fatal.
+  /// "violation" (protocol monitor recorded violations), "watchdog"
+  /// (the no-progress watchdog fired), or "screened" (the screening
+  /// pre-pass proved the point dominated without simulating it). The
+  /// middle two only arise under a RobustnessPolicy and are quarantined,
+  /// not campaign-fatal.
   std::string failure_kind;
   std::string error;        ///< non-empty when evaluation failed
 
@@ -113,11 +119,23 @@ class CampaignRunner {
   /// thread; 0 = hardware concurrency). The returned vector is ordered by
   /// point index; with a non-trivial shard it contains only that shard's
   /// points (their .point.index values keep the campaign-wide numbering).
+  ///
+  /// With screen = true the runner walks points serially in index order
+  /// and skips simulating any point whose static throughput bound is
+  /// dominated by an already-simulated point: some earlier ok record has
+  /// measured throughput >= this point's static bound at equal-or-lower
+  /// area (both compared at the report's rendered precision, %.6f / %.1f,
+  /// so screening decisions survive a CSV round-trip). Skipped points
+  /// become failure_kind "screened" records — excluded from the Pareto
+  /// frontier by construction, which the bound's soundness guarantees
+  /// they could never have joined. Screening requires workers <= 1 and a
+  /// trivial shard (the decision depends on earlier results).
   [[nodiscard]] std::vector<PointRecord> run(const SweepSpec& spec,
                                              std::size_t workers = 1,
                                              const Shard& shard = {},
                                              const CheckpointPolicy& ckpt = {},
-                                             const RobustnessPolicy& robust = {}) const;
+                                             const RobustnessPolicy& robust = {},
+                                             bool screen = false) const;
 
   /// Evaluates a single already-enumerated point (the serial building
   /// block run() parallelizes).

@@ -78,8 +78,8 @@ std::vector<std::string> leading_fields(const std::string& line, std::size_t cou
 constexpr std::size_t kCsvIndexField = 1;
 constexpr std::size_t kCsvThroughputField = 12;
 constexpr std::size_t kCsvLesField = 14;
-constexpr std::size_t kCsvParetoField = 17;
-constexpr std::size_t kCsvFailureKindField = 18;  // schema v2
+constexpr std::size_t kCsvParetoField = 18;       // schema v3: after static_bound
+constexpr std::size_t kCsvFailureKindField = 19;  // schema v2
 
 Line parse_csv_record(const std::string& line) {
   const auto fields = leading_fields(line, kCsvFailureKindField + 1);

@@ -130,7 +130,8 @@ const PointRecord* Report::cheapest() const {
 std::string Report::csv_header() {
   return "schema_version,index,workload,variant,threads,shared_slots,"
          "capacity_slots,arbiter,kernel,seed,cycles,tokens,throughput,"
-         "mean_wait,les,mhz,throughput_per_kle,pareto,failure_kind,error";
+         "mean_wait,les,mhz,throughput_per_kle,static_bound,pareto,"
+         "failure_kind,error";
 }
 
 std::vector<std::string> Report::json_point_fields() {
@@ -138,7 +139,7 @@ std::vector<std::string> Report::json_point_fields() {
           "shared_slots", "capacity_slots", "arbiter", "kernel",
           "seed",      "cycles",   "tokens",    "throughput",
           "mean_wait", "les",      "mhz",       "throughput_per_kle",
-          "pareto",    "failure_kind", "error"};
+          "static_bound", "pareto", "failure_kind", "error"};
 }
 
 std::string Report::to_csv() const {
@@ -153,8 +154,9 @@ std::string Report::to_csv() const {
        << fmt("%.6f", r.result.throughput) << ',' << fmt("%.6f", r.result.mean_wait)
        << ',' << fmt("%.1f", r.les) << ',' << fmt("%.3f", r.mhz) << ','
        << fmt("%.6f", r.throughput_per_kle()) << ','
-       << (is_pareto(r.point.index) ? 1 : 0) << ',' << r.failure_kind << ','
-       << csv_escape(r.error) << '\n';
+       << (r.static_bound >= 0 ? fmt("%.6f", r.static_bound) : std::string{})
+       << ',' << (is_pareto(r.point.index) ? 1 : 0) << ',' << r.failure_kind
+       << ',' << csv_escape(r.error) << '\n';
   }
   return os.str();
 }
@@ -199,8 +201,9 @@ std::string Report::to_json() const {
        << fmt("%.6f", r.result.throughput) << ", \"mean_wait\": "
        << fmt("%.6f", r.result.mean_wait) << ", \"les\": " << fmt("%.1f", r.les)
        << ", \"mhz\": " << fmt("%.3f", r.mhz) << ", \"throughput_per_kle\": "
-       << fmt("%.6f", r.throughput_per_kle()) << ", \"pareto\": "
-       << (is_pareto(r.point.index) ? "true" : "false")
+       << fmt("%.6f", r.throughput_per_kle()) << ", \"static_bound\": "
+       << (r.static_bound >= 0 ? fmt("%.6f", r.static_bound) : std::string{"null"})
+       << ", \"pareto\": " << (is_pareto(r.point.index) ? "true" : "false")
        << ", \"failure_kind\": \"" << json_escape(r.failure_kind)
        << "\", \"error\": \"" << json_escape(r.error) << "\"}"
        << (i + 1 < records_.size() ? "," : "") << '\n';

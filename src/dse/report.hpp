@@ -23,7 +23,10 @@ namespace mte::dse {
 /// v2: added failure_kind (""/"exception"/"violation"/"watchdog") between
 /// pareto and error, classifying failed records for the robustness layer;
 /// error stays the final (quoted) field in both formats.
-inline constexpr int kReportSchemaVersion = 2;
+/// v3: added static_bound (the ahead-of-time throughput upper bound the
+/// screening pre-pass decides on; empty/null when unavailable) between
+/// throughput_per_kle and pareto, and "screened" as a failure_kind value.
+inline constexpr int kReportSchemaVersion = 3;
 
 /// One record's inputs to the throughput-vs-LE Pareto rule, at the
 /// precision the decision is made at (the REPORTED precision — %.6f

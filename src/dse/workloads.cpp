@@ -41,9 +41,8 @@ mt::MebKind base_kind(MebVariant v) {
   return v == MebVariant::kReduced ? mt::MebKind::kReduced : mt::MebKind::kFull;
 }
 
-/// Structural area estimate of an elaborated multithreaded netlist:
-/// MEBs (of the point's variant) per buffer node, M- operator handshake
-/// logic, and generic combinational blocks for function/VL nodes.
+}  // namespace
+
 /// Source and sink nodes are testbench boundary and excluded, as the
 /// paper excludes its block-RAM-backed I/O.
 area::DesignEstimate netlist_area(const netlist::Netlist& net, const SweepPoint& p,
@@ -96,6 +95,8 @@ area::DesignEstimate netlist_area(const netlist::Netlist& net, const SweepPoint&
   }
   return d;
 }
+
+namespace {
 
 /// Session over an elaborated netlist workload: holds the netlist and the
 /// elaboration alive, exposes the simulator for the runner to drive (or
@@ -209,6 +210,40 @@ std::unique_ptr<WorkloadSession> session_deadlock(const SweepPoint& p,
   }
   session->simulator().reset();
   return session;
+}
+
+// Static twins of the session builders: the same netlists, without the
+// session-side dressing (generators, rates, stall windows) that only
+// lowers measured throughput.
+StaticModel netlist_fig1(const SweepPoint& p) {
+  netlist::CircuitBuilder b;
+  b.source("src") >> b.buffer("meb") >> b.sink("sink");
+  b.then_multithreaded(p.threads, base_kind(p.variant));
+  return {b.build(), "sink"};
+}
+
+StaticModel netlist_fig5(const SweepPoint& p) {
+  netlist::CircuitBuilder b;
+  b.source("src") >> b.buffer("meb0") >> b.buffer("meb1") >> b.sink("sink");
+  b.then_multithreaded(p.threads, base_kind(p.variant));
+  return {b.build(), "sink"};
+}
+
+StaticModel netlist_deadlock(const SweepPoint& p) {
+  netlist::Netlist n;
+  const auto src = n.add_source("src");
+  const auto j = n.add_join("j", 2);
+  const auto b0 = n.add_buffer("b0");
+  const auto f = n.add_fork("f", 2);
+  const auto snk = n.add_sink("snk");
+  const auto b1 = n.add_buffer("b1");
+  n.connect(src, 0, j, 0);
+  n.connect(j, 0, b0, 0);
+  n.connect(b0, 0, f, 0);
+  n.connect(f, 0, snk, 0);
+  n.connect(f, 1, b1, 0);
+  n.connect(b1, 0, j, 1);
+  return {n.to_multithreaded(p.threads, base_kind(p.variant)), "snk"};
 }
 
 WorkloadResult run_deadlock(const SweepPoint& p, sim::Cycle cycles,
@@ -328,10 +363,10 @@ const WorkloadSet& WorkloadSet::builtin() {
   static const WorkloadSet set = [] {
     WorkloadSet s;
     s.add({"fig1", "one-MEB channel under fractional per-thread injection",
-           WorkloadTraits{}, run_fig1, session_fig1});
+           WorkloadTraits{}, run_fig1, session_fig1, netlist_fig1});
     s.add({"fig5",
            "two-stage MEB pipeline with the all-but-one-thread blocked window",
-           WorkloadTraits{}, run_fig5, session_fig5});
+           WorkloadTraits{}, run_fig5, session_fig5, netlist_fig5});
     s.add({"md5", "multithreaded elastic MD5 engine, run to digest completion",
            WorkloadTraits{.supports_hybrid = false, .supports_arbiter = false,
                           .supports_kernel = true},

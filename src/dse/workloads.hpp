@@ -30,6 +30,7 @@
 
 #include "area/cost_model.hpp"
 #include "dse/sweep_spec.hpp"
+#include "netlist/netlist.hpp"
 #include "sim/types.hpp"
 
 namespace mte::sim {
@@ -93,6 +94,17 @@ class WorkloadSession {
   virtual netlist::Elaboration* elaboration() { return nullptr; }
 };
 
+/// The statically analyzable shape of a netlist workload's design point:
+/// the multithreaded netlist a point elaborates plus the sink whose input
+/// channel finish() measures. Powers the static screening bound — the
+/// netlist must match what make_session builds (stall windows and
+/// Bernoulli gates are session-side and intentionally absent: both only
+/// lower measured throughput, keeping the static bound an upper bound).
+struct StaticModel {
+  netlist::Netlist net;
+  std::string sink;
+};
+
 struct Workload {
   std::string name;
   std::string description;
@@ -110,7 +122,20 @@ struct Workload {
                                                  sim::Cycle cycles,
                                                  std::uint64_t seed)>
       make_session;
+  /// Optional: the point's netlist for ahead-of-time analysis (static
+  /// throughput bounds, screening). Null for the hand-built engines
+  /// (md5, processor), whose points always simulate.
+  std::function<StaticModel(const SweepPoint&)> make_netlist;
 };
+
+/// Structural area estimate of an elaborated multithreaded netlist at a
+/// design point: MEBs (of the point's variant) per buffer node, M-
+/// operator handshake logic, and generic combinational blocks for
+/// function/VL nodes. Shared by NetlistSession::finish() and the
+/// screening pre-pass, which must price a point without simulating it.
+[[nodiscard]] area::DesignEstimate netlist_area(const netlist::Netlist& net,
+                                               const SweepPoint& p,
+                                               const area::CostModel& model);
 
 class WorkloadSet {
  public:

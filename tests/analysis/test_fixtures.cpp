@@ -28,6 +28,7 @@ struct FixtureCase {
   const char* golden;       // basename under tests/analysis/golden/
   mt::ArbiterKind arbiter = mt::ArbiterKind::kRoundRobin;
   std::optional<std::size_t> shared_slots;
+  bool perf = false;        // run the MTE05x static throughput pass too
 };
 
 // The golden base name encodes the non-default options (e.g. _oblivious,
@@ -47,6 +48,12 @@ const FixtureCase kCases[] = {
     {"degenerate.enl", "degenerate"},
     {"hybrid_pool.enl", "hybrid_pool_k6", mt::ArbiterKind::kRoundRobin, 6},
     {"hybrid_pool.enl", "hybrid_pool_k0", mt::ArbiterKind::kRoundRobin, 0},
+    {"slack_imbalance.enl", "slack_imbalance_perf", mt::ArbiterKind::kRoundRobin,
+     std::nullopt, true},
+    {"hybrid_pool.enl", "hybrid_pool_k0_perf", mt::ArbiterKind::kRoundRobin, 0,
+     true},
+    {"mt_reconverge.enl", "mt_reconverge_oblivious_perf",
+     mt::ArbiterKind::kOblivious, std::nullopt, true},
 };
 
 std::string read_file(const std::string& path) {
@@ -78,6 +85,7 @@ TEST_P(AnalysisFixtures, MatchesGolden) {
   analysis::AnalysisOptions options;
   options.arbiter = c.arbiter;
   options.meb_shared_slots = c.shared_slots;
+  options.perf = c.perf;
   const analysis::AnalysisReport report = analysis::analyze(net, options);
 
   const std::string text = report.render_text();

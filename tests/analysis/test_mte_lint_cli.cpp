@@ -95,6 +95,32 @@ TEST(MteLintCli, NoInputExitsTwo) {
   EXPECT_EQ(run_lint("").exit_code, 2);
 }
 
+TEST(MteLintCli, PerfFlagReportsThroughputBound) {
+  const CliResult r = run_lint("--perf " + example("fig5_pipeline.enl"));
+  EXPECT_EQ(r.exit_code, 0);  // MTE050 is a note
+  EXPECT_NE(r.output.find("MTE050"), std::string::npos);
+  EXPECT_NE(r.output.find("static throughput bound"), std::string::npos);
+}
+
+TEST(MteLintCli, PerfOutputIsByteDeterministic) {
+  const std::string args = "--perf --json " + fixture("slack_imbalance.enl") +
+                           " " + example("mt_hybrid_pool.enl");
+  const CliResult a = run_lint(args);
+  const CliResult b = run_lint(args);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_NE(a.output.find("MTE052"), std::string::npos);
+}
+
+TEST(MteLintCli, SarifOutputHasToolAndResults) {
+  const CliResult r = run_lint("--sarif --perf " + fixture("join_cycle.enl"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"name\": \"mte_lint\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"id\": \"MTE030\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"ruleId\": \"MTE030\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"level\": \"error\""), std::string::npos);
+}
+
 TEST(MteLintCli, FuzzCorpusLintsClean) {
   const CliResult r = run_lint("--fuzz-corpus 8 --seed 20260730");
   EXPECT_EQ(r.exit_code, 0);

@@ -5,6 +5,8 @@
 // warmup-window metrics match exactly).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <stdexcept>
 #include <string>
@@ -30,7 +32,13 @@ dse::SweepSpec small_spec() {
 class CampaignCheckpointTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "mte_dse_ckpt_test";
+    // ctest runs each gtest case as its own process, possibly in
+    // parallel — the directory must be unique per test AND per process
+    // or concurrent SetUp/TearDown remove_all calls race.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("mte_dse_ckpt_") + info->name() + "_" +
+            std::to_string(static_cast<long>(::getpid())));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

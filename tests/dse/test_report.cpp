@@ -106,9 +106,10 @@ TEST(Report, CsvSchemaIsPinned) {
   EXPECT_EQ(Report::csv_header(),
             "schema_version,index,workload,variant,threads,shared_slots,"
             "capacity_slots,arbiter,kernel,seed,cycles,tokens,throughput,"
-            "mean_wait,les,mhz,throughput_per_kle,pareto,failure_kind,error");
-  EXPECT_EQ(Report::json_point_fields().size(), 19u);
-  EXPECT_EQ(kReportSchemaVersion, 2);
+            "mean_wait,les,mhz,throughput_per_kle,static_bound,pareto,"
+            "failure_kind,error");
+  EXPECT_EQ(Report::json_point_fields().size(), 20u);
+  EXPECT_EQ(kReportSchemaVersion, 3);
 }
 
 // --- the golden 6-point campaign --------------------------------------------

@@ -1,0 +1,87 @@
+// The static screening mode: CampaignRunner::run(..., screen = true)
+// must skip a substantial share of the default campaign without touching
+// the Pareto frontier — the screening contract mte_dse --screen exposes.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "dse/campaign.hpp"
+#include "dse/report.hpp"
+#include "dse/sweep_spec.hpp"
+
+namespace mte::dse {
+namespace {
+
+/// The mte_dse default preset (64 points) at a reduced cycle budget.
+SweepSpec default_spec(sim::Cycle cycles) {
+  SweepSpec spec;
+  spec.workloads = {"fig1", "fig5"};
+  spec.variants = {MebVariant::kFull, MebVariant::kHybrid, MebVariant::kReduced};
+  spec.threads = {1, 2, 4, 8};
+  spec.shared_slots = {0, 1};
+  spec.arbiters = {mt::ArbiterKind::kRoundRobin, mt::ArbiterKind::kOblivious};
+  spec.cycles = cycles;
+  return spec;
+}
+
+TEST(Screening, SkipsDominatedPointsAndKeepsTheParetoFrontier) {
+  const SweepSpec spec = default_spec(500);
+  const CampaignRunner runner;
+  const Report full(spec, runner.run(spec, 1));
+  const Report screened(spec, runner.run(spec, 1, {}, {}, {}, /*screen=*/true));
+  ASSERT_EQ(full.records().size(), 64u);
+  ASSERT_EQ(screened.records().size(), 64u);
+
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < screened.records().size(); ++i) {
+    const PointRecord& s = screened.records()[i];
+    if (s.failure_kind == "screened") {
+      ++skipped;
+      EXPECT_FALSE(s.ok());
+      EXPECT_NE(s.error.find("screened: static bound"), std::string::npos);
+      // Screened points are still priced: bound and area-model figures.
+      EXPECT_GE(s.static_bound, 0.0);
+      EXPECT_GT(s.les, 0.0);
+      EXPECT_NEAR(s.les, full.records()[i].les, 0.5)
+          << "the screening pre-pass priced a different design than the "
+             "simulation at " << s.point.label();
+    } else {
+      // Simulated points are byte-equal to the unscreened run.
+      EXPECT_EQ(s.result.tokens, full.records()[i].result.tokens)
+          << s.point.label();
+    }
+  }
+  // The acceptance floor: at least 20% of the campaign never simulates.
+  EXPECT_GE(skipped, 64u / 5) << "screening skipped too few points";
+  EXPECT_LT(skipped, 64u) << "screening must simulate at least one point";
+
+  // The headline invariant: the frontier is identical.
+  EXPECT_EQ(full.pareto(), screened.pareto());
+}
+
+TEST(Screening, EveryRecordCarriesItsStaticBound) {
+  // run_point (no screening) also prices every netlist point, so plain
+  // campaigns export the static_bound column too — and the bound is an
+  // upper bound on what the point then measured.
+  SweepSpec spec = default_spec(400);
+  spec.threads = {1, 4};
+  const auto records = CampaignRunner{}.run(spec, 1);
+  ASSERT_FALSE(records.empty());
+  for (const auto& r : records) {
+    EXPECT_GE(r.static_bound, 0.0) << r.point.label();
+    EXPECT_LE(r.result.throughput, r.static_bound + 1e-9) << r.point.label();
+  }
+}
+
+TEST(Screening, RejectsSharding) {
+  const SweepSpec spec = default_spec(100);
+  Shard shard;
+  shard.index = 0;
+  shard.count = 2;
+  EXPECT_THROW(CampaignRunner{}.run(spec, 1, shard, {}, {}, /*screen=*/true),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mte::dse

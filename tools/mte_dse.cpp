@@ -54,6 +54,12 @@ using namespace mte;
       "  --seed N                  campaign seed (default 1)\n"
       "  --workers N               host threads (default hardware, 0 = auto)\n"
       "  --shard I/N               run only points with index %% N == I\n"
+      "  --screen                  static screening: walk points serially and\n"
+      "                            skip simulating any point whose static\n"
+      "                            throughput bound is dominated by an earlier\n"
+      "                            measured point at equal-or-lower area\n"
+      "                            (failure_kind 'screened'; Pareto frontier\n"
+      "                            unchanged); incompatible with --shard\n"
       "  --spec FILE               read axes from a spec file (overrides axis flags)\n"
       "  --preset NAME             default | smoke | table1 | capacity | arbiter\n"
       "checkpointing (netlist workloads only; md5/processor run normally):\n"
@@ -242,6 +248,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool quiet = false;
   bool print_spec = false;
+  bool screen = false;
 
   const auto arg_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
@@ -358,6 +365,8 @@ int main(int argc, char** argv) {
                      v.c_str());
         return 2;
       }
+    } else if (arg == "--screen") {
+      screen = true;
     } else if (arg == "--checkpoint-dir") {
       ckpt.dir = arg_value(i);
     } else if (arg == "--warmup") {
@@ -389,6 +398,18 @@ int main(int argc, char** argv) {
   if (print_spec) {
     std::fputs(spec.serialize().c_str(), stdout);
     return 0;
+  }
+
+  if (screen && shard.count > 1) {
+    std::fprintf(stderr, "mte_dse: --screen is incompatible with --shard\n");
+    return 2;
+  }
+  if (screen && workers != 1) {
+    // The skip decision reads every earlier point's measured result.
+    if (workers > 1) {
+      std::fprintf(stderr, "mte_dse: --screen runs serially (ignoring --workers)\n");
+    }
+    workers = 1;
   }
 
   if (ckpt.restore && ckpt.dir.empty()) {
@@ -453,7 +474,7 @@ int main(int argc, char** argv) {
 
     const dse::CampaignRunner runner;
     const auto start = std::chrono::steady_clock::now();
-    const auto records = runner.run(spec, workers, shard, ckpt, robust);
+    const auto records = runner.run(spec, workers, shard, ckpt, robust, screen);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -464,10 +485,13 @@ int main(int argc, char** argv) {
     // records but don't flip the exit code. Plain exceptions still do.
     std::size_t failed = 0;
     std::size_t quarantined = 0;
+    std::size_t screened = 0;
     for (const auto& r : report.records()) {
       if (r.ok()) continue;
-      if (robust.enabled() &&
-          (r.failure_kind == "violation" || r.failure_kind == "watchdog")) {
+      if (r.failure_kind == "screened") {
+        ++screened;
+      } else if (robust.enabled() &&
+                 (r.failure_kind == "violation" || r.failure_kind == "watchdog")) {
         ++quarantined;
       } else {
         ++failed;
@@ -477,6 +501,10 @@ int main(int argc, char** argv) {
                  "mte_dse: evaluated %zu points in %.2fs (%zu failed, %zu "
                  "quarantined)\n",
                  report.records().size(), secs, failed, quarantined);
+    if (screen) {
+      std::fprintf(stderr, "mte_dse: screened %zu of %zu points without simulation\n",
+                   screened, report.records().size());
+    }
 
     if (!quiet) std::fputs(report.to_table().c_str(), stdout);
     if (!csv_path.empty()) write_output(csv_path, report.to_csv(), "CSV");

@@ -51,7 +51,11 @@ void usage(std::ostream& os) {
         "                       fuzz generator instead of files\n"
         "  --seed <base>        fuzz corpus base seed (default 0xC0FFEE;\n"
         "                       CI pins the same seed as the fuzz tests)\n"
+        "  --perf               run the static performance pass too:\n"
+        "                       MTE050-054 throughput bounds, bottleneck\n"
+        "                       cycle and buffer fix-its\n"
         "  --json               JSON report instead of text\n"
+        "  --sarif              SARIF 2.1.0 report (code-scanning upload)\n"
         "  -o, --output <file>  write the report to a file\n"
         "  --werror             exit 1 on warnings too\n"
         "  --quiet              text mode: only print findings\n"
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   AnalysisOptions options;
   bool json = false;
+  bool sarif = false;
   bool werror = false;
   bool quiet = false;
   std::optional<std::string> output;
@@ -152,8 +157,12 @@ int main(int argc, char** argv) {
         std::cerr << "mte_lint: bad --seed '" << args[i] << "'\n";
         return 2;
       }
+    } else if (a == "--perf") {
+      options.perf = true;
     } else if (a == "--json") {
       json = true;
+    } else if (a == "--sarif") {
+      sarif = true;
     } else if (a == "--werror") {
       werror = true;
     } else if (a == "--quiet") {
@@ -174,6 +183,10 @@ int main(int argc, char** argv) {
   }
   if (!files.empty() && fuzz_corpus != 0) {
     std::cerr << "mte_lint: give either files or --fuzz-corpus, not both\n";
+    return 2;
+  }
+  if (json && sarif) {
+    std::cerr << "mte_lint: give either --json or --sarif, not both\n";
     return 2;
   }
 
@@ -201,8 +214,12 @@ int main(int argc, char** argv) {
     const auto net = mte::netlist::random_fuzz_netlist(rng, has_mt_join);
     // Joins over independent arms are only elaborated under the
     // oblivious arbiter (see fuzz.hpp) — lint under the same contract.
+    // The perf pass always runs on the corpus: its Howard/Karp
+    // self-check (MTE054) surfaces solver regressions with the seed
+    // right in the input name.
     AnalysisOptions case_options = options;
     if (has_mt_join) case_options.arbiter = mte::mt::ArbiterKind::kOblivious;
+    case_options.perf = true;
     inputs.push_back({"fuzz:" + std::to_string(seed), net.analyze(case_options)});
   }
 
@@ -216,6 +233,11 @@ int main(int argc, char** argv) {
   std::ostringstream report;
   if (json) {
     report << render_json(inputs);
+  } else if (sarif) {
+    std::vector<std::pair<std::string, AnalysisReport>> named;
+    named.reserve(inputs.size());
+    for (const auto& input : inputs) named.emplace_back(input.name, input.report);
+    report << mte::analysis::render_sarif(named);
   } else {
     for (const auto& input : inputs) print_text(report, input, quiet);
     report << inputs.size() << " netlist(s): " << errors << " error(s), " << warnings
